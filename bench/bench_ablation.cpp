@@ -1,0 +1,175 @@
+// Experiment ABL -- ablations of the design choices DESIGN.md calls out:
+//   1. routing regime: on-line greedy vs off-line Waksman schedules,
+//   2. port model: single-port (pebble-exact) vs multiport,
+//   3. embedding: deterministic block vs random balanced,
+//   4. routing policy: greedy vs Valiant two-phase.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "src/core/embedding.hpp"
+#include "src/core/embedding_metrics.hpp"
+#include "src/core/offline_universal.hpp"
+#include "src/core/scheduled_universal.hpp"
+#include "src/core/schedule_protocol.hpp"
+#include "src/core/universal_sim.hpp"
+#include "src/pebble/validator.hpp"
+#include "src/routing/policies.hpp"
+#include "src/topology/butterfly.hpp"
+#include "src/topology/random_regular.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace upn;
+
+void print_routing_regime_table() {
+  std::cout << "=== ABL-1/2: on-line vs off-line routing, single-port vs multiport "
+               "(butterfly hosts, n = 4m guests) ===\n";
+  Table table{{"d", "m", "n", "s online 1-port", "s online multi", "s offline multi",
+               "s offline 1-port bd", "all verified"}};
+  for (const std::uint32_t d : {2u, 3u, 4u}) {
+    Rng rng{40 + d};
+    const ButterflyLayout layout{d, false};
+    const std::uint32_t m = layout.num_nodes();
+    const std::uint32_t n = 4 * m;
+    const Graph guest = make_random_regular(n, kGuestDegree, rng);
+    const Graph host = make_butterfly(d);
+    const auto embedding = make_random_embedding(n, m, rng);
+    UniversalSimulator sim{guest, host, embedding};
+    UniversalSimOptions single, multi;
+    single.port_model = PortModel::kSinglePort;
+    multi.port_model = PortModel::kMultiPort;
+    const auto r_single = sim.run(2, single);
+    const auto r_multi = sim.run(2, multi);
+    const auto r_offline = run_offline_universal(guest, d, embedding, 2);
+    const bool ok = r_single.configs_match && r_multi.configs_match &&
+                    r_offline.configs_match;
+    table.add_row({std::uint64_t{d}, std::uint64_t{m}, std::uint64_t{n},
+                   r_single.slowdown, r_multi.slowdown, r_offline.slowdown,
+                   r_offline.slowdown_single_port, std::string{ok ? "yes" : "NO"}});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void print_offline_family_table() {
+  std::cout << "=== ABL-1b: three off-line regimes on the butterfly vs generic hosts "
+               "(n = 4m, T = 2) ===\n";
+  Table table{{"host", "m", "method", "s", "verified"}};
+  for (const std::uint32_t d : {2u, 3u}) {
+    Rng rng{50 + d};
+    const ButterflyLayout layout{d, false};
+    const std::uint32_t m = layout.num_nodes();
+    const std::uint32_t n = 4 * m;
+    const Graph guest = make_random_regular(n, kGuestDegree, rng);
+    const Graph host = make_butterfly(d);
+    const auto embedding = make_random_embedding(n, m, rng);
+    // Benes-structured off-line schedule.
+    const auto benes = run_offline_universal(guest, d, embedding, 2);
+    table.add_row({host.name(), std::uint64_t{m}, std::string{"offline-benes"},
+                   benes.slowdown, std::string{benes.configs_match ? "yes" : "NO"}});
+    // Generic path schedule on the same host.
+    const auto generic = run_scheduled_universal(guest, host, embedding, 2);
+    table.add_row({host.name(), std::uint64_t{m}, std::string{"offline-paths"},
+                   generic.slowdown, std::string{generic.configs_match ? "yes" : "NO"}});
+    // Single-port pebble protocol from the Benes schedule (validated).
+    const auto protocol = make_offline_universal_protocol(guest, d, embedding, 2);
+    const bool valid =
+        static_cast<bool>(validate_protocol(protocol.protocol, guest, host));
+    table.add_row({host.name(), std::uint64_t{m}, std::string{"offline-benes 1-port"},
+                   protocol.protocol.slowdown(), std::string{valid ? "yes" : "NO"}});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void print_embedding_table() {
+  std::cout << "=== ABL-3: block vs random embedding (guest 16-regular n=256, host "
+               "butterfly(3)) ===\n";
+  Rng rng{77};
+  const std::uint32_t n = 256;
+  const Graph guest = make_random_regular(n, kGuestDegree, rng);
+  const Graph host = make_butterfly(3);
+  Table table{{"embedding", "load", "dilation", "congestion", "LB max(l,d,c)",
+               "s measured"}};
+  const auto block = make_block_embedding(n, host.num_nodes());
+  const auto random = make_random_embedding(n, host.num_nodes(), rng);
+  for (const auto& [label, f] :
+       {std::pair{"block", &block}, std::pair{"random", &random}}) {
+    const EmbeddingMetrics metrics = analyze_embedding(guest, host, *f);
+    UniversalSimulator sim{guest, host, *f};
+    const UniversalSimResult result = sim.run(2);
+    table.add_row({std::string{label}, std::uint64_t{metrics.load},
+                   std::uint64_t{metrics.dilation}, std::uint64_t{metrics.congestion},
+                   std::uint64_t{metrics.slowdown_lower_bound()}, result.slowdown});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void print_policy_table() {
+  std::cout << "=== ABL-4: greedy vs Valiant policy (butterfly(4), multiport, n = "
+               "320) ===\n";
+  Rng rng{88};
+  const std::uint32_t n = 320;
+  const Graph guest = make_random_regular(n, kGuestDegree, rng);
+  const Graph host = make_butterfly(4);
+  const auto embedding = make_random_embedding(n, host.num_nodes(), rng);
+  UniversalSimulator sim{guest, host, embedding};
+  Table table{{"policy", "s", "verified"}};
+  GreedyPolicy greedy{host};
+  ValiantPolicy valiant{host, 99};
+  for (const auto& [label, policy] :
+       {std::pair<const char*, RoutingPolicy*>{"greedy", &greedy},
+        std::pair<const char*, RoutingPolicy*>{"valiant", &valiant}}) {
+    UniversalSimOptions options;
+    options.policy = policy;
+    options.port_model = PortModel::kMultiPort;
+    const UniversalSimResult result = sim.run(2, options);
+    table.add_row({std::string{label}, result.slowdown,
+                   std::string{result.configs_match ? "yes" : "NO"}});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_AnalyzeEmbedding(benchmark::State& state) {
+  Rng rng{5};
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Graph guest = make_random_regular(n, kGuestDegree, rng);
+  const Graph host = make_butterfly(3);
+  const auto embedding = make_random_embedding(n, host.num_nodes(), rng);
+  for (auto _ : state) {
+    const EmbeddingMetrics metrics = analyze_embedding(guest, host, embedding);
+    benchmark::DoNotOptimize(metrics.congestion);
+  }
+}
+BENCHMARK(BM_AnalyzeEmbedding)->Arg(128)->Arg(512);
+
+void BM_OfflineUniversalStep(benchmark::State& state) {
+  Rng rng{6};
+  const auto d = static_cast<std::uint32_t>(state.range(0));
+  const ButterflyLayout layout{d, false};
+  const std::uint32_t n = 4 * layout.num_nodes();
+  const Graph guest = make_random_regular(n, kGuestDegree, rng);
+  const auto embedding = make_random_embedding(n, layout.num_nodes(), rng);
+  for (auto _ : state) {
+    const OfflineUniversalResult result = run_offline_universal(guest, d, embedding, 1);
+    benchmark::DoNotOptimize(result.host_steps);
+  }
+  state.counters["m"] = layout.num_nodes();
+}
+BENCHMARK(BM_OfflineUniversalStep)->Arg(3)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_routing_regime_table();
+  print_offline_family_table();
+  print_embedding_table();
+  print_policy_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Experiment CENSUS -- the counting argument's bookkeeping, observed.
+//
+// Section 3.2 bounds |G(k)| <= X * Y: few fragments (Y), few guests per
+// fragment (X, Lemma 3.3).  The census simulates many guests from U[G_0],
+// extracts one fragment each and tabulates: distinct fragments vs guests
+// (empirical footprint of the set A), per-fragment multiplicity bounds, and
+// the Main-Lemma quantities (sum |B_i|, #small D_i).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <sstream>
+
+#include "src/lowerbound/fragment_census.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace upn;
+
+void print_experiment_table() {
+  Rng rng{31415};
+  const std::uint32_t m = 12;  // butterfly(2)
+  const std::uint32_t a = g0_block_parameter(m);
+  const std::uint32_t n = g0_round_guest_size(60, a);
+  const G0 g0 = make_g0(n, m, rng);
+  const std::uint32_t guests = 12, T = 8;
+  const FragmentCensus census = run_fragment_census(g0, 2, guests, T, rng);
+
+  std::cout << "=== CENSUS: fragments across " << guests << " guests from U[G_0] (n = "
+            << n << ", m = " << m << ", T = " << T << ") ===\n";
+  std::cout << "distinct fragments: " << census.distinct_fragments << " / " << guests
+            << "   mean k = " << census.mean_inefficiency << "\n";
+  std::cout << "log2 |A| bound (Lemma 3.13, r n k): " << census.log2_a_bound
+            << "   log2 |U[G_0]| lower bound: " << census.log2_guest_space << "\n";
+  Table table{{"guest", "fragment hash", "log2 X (L3.3)", "sum|B_i|",
+               "#|D_i|<=n/sqrt(m)"}};
+  for (std::size_t g = 0; g < census.rows.size(); ++g) {
+    const FragmentCensusRow& row = census.rows[g];
+    std::ostringstream hash_hex;
+    hash_hex << std::hex << (row.fragment_hash >> 40);  // short prefix
+    table.add_row({std::uint64_t{g}, hash_hex.str(), row.log2_multiplicity,
+                   row.sum_b, std::uint64_t{row.small_d}});
+  }
+  table.print(std::cout);
+  std::cout << "worst log2 multiplicity: " << census.worst_log2_multiplicity
+            << " (counting chain uses " << census.log2_guest_space
+            << " total guests)\n\n";
+}
+
+void BM_FragmentCensus(benchmark::State& state) {
+  Rng rng{999};
+  const std::uint32_t m = 12;
+  const std::uint32_t a = g0_block_parameter(m);
+  const std::uint32_t n = g0_round_guest_size(60, a);
+  const G0 g0 = make_g0(n, m, rng);
+  for (auto _ : state) {
+    const FragmentCensus census =
+        run_fragment_census(g0, 2, static_cast<std::uint32_t>(state.range(0)), 6, rng);
+    benchmark::DoNotOptimize(census.distinct_fragments);
+  }
+}
+BENCHMARK(BM_FragmentCensus)->Arg(2)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

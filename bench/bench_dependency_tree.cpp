@@ -1,0 +1,83 @@
+// Experiments FIG1 + L3.10 -- dependency trees in Gamma_{G_0}.
+//
+// Lemma 3.10 promises, for every root in a (4a^2)-torus block, a binary
+// dependency tree with leaves covering the block, size <= 48 a^2 and depth
+// ~a.  The table sweeps a and reports the measured worst-case size constant
+// (size / a^2) and depth constant (depth / a) over all roots of a block --
+// our construction lands at depth ~2a (an L x L torus has diameter L; the
+// paper's "diameter a" undercounts by 2x), which downstream lemmas absorb.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "src/lowerbound/dependency_tree.hpp"
+#include "src/topology/multitorus.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace upn;
+
+void print_experiment_table() {
+  std::cout << "=== L3.10/FIG1: dependency-tree size and depth vs a (worst root) ===\n";
+  Table table{{"a", "block 4a^2", "max size", "48a^2", "size/a^2", "depth", "depth/a",
+               "all valid"}};
+  for (const std::uint32_t a : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    const std::uint32_t side = 2 * a;
+    const std::uint32_t n = 4 * side * side;
+    const MultitorusLayout layout = multitorus_layout(n, side);
+    const Graph mt = make_multitorus(n, side);
+    const auto block = layout.block_nodes(0);
+    std::size_t max_size = 0;
+    std::uint32_t depth = 0;
+    bool all_valid = true;
+    for (const NodeId root : block) {
+      const DependencyTree tree = build_block_dependency_tree(layout, 0, root);
+      max_size = std::max(max_size, tree.size());
+      depth = std::max(depth, tree.depth);
+      all_valid = all_valid && validate_dependency_tree(tree, mt, block);
+    }
+    table.add_row({std::uint64_t{a}, std::uint64_t{block.size()}, std::uint64_t{max_size},
+                   std::uint64_t{48 * a * a},
+                   static_cast<double>(max_size) / (a * a), std::uint64_t{depth},
+                   static_cast<double>(depth) / a, std::string{all_valid ? "yes" : "NO"}});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_BuildTree(benchmark::State& state) {
+  const auto a = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t side = 2 * a;
+  const std::uint32_t n = 4 * side * side;
+  const MultitorusLayout layout = multitorus_layout(n, side);
+  for (auto _ : state) {
+    const DependencyTree tree = build_block_dependency_tree(layout, 0, 0);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.counters["a"] = a;
+}
+BENCHMARK(BM_BuildTree)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ValidateTree(benchmark::State& state) {
+  const auto a = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t side = 2 * a;
+  const std::uint32_t n = 4 * side * side;
+  const MultitorusLayout layout = multitorus_layout(n, side);
+  const Graph mt = make_multitorus(n, side);
+  const auto block = layout.block_nodes(0);
+  const DependencyTree tree = build_block_dependency_tree(layout, 0, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validate_dependency_tree(tree, mt, block));
+  }
+}
+BENCHMARK(BM_ValidateTree)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

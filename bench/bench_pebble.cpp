@@ -1,0 +1,119 @@
+// Experiment PEBBLE -- the Section 3.1 model's bookkeeping costs.
+//
+// The counting argument hinges on "the number of pebbles used is at most
+// T' * m = T * n * k".  The table confirms that accounting on emitted
+// protocols and reports validator/metrics throughput.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "src/core/embedding.hpp"
+#include "src/core/universal_sim.hpp"
+#include "src/pebble/metrics.hpp"
+#include "src/pebble/stats.hpp"
+#include "src/pebble/validator.hpp"
+#include "src/topology/butterfly.hpp"
+#include "src/topology/random_regular.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace upn;
+
+struct Emitted {
+  Graph guest;
+  Graph host;
+  Protocol protocol{1, 1, 1};
+};
+
+Emitted emit(std::uint32_t n, std::uint32_t d, std::uint32_t T, std::uint64_t seed) {
+  Rng rng{seed};
+  Emitted e;
+  e.guest = make_random_regular(n, kGuestDegree, rng);
+  e.host = make_butterfly(d);
+  UniversalSimulator sim{e.guest, e.host, make_random_embedding(n, e.host.num_nodes(), rng)};
+  UniversalSimOptions options;
+  options.emit_protocol = true;
+  UniversalSimResult result = sim.run(T, options);
+  e.protocol = std::move(*result.protocol);
+  return e;
+}
+
+void print_experiment_table() {
+  std::cout << "=== PEBBLE: protocol accounting (ops <= T' m = T n k) ===\n";
+  Table table{{"n", "m", "T", "T'", "ops", "T'*m", "placements", "k", "valid"}};
+  for (const auto& [n, d, T] :
+       {std::tuple{64u, 2u, 6u}, std::tuple{128u, 2u, 6u}, std::tuple{256u, 3u, 4u}}) {
+    const Emitted e = emit(n, d, T, 42 + n);
+    const ValidationResult validation = validate_protocol(e.protocol, e.guest, e.host);
+    const ProtocolMetrics metrics{e.protocol};
+    table.add_row({std::uint64_t{n}, std::uint64_t{e.host.num_nodes()}, std::uint64_t{T},
+                   std::uint64_t{e.protocol.host_steps()}, e.protocol.num_ops(),
+                   static_cast<std::uint64_t>(e.protocol.host_steps()) *
+                       e.host.num_nodes(),
+                   metrics.total_placements(), metrics.inefficiency(),
+                   std::string{validation.ok ? "yes" : "NO"}});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void print_stats_table() {
+  std::cout << "=== PEBBLE: operational profile of emitted protocols ===\n";
+  Table table{{"n", "m", "generates", "sends", "utilization", "comm fraction",
+               "busiest proc ops"}};
+  for (const auto& [n, d, T] : {std::tuple{64u, 2u, 6u}, std::tuple{128u, 2u, 6u}}) {
+    const Emitted e = emit(n, d, T, 77 + n);
+    const ProtocolStats stats = protocol_stats(e.protocol);
+    table.add_row({std::uint64_t{n}, std::uint64_t{e.host.num_nodes()}, stats.generates,
+                   stats.sends, stats.utilization, stats.comm_fraction,
+                   stats.busiest_proc_ops});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_ValidateProtocol(benchmark::State& state) {
+  const Emitted e = emit(static_cast<std::uint32_t>(state.range(0)), 2, 4, 7);
+  for (auto _ : state) {
+    const ValidationResult result = validate_protocol(e.protocol, e.guest, e.host);
+    benchmark::DoNotOptimize(result.ok);
+    if (!result.ok) state.SkipWithError("invalid protocol");
+  }
+  state.counters["ops"] = static_cast<double>(e.protocol.num_ops());
+}
+BENCHMARK(BM_ValidateProtocol)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BuildMetrics(benchmark::State& state) {
+  const Emitted e = emit(static_cast<std::uint32_t>(state.range(0)), 2, 4, 8);
+  for (auto _ : state) {
+    const ProtocolMetrics metrics{e.protocol};
+    benchmark::DoNotOptimize(metrics.total_placements());
+  }
+}
+BENCHMARK(BM_BuildMetrics)->Arg(64)->Arg(256);
+
+void BM_EmitProtocol(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng{3};
+  const Graph guest = make_random_regular(n, kGuestDegree, rng);
+  const Graph host = make_butterfly(2);
+  UniversalSimulator sim{guest, host, make_random_embedding(n, host.num_nodes(), rng)};
+  UniversalSimOptions options;
+  options.emit_protocol = true;
+  for (auto _ : state) {
+    const UniversalSimResult result = sim.run(2, options);
+    benchmark::DoNotOptimize(result.protocol->num_ops());
+  }
+}
+BENCHMARK(BM_EmitProtocol)->Arg(64)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment_table();
+  print_stats_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

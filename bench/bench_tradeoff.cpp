@@ -1,0 +1,91 @@
+// Experiments THM3.1 + UB-vs-LB -- the headline trade-off.
+//
+// Theorem 3.1: m*s = Omega(n log m).  The first table evaluates the full
+// counting chain (Lemmas 3.3/3.5/3.13, Prop 3.6) at concrete (n, m) and
+// extracts the minimal feasible inefficiency k; k / log2 m should be
+// constant.  The second table sandwiches the measured Theorem 2.1 slowdown
+// between the load bound n/m and the lower/upper bound shapes -- the
+// paper's Section 4 conclusion ("the simulation cannot perform better than
+// a simple embedding on the butterfly") made visible.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "src/core/slowdown.hpp"
+#include "src/lowerbound/counting.hpp"
+#include "src/lowerbound/tradeoff.hpp"
+#include "src/topology/random_regular.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace upn;
+
+void print_counting_table() {
+  std::cout << "=== THM3.1: minimal feasible inefficiency k from the counting chain "
+               "(c=16, d=4, paper constants) ===\n";
+  const CountingConstants constants;
+  const double n = 1e12;
+  std::vector<double> ms;
+  for (double m = 1 << 10; m <= 1e10; m *= 32) ms.push_back(m);
+  Table table{{"m", "log2 m", "k_min (search)", "k (closed form)", "k/log2(m)",
+               "s bound", "m*s/(n log m)"}};
+  for (const TradeoffRow& row : lower_bound_sweep(n, ms, constants)) {
+    table.add_row({row.m, std::log2(row.m), row.k_counting, row.k_closed_form,
+                   row.k_counting / std::log2(row.m), row.slowdown_bound,
+                   row.ms_over_nlogm});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void print_sandwich_table() {
+  std::cout << "=== UB-vs-LB: measured slowdown vs load bound and (n/m) log2 m "
+               "(n = 512, T = 3) ===\n";
+  const std::uint32_t n = 512;
+  Rng rng{31};
+  const Graph guest = make_random_regular(n, kGuestDegree, rng);
+  Table table{{"m", "n/m (LB, load)", "s measured", "(n/m)log2m (UB shape)",
+               "s/load", "s/shape"}};
+  for (const SlowdownRow& row : sweep_butterfly_hosts(guest, 3, n, rng)) {
+    table.add_row({std::uint64_t{row.m}, row.load_bound, row.slowdown, row.paper_bound,
+                   row.slowdown / row.load_bound, row.normalized});
+  }
+  table.print(std::cout);
+  std::cout << "\nSection 4: for m <= n, dynamic simulation cannot beat the static\n"
+               "butterfly embedding; measured s tracks (n/m) log2 m, not n/m.\n\n";
+}
+
+void print_upper_tradeoff_table() {
+  std::cout << "=== [14] upper-bound trade-off: s * log2(l) = O(log2 n) for hosts "
+               "of size n*l ===\n";
+  const double n = 1 << 20;
+  Table table{{"l", "m = n*l", "s achievable", "s * log2 l"}};
+  for (double ell : {2.0, 16.0, 256.0, 65536.0}) {
+    const double s = upper_bound_slowdown(n, ell);
+    table.add_row({ell, n * ell, s, s * std::log2(ell)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_MinFeasibleInefficiency(benchmark::State& state) {
+  const CountingConstants constants;
+  const double m = std::pow(2.0, static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_feasible_inefficiency(1e12, m, constants));
+  }
+}
+BENCHMARK(BM_MinFeasibleInefficiency)->Arg(10)->Arg(20)->Arg(30);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_counting_table();
+  print_sandwich_table();
+  print_upper_tradeoff_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Experiment THM2.1 -- the upper-bound trade-off, measured.
+//
+// Paper claim (Theorem 2.1 + butterfly corollary): for m <= n the butterfly
+// of size m is n-universal with slowdown O((n/m) log m).  The table sweeps
+// butterfly hosts under a fixed random 16-regular guest and reports the
+// measured slowdown s next to the load bound n/m and the shape (n/m) log2 m;
+// the "normalized" column s / ((n/m) log2 m) should stay roughly constant.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "src/core/embedding.hpp"
+#include "src/core/slowdown.hpp"
+#include "src/core/universal_sim.hpp"
+#include "src/topology/butterfly.hpp"
+#include "src/topology/random_regular.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace upn;
+
+void print_experiment_table() {
+  const std::uint32_t n = 512;
+  const std::uint32_t steps = 3;
+  Rng rng{2025};
+  const Graph guest = make_random_regular(n, kGuestDegree, rng);
+  std::cout << "=== THM2.1: slowdown of butterfly hosts, guest = " << guest.name()
+            << ", T = " << steps << " ===\n";
+  Table table{{"m", "load", "s", "n/m", "(n/m)log2(m)", "normalized", "k", "verified"}};
+  for (const SlowdownRow& row : sweep_butterfly_hosts(guest, steps, n, rng)) {
+    table.add_row({std::uint64_t{row.m}, std::uint64_t{row.load}, row.slowdown,
+                   row.load_bound, row.paper_bound, row.normalized, row.inefficiency,
+                   std::string{row.verified ? "yes" : "NO"}});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_UniversalStep(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng{7};
+  const Graph guest = make_random_regular(n, kGuestDegree, rng);
+  const std::uint32_t d = butterfly_dimension_for_size(n);
+  const Graph host = make_butterfly(d);
+  UniversalSimulator sim{guest, host, make_random_embedding(n, host.num_nodes(), rng)};
+  UniversalSimOptions options;
+  options.seed = 11;
+  for (auto _ : state) {
+    const UniversalSimResult result = sim.run(1, options);
+    benchmark::DoNotOptimize(result.host_steps);
+    if (!result.configs_match) state.SkipWithError("simulation diverged");
+  }
+  state.counters["n"] = n;
+  state.counters["m"] = host.num_nodes();
+}
+BENCHMARK(BM_UniversalStep)->Arg(128)->Arg(256)->Arg(512);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

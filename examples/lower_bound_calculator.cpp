@@ -1,0 +1,60 @@
+// Theorem 3.1 as a calculator: plug in a proposed universal network
+// (n, m, s) and learn whether the counting argument rules it out, plus the
+// full lower-bound sweep for the given n.
+//
+//   ./lower_bound_calculator [--n 1048576] [--m 65536] [--s 4]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "src/lowerbound/tradeoff.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace upn;
+  try {
+    const Cli cli{argc, argv};
+    const double n = cli.get_double("n", 1048576.0);
+    const double m = cli.get_double("m", 65536.0);
+    const double s = cli.get_double("s", 4.0);
+
+    const CountingConstants constants;
+    const TradeoffVerdict verdict = check_network(n, m, s, constants);
+
+    std::cout << "Proposed: an n-universal network with n = " << n << ", m = " << m
+              << ", slowdown s = " << s << "\n\n";
+    Table table{{"check", "value"}};
+    table.add_row({std::string{"m * s"}, verdict.proposed_ms});
+    table.add_row({std::string{"n * log2 m (Thm 3.1 shape)"}, verdict.bound_nlogm});
+    table.add_row({std::string{"minimal s (paper constants)"}, verdict.required_slowdown});
+    table.add_row({std::string{"ruled out (paper constants)"},
+                   std::string{verdict.ruled_out_paper_constants ? "YES" : "no"}});
+    table.add_row({std::string{"ruled out (normalized, const=1)"},
+                   std::string{verdict.ruled_out_normalized ? "YES" : "no"}});
+    table.print(std::cout);
+
+    std::cout << "\nLower-bound sweep at n = " << n << ":\n";
+    std::vector<double> ms;
+    for (double mm = 64; mm <= 4 * n; mm *= 8) ms.push_back(mm);
+    Table sweep{{"m", "k >= (counting)", "k (closed form)", "s >=", "n/m",
+                 "m*s_bound/(n log m)"}};
+    for (const TradeoffRow& row : lower_bound_sweep(n, ms, constants)) {
+      sweep.add_row({row.m, row.k_counting, row.k_closed_form, row.slowdown_bound,
+                     row.load_bound, row.ms_over_nlogm});
+    }
+    sweep.print(std::cout);
+
+    std::cout << "\nUpper-bound trade-off from [14] (s * log l = O(log n)):\n";
+    Table upper{{"host size m = n*l", "achievable s"}};
+    for (double ell : {1.0, 4.0, 64.0, 4096.0}) {
+      upper.add_row({n * ell, upper_bound_slowdown(n, ell)});
+    }
+    upper.print(std::cout);
+    return EXIT_SUCCESS;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}

@@ -1,0 +1,47 @@
+#include "src/compute/trace.hpp"
+
+#include <algorithm>
+
+namespace upn {
+
+Trace record_trace(const Graph& guest, std::uint64_t seed, std::uint32_t steps) {
+  Trace trace;
+  trace.seed = seed;
+  SyncMachine machine{guest, seed};
+  trace.step_digests.push_back(machine.digest());
+  for (std::uint32_t t = 0; t < steps; ++t) {
+    machine.step();
+    trace.step_digests.push_back(machine.digest());
+  }
+  return trace;
+}
+
+std::optional<Divergence> find_divergence(const Graph& guest, std::uint64_t seed,
+                                          std::uint32_t steps,
+                                          const std::vector<Config>& candidate) {
+  const std::vector<Config> reference = run_reference(guest, seed, steps);
+  if (reference == candidate) return std::nullopt;
+  Divergence divergence;
+  divergence.step = steps;
+  for (NodeId v = 0; v < guest.num_nodes(); ++v) {
+    if (v < candidate.size() && reference[v] != candidate[v]) {
+      divergence.node = v;
+      divergence.expected = reference[v];
+      divergence.actual = candidate[v];
+      break;
+    }
+  }
+  return divergence;
+}
+
+std::optional<std::uint32_t> first_trace_difference(const Trace& a, const Trace& b) {
+  const std::size_t overlap = std::min(a.step_digests.size(), b.step_digests.size());
+  for (std::size_t t = 0; t < overlap; ++t) {
+    if (a.step_digests[t] != b.step_digests[t]) {
+      return static_cast<std::uint32_t>(t);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace upn

@@ -1,0 +1,46 @@
+// Execution traces: per-step digests of a guest computation, plus a
+// divergence finder.  When a simulator disagrees with the reference, the
+// trace pinpoints the FIRST guest step (and processor) where the two
+// executions part ways -- turning "configs_match == false" into an
+// actionable location.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/compute/machine.hpp"
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+struct Trace {
+  std::uint64_t seed = 0;
+  std::vector<std::uint64_t> step_digests;  ///< digest after steps 0..T
+};
+
+/// Runs T steps and records the digest after every step (including step 0).
+[[nodiscard]] Trace record_trace(const Graph& guest, std::uint64_t seed, std::uint32_t steps);
+
+struct Divergence {
+  std::uint32_t step = 0;  ///< first differing guest step
+  NodeId node = 0;         ///< first differing processor at that step
+  Config expected = 0;
+  Config actual = 0;
+};
+
+/// Compares `candidate` configurations (claimed state after `steps` steps of
+/// `guest` from `seed`) against the reference execution; nullopt if they
+/// agree, otherwise the first difference.  To locate the step, the
+/// reference is re-run with snapshots.
+[[nodiscard]] std::optional<Divergence> find_divergence(const Graph& guest,
+                                                        std::uint64_t seed,
+                                                        std::uint32_t steps,
+                                                        const std::vector<Config>& candidate);
+
+/// First step at which two traces differ; nullopt if equal (compares the
+/// overlapping prefix).
+[[nodiscard]] std::optional<std::uint32_t> first_trace_difference(const Trace& a,
+                                                                  const Trace& b);
+
+}  // namespace upn

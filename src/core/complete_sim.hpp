@@ -1,0 +1,56 @@
+// Simulating the complete network (Section 2, last paragraph).
+//
+// "Theorem 2.1 is also true if the complete network is simulated.  In
+// contrast to the above construction, we now need an ONLINE routing
+// algorithm for the ceil(n/m)-ceil(n/m) relations, because they are no
+// longer known in advance."
+//
+// The guest here is K_n running an oblivious computation: at step t every
+// processor i sends its configuration to pi_t(i), where pi_t is a
+// pseudorandom permutation drawn from the step index (oblivious: the
+// pattern does not depend on the data, but it differs every step, so no
+// off-line schedule can be precomputed).  The host routes each step's
+// fresh permutation online (greedy or Valiant) and is checked against the
+// direct execution.  [14]: for such simulations s = Omega(log n) holds
+// independent of m.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/compute/machine.hpp"
+#include "src/routing/router.hpp"
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+/// The (oblivious) communication target of processor i at guest step t.
+[[nodiscard]] std::vector<NodeId> complete_step_permutation(std::uint32_t n, std::uint32_t t,
+                                                            std::uint64_t pattern_seed);
+
+/// Next configuration of a complete-network processor: own config mixed
+/// with the single received config.
+[[nodiscard]] Config complete_next_config(Config own, Config received) noexcept;
+
+/// Direct execution of T steps of the oblivious K_n computation.
+[[nodiscard]] std::vector<Config> run_complete_reference(std::uint32_t n, std::uint64_t seed,
+                                                         std::uint64_t pattern_seed,
+                                                         std::uint32_t steps);
+
+struct CompleteSimResult {
+  std::uint32_t guest_steps = 0;
+  std::uint32_t host_steps = 0;
+  double slowdown = 0.0;
+  double inefficiency = 0.0;
+  bool configs_match = false;
+};
+
+/// Simulates T steps of the oblivious K_n computation on `host` with a
+/// balanced embedding, routing each step's permutation online.
+[[nodiscard]] CompleteSimResult run_complete_simulation(
+    std::uint32_t n, const Graph& host, const std::vector<NodeId>& embedding,
+    std::uint32_t guest_steps, RoutingPolicy& policy,
+    PortModel port_model = PortModel::kSinglePort, std::uint64_t seed = 0x5eed,
+    std::uint64_t pattern_seed = 0xbeef);
+
+}  // namespace upn

@@ -1,0 +1,41 @@
+#include "src/core/embedding.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace upn {
+
+std::vector<NodeId> make_block_embedding(std::uint32_t n, std::uint32_t m) {
+  if (m == 0) throw std::invalid_argument{"make_block_embedding: m must be positive"};
+  std::vector<NodeId> embedding(n);
+  for (std::uint32_t u = 0; u < n; ++u) embedding[u] = u % m;
+  return embedding;
+}
+
+std::vector<NodeId> make_random_embedding(std::uint32_t n, std::uint32_t m, Rng& rng) {
+  std::vector<NodeId> embedding = make_block_embedding(n, m);
+  rng.shuffle(embedding);
+  return embedding;
+}
+
+std::vector<std::vector<NodeId>> invert_embedding(const std::vector<NodeId>& embedding,
+                                                  std::uint32_t m) {
+  std::vector<std::vector<NodeId>> guests_of(m);
+  for (std::uint32_t u = 0; u < embedding.size(); ++u) {
+    if (embedding[u] >= m) throw std::out_of_range{"invert_embedding: host id out of range"};
+    guests_of[embedding[u]].push_back(u);
+  }
+  return guests_of;
+}
+
+std::uint32_t embedding_load(const std::vector<NodeId>& embedding, std::uint32_t m) {
+  std::vector<std::uint32_t> load(m, 0);
+  std::uint32_t worst = 0;
+  for (const NodeId q : embedding) {
+    if (q >= m) throw std::out_of_range{"embedding_load: host id out of range"};
+    worst = std::max(worst, ++load[q]);
+  }
+  return worst;
+}
+
+}  // namespace upn

@@ -1,0 +1,41 @@
+// Quality metrics of static embeddings: load, dilation, congestion.
+//
+// The embedding concept (Section 1, [16]): guest nodes are statically mapped
+// to host nodes, guest edges to host paths.  The classic performance bound
+// is slowdown = Omega(max(load, dilation, congestion)) and O(load +
+// dilation + congestion) with proper scheduling.  [13]'s result that
+// constant-slowdown universal networks are exponentially large *if only
+// embeddings are allowed* is about these quantities; we measure them for
+// concrete (guest, host, f) triples as the EMB ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+struct EmbeddingMetrics {
+  std::uint32_t load = 0;           ///< max guests per host
+  std::uint32_t dilation = 0;       ///< max host distance of a guest edge
+  double avg_dilation = 0.0;
+  std::uint32_t congestion = 0;     ///< max guest paths over one host edge
+  double avg_congestion = 0.0;      ///< mean over used host edges
+  std::uint64_t total_path_length = 0;
+
+  /// The classic lower bound on any step-by-step simulation based on f.
+  [[nodiscard]] std::uint32_t slowdown_lower_bound() const noexcept {
+    std::uint32_t bound = load;
+    if (dilation > bound) bound = dilation;
+    if (congestion > bound) bound = congestion;
+    return bound;
+  }
+};
+
+/// Routes every guest edge along a deterministic shortest host path (BFS
+/// per destination, hash tie-breaking) and accumulates the metrics.
+[[nodiscard]] EmbeddingMetrics analyze_embedding(const Graph& guest, const Graph& host,
+                                                 const std::vector<NodeId>& embedding);
+
+}  // namespace upn

@@ -1,0 +1,43 @@
+// The Galil-Paul sorting-based universality baseline.
+//
+// Galil & Paul [6] (Section 1): a size-m network that sorts in sort(n, m)
+// steps is n-universal with slowdown O(sort(n, m)).  With a bitonic sorter
+// this costs O(log^2 m) per permutation round versus the paper's
+// O(log m) off-line routing -- the gap that motivates Theorem 2.1's direct
+// construction.  This module prices one guest step of a simulation under
+// sorting-based routing so benches can compare the two upper-bound routes.
+#pragma once
+
+#include <cstdint>
+
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+struct GalilPaulCost {
+  std::uint32_t rounds = 0;             ///< permutation rounds per guest step
+  std::uint32_t sorter_depth = 0;       ///< comparator depth per round
+  std::uint64_t steps_per_guest_step = 0;  ///< rounds * depth + load
+  double slowdown = 0.0;                ///< steps per guest step
+  bool delivered = false;               ///< the sort really routed everything
+};
+
+/// Prices (and functionally executes, on the array model) one guest step of
+/// the Galil-Paul simulation of `guest` on a sorting host of `m` processors
+/// (m rounded up internally to a power of two for the bitonic sorter).
+[[nodiscard]] GalilPaulCost galil_paul_step_cost(const Graph& guest, std::uint32_t m);
+
+/// The full Galil-Paul simulation: T guest steps where every configuration
+/// travels through sorting-based routing (payload-carrying comparator
+/// exchanges), verified against the direct guest execution.
+struct GalilPaulSimResult {
+  std::uint32_t guest_steps = 0;
+  std::uint64_t host_steps = 0;   ///< comparator layers + sequential computes
+  double slowdown = 0.0;
+  bool configs_match = false;
+};
+[[nodiscard]] GalilPaulSimResult run_galil_paul(const Graph& guest, std::uint32_t m,
+                                                std::uint32_t guest_steps,
+                                                std::uint64_t seed = 0x5eed);
+
+}  // namespace upn

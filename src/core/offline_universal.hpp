@@ -1,0 +1,46 @@
+// Universal simulation on butterfly hosts with OFF-LINE routing -- the exact
+// construction of the Theorem 2.1 butterfly corollary.
+//
+// "Because the guest has constant degree, the ceil(n/m)-ceil(n/m) routing
+// problem ... can be solved by routing O(n/m) permutations that depend on G
+// only, and, therefore, are known in advance."  The per-step communication
+// relation is fixed by (G, f), so its schedule (gather + pipelined Benes
+// batches + scatter, offline_butterfly.hpp) is computed ONCE and replayed
+// every guest step, moving real configuration payloads.  This is the
+// ablation partner of the online UniversalSimulator: same embedding, same
+// correctness check, different routing regime.
+//
+// The schedule is multiport (one packet per directed link per step); under
+// the single-port pebble accounting every step costs at most 2 (a processor
+// may send and receive in the same multiport step, never more), reported as
+// host_steps_single_port.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+struct OfflineUniversalResult {
+  std::uint32_t guest_steps = 0;
+  std::uint32_t schedule_steps = 0;       ///< off-line routing steps per guest step
+  std::uint32_t compute_steps = 0;        ///< load steps per guest step
+  std::uint32_t host_steps = 0;           ///< multiport total T'
+  std::uint32_t host_steps_single_port = 0;  ///< 2x routing + compute bound
+  std::uint32_t num_batches = 0;          ///< Benes batches in the schedule
+  double slowdown = 0.0;                  ///< multiport s
+  double slowdown_single_port = 0.0;
+  bool configs_match = false;             ///< vs the direct guest execution
+};
+
+/// Simulates `guest_steps` steps of `guest` on the dimension-d unwrapped
+/// butterfly via the precomputed off-line schedule.  `embedding` maps guest
+/// nodes to butterfly node ids.
+[[nodiscard]] OfflineUniversalResult run_offline_universal(
+    const Graph& guest, std::uint32_t butterfly_dimension,
+    const std::vector<NodeId>& embedding, std::uint32_t guest_steps,
+    std::uint64_t seed = 0x5eed);
+
+}  // namespace upn

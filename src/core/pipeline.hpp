@@ -1,0 +1,64 @@
+// The whole paper in one call.
+//
+// run_paper_pipeline() wires every subsystem together the way the paper's
+// argument does: build G_0, plant it in a random 16-regular guest, simulate
+// the guest on a butterfly host (Theorem 2.1), validate the emitted pebble
+// protocol against the Section 3.1 rules, measure the slowdown against the
+// upper- and lower-bound shapes, run the Lemma 3.12 averaging and the
+// Prop 3.17 expansion analysis on the protocol, and extract a fragment with
+// its Lemma 3.3 multiplicity bound.  The consolidated report is what a
+// downstream user wants from this library in one object, and what the
+// full_pipeline example prints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/lowerbound/expansion.hpp"
+#include "src/lowerbound/lemma_verify.hpp"
+#include "src/lowerbound/tradeoff.hpp"
+
+namespace upn {
+
+struct PipelineConfig {
+  std::uint32_t guest_size_hint = 64;    ///< rounded to G_0's constraints
+  std::uint32_t butterfly_dimension = 2; ///< host = butterfly(d)
+  std::uint32_t guest_steps = 16;
+  std::uint64_t seed = 0x5eed;
+};
+
+struct PipelineReport {
+  // Construction.
+  std::uint32_t n = 0;
+  std::uint32_t m = 0;
+  std::uint32_t a = 0;
+  double expander_beta = 0;
+  // Simulation (Theorem 2.1).
+  double slowdown = 0;
+  double inefficiency = 0;
+  double load_bound = 0;
+  double paper_shape = 0;       ///< (n/m) log2 m
+  bool configs_verified = false;
+  // Protocol (Section 3.1).
+  bool protocol_valid = false;
+  std::string protocol_error;   ///< empty when valid
+  std::uint64_t protocol_ops = 0;
+  // Lower-bound machinery.
+  bool lemma312_holds = false;
+  std::uint32_t z_size = 0;
+  bool expansion_caps_hold = false;
+  double fragment_log2_multiplicity = 0;
+  std::uint64_t fragment_sum_b = 0;
+  // Theorem 3.1 verdict on the measured data point.
+  bool ruled_out_by_counting = false;  ///< must be false for a real simulation
+
+  /// True iff every check above came out as the paper demands.
+  [[nodiscard]] bool all_checks_pass() const noexcept {
+    return configs_verified && protocol_valid && lemma312_holds && expansion_caps_hold &&
+           !ruled_out_by_counting;
+  }
+};
+
+[[nodiscard]] PipelineReport run_paper_pipeline(const PipelineConfig& config = {});
+
+}  // namespace upn

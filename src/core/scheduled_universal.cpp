@@ -1,0 +1,78 @@
+#include "src/core/scheduled_universal.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/compute/machine.hpp"
+#include "src/core/embedding.hpp"
+#include "src/routing/path_schedule.hpp"
+
+namespace upn {
+
+ScheduledUniversalResult run_scheduled_universal(const Graph& guest, const Graph& host,
+                                                 const std::vector<NodeId>& embedding,
+                                                 std::uint32_t guest_steps,
+                                                 std::uint64_t seed) {
+  const std::uint32_t n = guest.num_nodes();
+  const std::uint32_t m = host.num_nodes();
+  if (embedding.size() != n) {
+    throw std::invalid_argument{"run_scheduled_universal: embedding size mismatch"};
+  }
+
+  HhProblem relation{m};
+  std::vector<NodeId> senders, receivers;
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : guest.neighbors(u)) {
+      if (embedding[u] == embedding[v]) continue;
+      relation.add(embedding[u], embedding[v]);
+      senders.push_back(u);
+      receivers.push_back(v);
+    }
+  }
+  const PathSchedule schedule = schedule_paths(host, relation);
+  if (!validate_path_schedule(host, relation, schedule)) {
+    throw std::logic_error{"run_scheduled_universal: schedule failed validation"};
+  }
+  const std::uint32_t load = embedding_load(embedding, m);
+
+  ScheduledUniversalResult result;
+  result.guest_steps = guest_steps;
+  result.schedule_steps = schedule.makespan;
+  result.congestion = schedule.congestion;
+  result.dilation = schedule.dilation;
+  result.compute_steps = load;
+
+  std::vector<Config> configs(n), next(n);
+  for (NodeId u = 0; u < n; ++u) configs[u] = initial_config(seed, u);
+  std::vector<std::unordered_map<NodeId, Config>> received(n);
+  std::vector<Config> neighbor_configs;
+  neighbor_configs.reserve(guest.max_degree());
+
+  for (std::uint32_t t = 1; t <= guest_steps; ++t) {
+    // Delivery is by the validated schedule: demand d carries senders[d]'s
+    // configuration to receivers[d]'s host.
+    for (auto& bucket : received) bucket.clear();
+    for (std::size_t d = 0; d < senders.size(); ++d) {
+      received[receivers[d]].emplace(senders[d], configs[senders[d]]);
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      neighbor_configs.clear();
+      for (const NodeId w : guest.neighbors(v)) {
+        if (embedding[w] == embedding[v]) {
+          neighbor_configs.push_back(configs[w]);
+        } else {
+          neighbor_configs.push_back(received[v].at(w));
+        }
+      }
+      next[v] = next_config(configs[v], neighbor_configs);
+    }
+    configs.swap(next);
+  }
+  result.host_steps = guest_steps * (schedule.makespan + load);
+  result.slowdown =
+      guest_steps == 0 ? 0.0 : static_cast<double>(result.host_steps) / guest_steps;
+  result.configs_match = run_reference(guest, seed, guest_steps) == configs;
+  return result;
+}
+
+}  // namespace upn

@@ -1,0 +1,37 @@
+// Off-line universal simulation on ARBITRARY hosts.
+//
+// Theorem 2.1's off-line route only needs the communication relation to be
+// known in advance -- nothing butterfly-specific.  Here the per-step
+// relation of (guest, embedding) is path-scheduled once on any host
+// (routing/path_schedule.hpp: fixed shortest paths, farthest-first link
+// scheduling, makespan near congestion + dilation) and replayed every guest
+// step.  Together with offline_universal.hpp (the Benes specialization)
+// this completes the ablation: online greedy vs off-line generic vs
+// off-line butterfly-structured.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+struct ScheduledUniversalResult {
+  std::uint32_t guest_steps = 0;
+  std::uint32_t schedule_steps = 0;  ///< makespan of the per-step schedule
+  std::uint32_t congestion = 0;      ///< C of the fixed path system
+  std::uint32_t dilation = 0;        ///< D of the fixed path system
+  std::uint32_t compute_steps = 0;   ///< load per guest step
+  std::uint32_t host_steps = 0;
+  double slowdown = 0.0;
+  bool configs_match = false;
+};
+
+/// Simulates T guest steps of `guest` on `host` with the precomputed path
+/// schedule; verified against the direct execution.
+[[nodiscard]] ScheduledUniversalResult run_scheduled_universal(
+    const Graph& guest, const Graph& host, const std::vector<NodeId>& embedding,
+    std::uint32_t guest_steps, std::uint64_t seed = 0x5eed);
+
+}  // namespace upn

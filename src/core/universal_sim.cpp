@@ -1,0 +1,146 @@
+#include "src/core/universal_sim.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/core/embedding.hpp"
+#include "src/routing/policies.hpp"
+
+namespace upn {
+
+UniversalSimulator::UniversalSimulator(const Graph& guest, const Graph& host,
+                                       std::vector<NodeId> embedding)
+    : guest_(&guest), host_(&host), embedding_(std::move(embedding)) {
+  if (embedding_.size() != guest.num_nodes()) {
+    throw std::invalid_argument{"UniversalSimulator: embedding size != guest size"};
+  }
+  guests_of_ = invert_embedding(embedding_, host.num_nodes());
+  load_ = embedding_load(embedding_, host.num_nodes());
+}
+
+UniversalSimResult UniversalSimulator::run(std::uint32_t guest_steps,
+                                           const UniversalSimOptions& options) {
+  const Graph& guest = *guest_;
+  const Graph& host = *host_;
+  const std::uint32_t n = guest.num_nodes();
+
+  std::unique_ptr<GreedyPolicy> default_policy;
+  RoutingPolicy* policy = options.policy;
+  if (policy == nullptr) {
+    default_policy = std::make_unique<GreedyPolicy>(host);
+    policy = default_policy.get();
+  }
+  SyncRouter router{host, options.port_model};
+
+  UniversalSimResult result;
+  result.guest_steps = guest_steps;
+  result.load = load_;
+  if (options.emit_protocol) {
+    if (options.port_model != PortModel::kSinglePort) {
+      // Multiport transfers are not matchings, so they cannot be expressed
+      // as one-operation-per-processor pebble steps.
+      throw std::invalid_argument{
+          "UniversalSimulator: protocol emission requires the single-port model"};
+    }
+    result.protocol.emplace(n, host.num_nodes(), guest_steps);
+  }
+
+  // Current guest configurations (time t-1 while simulating step t).
+  std::vector<Config> configs(n), next(n);
+  for (NodeId u = 0; u < n; ++u) configs[u] = initial_config(options.seed, u);
+
+  // received[v] -> (neighbor u -> u's configuration) for the current step.
+  std::vector<std::unordered_map<NodeId, Config>> received(n);
+
+  for (std::uint32_t t = 1; t <= guest_steps; ++t) {
+    // ---- Phase 1: communication (the h-h routing of Theorem 2.1). ----
+    std::vector<Packet> packets;
+    for (NodeId u = 0; u < n; ++u) {
+      for (const NodeId v : guest.neighbors(u)) {
+        if (embedding_[u] == embedding_[v]) continue;
+        Packet p;
+        p.src = embedding_[u];
+        p.dst = embedding_[v];
+        p.via = p.dst;
+        p.payload = configs[u];
+        p.tag = u;
+        p.tag2 = v;
+        packets.push_back(p);
+      }
+    }
+    result.packets_routed += packets.size();
+    for (auto& bucket : received) bucket.clear();
+
+    std::uint32_t comm_steps_t = 0;
+    if (!packets.empty()) {
+      const bool log_transfers = options.emit_protocol;
+      const RouteResult routed = router.route(std::move(packets), *policy, log_transfers);
+      comm_steps_t = routed.steps;
+      for (const Packet& p : routed.packets) {
+        received[p.tag2].emplace(p.tag, p.payload);
+      }
+      if (options.emit_protocol) {
+        // Each router step becomes one protocol step: every transfer is a
+        // send at the source plus a receive at the target, carrying the
+        // pebble (P_u, t-1).  The single-port router guarantees the
+        // transfers of a step form a matching, hence one op per processor.
+        std::size_t cursor = 0;
+        for (std::uint32_t step = 0; step < routed.steps; ++step) {
+          result.protocol->begin_step();
+          for (; cursor < routed.transfers.size() && routed.transfers[cursor].step == step;
+               ++cursor) {
+            const Transfer& tr = routed.transfers[cursor];
+            const PebbleType pebble{routed.packets[tr.packet].tag, t - 1};
+            result.protocol->add(Op{OpKind::kSend, tr.from, pebble, tr.to});
+            result.protocol->add(Op{OpKind::kReceive, tr.to, pebble, tr.from});
+          }
+        }
+      }
+    }
+    result.comm_steps += comm_steps_t;
+
+    // ---- Phase 2: computation (sequential per host, parallel across). ----
+    std::vector<Config> neighbor_configs;
+    neighbor_configs.reserve(guest.max_degree());
+    for (NodeId v = 0; v < n; ++v) {
+      neighbor_configs.clear();
+      for (const NodeId w : guest.neighbors(v)) {
+        if (embedding_[w] == embedding_[v]) {
+          neighbor_configs.push_back(configs[w]);  // local guest, no packet
+        } else {
+          const auto it = received[v].find(w);
+          if (it == received[v].end()) {
+            throw std::logic_error{"UniversalSimulator: missing routed configuration"};
+          }
+          neighbor_configs.push_back(it->second);
+        }
+      }
+      next[v] = next_config(configs[v], neighbor_configs);
+    }
+    configs.swap(next);
+    result.compute_steps += load_;
+    if (options.emit_protocol) {
+      for (std::uint32_t round = 0; round < load_; ++round) {
+        result.protocol->begin_step();
+        for (std::uint32_t q = 0; q < host.num_nodes(); ++q) {
+          if (round < guests_of_[q].size()) {
+            result.protocol->add(
+                Op{OpKind::kGenerate, q, PebbleType{guests_of_[q][round], t}, 0});
+          }
+        }
+      }
+    }
+  }
+
+  result.host_steps = result.comm_steps + result.compute_steps;
+  result.slowdown =
+      guest_steps == 0 ? 0.0 : static_cast<double>(result.host_steps) / guest_steps;
+  result.inefficiency = n == 0 ? 0.0 : result.slowdown * host.num_nodes() / n;
+
+  // ---- End-to-end verification against the direct execution. ----
+  const std::vector<Config> reference = run_reference(guest, options.seed, guest_steps);
+  result.configs_match = reference == configs;
+  return result;
+}
+
+}  // namespace upn

@@ -1,0 +1,36 @@
+// Bandwidth-based slowdown lower bounds ([10], cited in Section 1:
+// "communication bandwidth of guest and host ... as criteria to exceed the
+// load-induced bound").
+//
+// The flow argument: one guest step forces every cross-host guest edge's
+// configuration to travel the host distance between its endpoint images.
+// The host moves at most one packet per directed link per step (multiport;
+// single-port moves at most m/2 packets per step total), so
+//
+//   s  >=  total_path_length / host_link_capacity.
+//
+// This is the quantitative reason route(h) = Omega(h log m) on constant-
+// degree hosts, and the cheap certificate behind THM2.1's tightness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+struct BandwidthBound {
+  std::uint64_t total_demand = 0;   ///< sum of host distances over guest edges (x2 dirs)
+  std::uint64_t link_capacity = 0;  ///< directed host links (multiport per-step cap)
+  double multiport_bound = 0.0;     ///< s >= demand / links
+  double single_port_bound = 0.0;   ///< s >= demand / (m/2): matchings move <= m/2
+  double diameter_bound = 0.0;      ///< s >= max host distance of any guest edge...
+};
+
+/// Computes the per-guest-step flow lower bound for simulating `guest` on
+/// `host` under `embedding`.
+[[nodiscard]] BandwidthBound bandwidth_lower_bound(const Graph& guest, const Graph& host,
+                                                   const std::vector<NodeId>& embedding);
+
+}  // namespace upn

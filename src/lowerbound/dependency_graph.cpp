@@ -1,0 +1,43 @@
+#include "src/lowerbound/dependency_graph.hpp"
+
+#include <algorithm>
+
+#include "src/topology/properties.hpp"
+
+namespace upn {
+
+std::vector<NodeId> dependency_predecessors(const Graph& guest, NodeId node) {
+  std::vector<NodeId> preds;
+  preds.reserve(guest.degree(node) + 1);
+  preds.push_back(node);
+  for (const NodeId u : guest.neighbors(node)) preds.push_back(u);
+  std::sort(preds.begin(), preds.end());
+  return preds;
+}
+
+bool dependency_reaches(const Graph& guest, NodeId from, NodeId to, std::uint32_t steps) {
+  const auto dist = bfs_distances(guest, from);
+  return dist[to] != kUnreachable && dist[to] <= steps;
+}
+
+std::vector<NodeId> dependency_ball(const Graph& guest, NodeId center, std::uint32_t steps) {
+  const auto dist = bfs_distances(guest, center);
+  std::vector<NodeId> ball;
+  for (NodeId v = 0; v < guest.num_nodes(); ++v) {
+    if (dist[v] != kUnreachable && dist[v] <= steps) ball.push_back(v);
+  }
+  return ball;
+}
+
+std::vector<std::uint32_t> spreading_profile(const Graph& guest, NodeId center,
+                                             std::uint32_t max_steps) {
+  const auto dist = bfs_distances(guest, center);
+  std::vector<std::uint32_t> profile(max_steps + 1, 0);
+  for (NodeId v = 0; v < guest.num_nodes(); ++v) {
+    if (dist[v] == kUnreachable) continue;
+    for (std::uint32_t i = dist[v]; i <= max_steps; ++i) ++profile[i];
+  }
+  return profile;
+}
+
+}  // namespace upn

@@ -1,0 +1,35 @@
+// The dependency graph Gamma_G of T steps of a guest G (Definition 3.7).
+//
+// Vertices are (P, t) for t in [0, T]; directed edges ((P, t), (P', t+1))
+// whenever P = P' or {P, P'} is a guest edge.  (P, t) is an i-th predecessor
+// of (P', t+i) iff dist_G(P, P') <= i, so reachability queries reduce to BFS
+// balls -- which is how we expose them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+/// Immediate predecessors of (node, t): node itself plus its neighbors
+/// (valid for any t >= 1).
+[[nodiscard]] std::vector<NodeId> dependency_predecessors(const Graph& guest, NodeId node);
+
+/// True iff (from, t) -> (to, t + steps) in Gamma_G, i.e. dist(from, to) <= steps.
+[[nodiscard]] bool dependency_reaches(const Graph& guest, NodeId from, NodeId to,
+                                      std::uint32_t steps);
+
+/// The i-step dependency ball: all nodes whose t-pebble (P, t) the pebble
+/// (P', t + steps) can depend on -- the BFS ball of radius `steps`.
+[[nodiscard]] std::vector<NodeId> dependency_ball(const Graph& guest, NodeId center,
+                                                  std::uint32_t steps);
+
+/// Number of (P', t') with a Gamma-path from (P, t), per time offset:
+/// result[i] = |ball(P, i)|.  The "spreading function" of Section 1's
+/// restricted-class discussion.
+[[nodiscard]] std::vector<std::uint32_t> spreading_profile(const Graph& guest, NodeId center,
+                                                           std::uint32_t max_steps);
+
+}  // namespace upn

@@ -1,0 +1,70 @@
+#include "src/lowerbound/expansion.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace upn {
+
+ExpansionReport analyze_expansion(const ProtocolMetrics& metrics, double alpha, double beta) {
+  const std::uint32_t n = metrics.num_guests();
+  const std::uint32_t T = metrics.guest_steps();
+  const std::uint32_t T_prime = metrics.host_steps();
+  const double threshold = alpha * n;
+
+  ExpansionReport report;
+  report.alpha = alpha;
+  report.beta = beta;
+  report.pebbles_per_phase = alpha * (1.0 - 1.0 / beta) * n;
+
+  // first_gen sorted per t lets us binary-search tau_t: e_{t-1}(tau) is the
+  // count of first-generation steps <= tau.
+  std::vector<std::vector<std::uint32_t>> gen_steps(T + 1);
+  for (std::uint32_t t = 1; t <= T; ++t) {
+    gen_steps[t].reserve(n);
+    for (NodeId i = 0; i < n; ++i) {
+      const std::uint32_t first = metrics.first_generation_step(i, t);
+      if (first != kNeverGenerated) gen_steps[t].push_back(first);
+    }
+    std::sort(gen_steps[t].begin(), gen_steps[t].end());
+  }
+  auto count_alive = [&](std::uint32_t t, std::uint32_t tau) -> std::uint32_t {
+    if (t == 0) return n;  // initial pebbles
+    const auto& steps = gen_steps[t];
+    return static_cast<std::uint32_t>(
+        std::upper_bound(steps.begin(), steps.end(), tau) - steps.begin());
+  };
+  auto tau_for = [&](std::uint32_t t) -> std::uint32_t {
+    // min tau with e_{t-1}(tau) >= alpha n; t == 1 -> tau = 0 (initial).
+    if (t == 1) return 0;
+    const auto& steps = gen_steps[t - 1];
+    const auto need = static_cast<std::size_t>(threshold);
+    if (steps.size() < need || need == 0) return std::numeric_limits<std::uint32_t>::max();
+    return steps[need - 1];
+  };
+
+  std::uint32_t prev_tau = 0;
+  bool have_prev = false;
+  report.min_gap = std::numeric_limits<std::uint32_t>::max();
+  report.all_ok = true;
+  for (std::uint32_t t = 1; t <= T; ++t) {
+    const std::uint32_t tau = tau_for(t);
+    if (tau > T_prime) continue;  // frontier never reached alpha n
+    ExpansionStep step;
+    step.t = t;
+    step.tau = tau;
+    step.frontier = count_alive(t, tau);
+    step.bound = threshold / beta;
+    step.ok = static_cast<double>(step.frontier) <= step.bound;
+    report.all_ok = report.all_ok && step.ok;
+    if (have_prev && tau >= prev_tau) {
+      report.min_gap = std::min(report.min_gap, tau - prev_tau);
+    }
+    prev_tau = tau;
+    have_prev = true;
+    report.steps.push_back(step);
+  }
+  if (report.min_gap == std::numeric_limits<std::uint32_t>::max()) report.min_gap = 0;
+  return report;
+}
+
+}  // namespace upn

@@ -1,0 +1,42 @@
+// Generating-pebble expansion dynamics (Definition 3.16, Proposition 3.17,
+// Lemma 3.15).
+//
+// E_t(tau) is the set of guests whose pebble (P_i, t) exists after tau host
+// steps; tau_t = min { tau : e_{t-1}(tau) >= alpha n } is when the (t-1)-
+// frontier first reaches alpha n.  Proposition 3.17: at that moment
+// e_t(tau_t) <= (alpha / beta) n, because t-pebbles need ALL guest-neighbor
+// (t-1)-pebbles and the guest expands by beta on small sets -- so between
+// tau_t and tau_{t+1} at least alpha (1 - 1/beta) n new generating t-pebbles
+// must be produced.  This module measures all of it on real protocols.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pebble/metrics.hpp"
+
+namespace upn {
+
+struct ExpansionStep {
+  std::uint32_t t = 0;          ///< guest time
+  std::uint32_t tau = 0;        ///< tau_t (host step count)
+  std::uint32_t frontier = 0;   ///< e_t(tau_t): next-level pebbles already alive
+  double bound = 0;             ///< (alpha / beta) n, Prop. 3.17's cap
+  bool ok = false;              ///< frontier <= bound
+};
+
+struct ExpansionReport {
+  double alpha = 0;
+  double beta = 0;
+  std::vector<ExpansionStep> steps;   ///< one per guest time with valid tau
+  std::uint32_t min_gap = 0;          ///< min tau_{t+1} - tau_t
+  double pebbles_per_phase = 0;       ///< alpha (1 - 1/beta) n, the forced work
+  bool all_ok = false;
+};
+
+/// Measures E_t(tau) dynamics of a protocol for an (alpha, beta)-expanding
+/// guest.  The protocol must be complete (all final pebbles generated).
+[[nodiscard]] ExpansionReport analyze_expansion(const ProtocolMetrics& metrics, double alpha,
+                                                double beta);
+
+}  // namespace upn

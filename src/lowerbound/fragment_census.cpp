@@ -1,0 +1,70 @@
+#include "src/lowerbound/fragment_census.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "src/core/embedding.hpp"
+#include "src/core/universal_sim.hpp"
+#include "src/pebble/metrics.hpp"
+#include "src/topology/butterfly.hpp"
+#include "src/topology/random_regular.hpp"
+#include "src/util/math.hpp"
+
+namespace upn {
+
+std::uint64_t fragment_hash(const Fragment& fragment) {
+  std::uint64_t h = mix64(0x4652414746524147ULL ^ fragment.t0);
+  for (std::size_t i = 0; i < fragment.B.size(); ++i) {
+    for (const std::uint32_t q : fragment.B[i]) {
+      h = mix64(h ^ (static_cast<std::uint64_t>(i) << 32 | q));
+    }
+    h = mix64(h ^ (0xb0b0b0b0ULL + fragment.b[i]));
+  }
+  return h;
+}
+
+FragmentCensus run_fragment_census(const G0& g0, std::uint32_t butterfly_dimension,
+                                   std::uint32_t num_guests, std::uint32_t T, Rng& rng,
+                                   const CountingConstants& constants) {
+  const Graph host = make_butterfly(butterfly_dimension);
+  const std::uint32_t n = g0.num_nodes();
+  const std::uint32_t m = host.num_nodes();
+
+  FragmentCensus census;
+  census.guests = num_guests;
+  std::unordered_set<std::uint64_t> seen;
+  double k_sum = 0;
+  const double small_d_threshold = static_cast<double>(n) / std::sqrt(m);
+
+  for (std::uint32_t g = 0; g < num_guests; ++g) {
+    const Graph guest = make_random_regular_with_subgraph(g0.graph, kGuestDegree, rng);
+    UniversalSimulator sim{guest, host, make_random_embedding(n, m, rng)};
+    UniversalSimOptions options;
+    options.emit_protocol = true;
+    options.seed = rng();
+    const UniversalSimResult result = sim.run(T, options);
+    if (!result.configs_match) {
+      throw std::logic_error{"run_fragment_census: simulation diverged"};
+    }
+    const ProtocolMetrics metrics{*result.protocol};
+    const Fragment fragment = extract_fragment(metrics, T / 2);
+
+    FragmentCensusRow row;
+    row.fragment_hash = fragment_hash(fragment);
+    row.log2_multiplicity = log2_multiplicity_bound(fragment, kGuestDegree);
+    row.sum_b = fragment.total_b_size();
+    row.small_d = count_small_d(fragment, small_d_threshold);
+    census.rows.push_back(row);
+    census.worst_log2_multiplicity =
+        std::max(census.worst_log2_multiplicity, row.log2_multiplicity);
+    seen.insert(row.fragment_hash);
+    k_sum += result.inefficiency;
+  }
+  census.distinct_fragments = static_cast<std::uint32_t>(seen.size());
+  census.mean_inefficiency = num_guests == 0 ? 0.0 : k_sum / num_guests;
+  census.log2_a_bound = log2_a_count(n, census.mean_inefficiency, constants);
+  census.log2_guest_space = log2_guest_count_lower(n, constants);
+  return census;
+}
+
+}  // namespace upn

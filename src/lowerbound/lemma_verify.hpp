@@ -1,0 +1,54 @@
+// Empirical verification of Lemma 3.12 / 3.13 on real simulation protocols.
+//
+// Lemma 3.12: for every k-inefficient protocol S of a guest containing G_0
+// there is a large set Z_S of guest time steps (|Z_S| >= T/4) such that for
+// each t_0 in Z_S one can pick per-block roots r_1..r_h with
+//   (1)  sum_j q_{r_j, t_0 - a}  <=  8 (n / a^2) k
+//   (2)  sum_j w_{r_j, t_0}      <=  384 n k
+// where w is the dependency-tree weight (Definition 3.11).  We replay the
+// selection procedure of the proof against a concrete protocol (from the
+// Theorem 2.1 simulator) and check both inequalities with the measured k.
+//
+// One deliberate deviation: our constructed dependency trees have measured
+// depth ~2a (see dependency_tree.hpp), so the roots live at t_0 - depth
+// rather than t_0 - a; the averaging argument is depth-independent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/lowerbound/dependency_tree.hpp"
+#include "src/pebble/metrics.hpp"
+#include "src/topology/g0.hpp"
+
+namespace upn {
+
+struct Lemma312Choice {
+  std::uint32_t t0 = 0;
+  std::vector<NodeId> roots;          ///< r_j per block
+  std::uint64_t sum_root_weights = 0; ///< sum_j q_{r_j, t0 - depth}
+  std::uint64_t sum_tree_weights = 0; ///< sum_j w_{r_j, t0}
+  double bound_roots = 0;             ///< exact Markov bound (guaranteed)
+  double bound_trees = 0;             ///< exact Markov bound (guaranteed)
+  double paper_bound_roots = 0;       ///< paper form: 8 (n/a^2) k
+  double paper_bound_trees = 0;       ///< paper form: 8 B n k / a^2 (B = tree size)
+  bool roots_ok = false;
+  bool trees_ok = false;
+};
+
+struct Lemma312Report {
+  std::uint32_t tree_depth = 0;       ///< measured dependency-tree depth
+  double inefficiency = 0;            ///< k of the protocol
+  std::vector<std::uint32_t> z_set;   ///< guest times passing both averages
+  bool z_large_enough = false;        ///< |Z_S| >= (T - depth) / 4
+  std::vector<Lemma312Choice> choices;///< one verified choice per t0 in Z
+  double max_sum_q = 0;               ///< Lemma 3.13 (2) check: worst
+  double bound_sum_q = 0;             ///< q n k with q = 384
+  bool sum_q_ok = false;
+};
+
+/// Runs the Lemma 3.12 selection on `metrics` (a protocol simulating a guest
+/// that contains `g0` as a subgraph) and reports every inequality.
+[[nodiscard]] Lemma312Report verify_lemma312(const ProtocolMetrics& metrics, const G0& g0);
+
+}  // namespace upn

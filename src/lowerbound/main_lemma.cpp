@@ -1,0 +1,41 @@
+#include "src/lowerbound/main_lemma.hpp"
+
+#include <cmath>
+
+namespace upn {
+
+MainLemmaReport verify_main_lemma(const ProtocolMetrics& metrics, const G0& g0) {
+  MainLemmaReport report;
+  report.averaging = verify_lemma312(metrics, g0);
+  report.gamma = 0.5 * g0.expander.alpha * (1.0 - 1.0 / g0.expander.beta);
+  const std::uint32_t n = metrics.num_guests();
+  const std::uint32_t m = metrics.num_hosts();
+  report.small_d_threshold = static_cast<double>(n) / std::sqrt(static_cast<double>(m));
+  report.property1 = report.averaging.z_large_enough;
+  report.property2_all = true;
+  report.property3_all = true;
+
+  for (const Lemma312Choice& choice : report.averaging.choices) {
+    // Fragments need generators of (P_i, t0 + 1); the last guest step has
+    // none, so the final element of Z_S carries no fragment.
+    if (choice.t0 >= metrics.guest_steps()) continue;
+    const Fragment fragment = extract_fragment(metrics, choice.t0);
+    MainLemmaFragmentRow row;
+    row.t0 = choice.t0;
+    row.sum_b = fragment.total_b_size();
+    // Property (2): sum q_{i,t0} is covered by the chosen trees' weights;
+    // use the same guaranteed bound Lemma 3.12 produced for this t0.
+    row.bound_sum_b = choice.bound_trees;
+    row.property2 = static_cast<double>(row.sum_b) <= row.bound_sum_b;
+    row.small_d = count_small_d(fragment, report.small_d_threshold);
+    row.required_small_d = report.gamma * n;
+    row.property3 = static_cast<double>(row.small_d) >= row.required_small_d;
+    row.measured_gamma = static_cast<double>(row.small_d) / n;
+    report.property2_all = report.property2_all && row.property2;
+    report.property3_all = report.property3_all && row.property3;
+    report.fragments.push_back(row);
+  }
+  return report;
+}
+
+}  // namespace upn

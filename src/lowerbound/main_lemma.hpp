@@ -1,0 +1,53 @@
+// The Main Lemma (Lemma 3.4), end to end on a real protocol.
+//
+// "There are constants q, r, 0 < gamma < 1, a set A with |A| <= 2^{rnk}
+// such that every k-inefficient simulation protocol of a graph in U[G_0] is
+// consistent with a fragment (B, B', D) with
+//   (1) B in A,
+//   (2) sum_i |B_i| <= q n k,
+//   (3) |D_i| <= n / sqrt(m) for at least gamma n many i."
+//
+// This module runs the whole selection on an emitted protocol: Lemma 3.12
+// picks the critical times Z_S (property 1's footprint + property 2's
+// bound), and for each t0 in Z_S a fragment is extracted (greedily choosing
+// the lightest generators) and property (3) is counted against the
+// gamma = alpha (1 - 1/beta) / 2 promised by the planted expander.  At toy
+// scales property (3) often fails (n / sqrt(m) is not small yet); the
+// report states measured gamma so benches can chart how the asymptotics
+// take over.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/lowerbound/lemma_verify.hpp"
+#include "src/pebble/fragment.hpp"
+
+namespace upn {
+
+struct MainLemmaFragmentRow {
+  std::uint32_t t0 = 0;
+  std::uint64_t sum_b = 0;       ///< property (2) quantity
+  double bound_sum_b = 0;        ///< q n k with the measured tree constant
+  bool property2 = false;
+  std::uint32_t small_d = 0;     ///< property (3) count
+  double required_small_d = 0;   ///< gamma n
+  bool property3 = false;
+  double measured_gamma = 0;     ///< small_d / n
+};
+
+struct MainLemmaReport {
+  Lemma312Report averaging;      ///< Z_S and per-t0 root choices
+  double gamma = 0;              ///< alpha (1 - 1/beta) / 2 from the expander
+  double small_d_threshold = 0;  ///< n / sqrt(m)
+  std::vector<MainLemmaFragmentRow> fragments;  ///< one per t0 in Z_S
+  bool property1 = false;        ///< |Z_S| large (the A-footprint condition)
+  bool property2_all = false;
+  bool property3_all = false;
+};
+
+/// Runs the full Main-Lemma selection on `metrics` for a guest containing
+/// `g0`, simulated on a host of `m` processors.
+[[nodiscard]] MainLemmaReport verify_main_lemma(const ProtocolMetrics& metrics, const G0& g0);
+
+}  // namespace upn

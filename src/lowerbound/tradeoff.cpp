@@ -1,0 +1,48 @@
+#include "src/lowerbound/tradeoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace upn {
+
+std::vector<TradeoffRow> lower_bound_sweep(double n, const std::vector<double>& ms,
+                                           const CountingConstants& constants) {
+  std::vector<TradeoffRow> rows;
+  rows.reserve(ms.size());
+  for (const double m : ms) {
+    TradeoffRow row;
+    row.n = n;
+    row.m = m;
+    row.k_counting = min_feasible_inefficiency(n, m, constants);
+    row.k_closed_form = closed_form_inefficiency(m, constants);
+    row.slowdown_bound = std::max(1.0, row.k_counting * n / m);
+    row.load_bound = std::max(1.0, n / m);
+    row.ms_over_nlogm = (m * row.slowdown_bound) / (n * std::log2(m));
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+TradeoffVerdict check_network(double n, double m, double s,
+                              const CountingConstants& constants) {
+  TradeoffVerdict verdict;
+  const double k_min = min_feasible_inefficiency(n, m, constants);
+  verdict.required_slowdown = std::max(1.0, k_min * n / m);
+  verdict.ruled_out_paper_constants = s < verdict.required_slowdown;
+  verdict.proposed_ms = m * s;
+  verdict.bound_nlogm = n * std::log2(m);
+  verdict.ruled_out_normalized = verdict.proposed_ms < verdict.bound_nlogm;
+  return verdict;
+}
+
+double upper_bound_slowdown(double n, double ell) {
+  if (ell <= 1.0) return std::log2(n);
+  return std::max(1.0, std::log2(n) / std::log2(ell));
+}
+
+double upper_bound_size_for_slowdown(double n, double s0) {
+  const double ell = std::exp2(std::log2(n) / std::max(1.0, s0));
+  return n * ell;
+}
+
+}  // namespace upn

@@ -1,0 +1,77 @@
+#include "src/pebble/fragment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/util/math.hpp"
+
+namespace upn {
+
+std::uint64_t Fragment::total_b_size() const {
+  std::uint64_t total = 0;
+  for (const auto& set : B) total += set.size();
+  return total;
+}
+
+Fragment extract_fragment(const ProtocolMetrics& metrics, std::uint32_t t0) {
+  const std::uint32_t n = metrics.num_guests();
+  if (t0 >= metrics.guest_steps()) {
+    throw std::out_of_range{"extract_fragment: t0 must be < T"};
+  }
+  Fragment fragment;
+  fragment.t0 = t0;
+  fragment.B.reserve(n);
+  fragment.b.reserve(n);
+
+  // P(j, t0) sizes: how many guests' t0-pebbles each processor holds.
+  std::vector<std::uint32_t> load(metrics.num_hosts(), 0);
+  for (NodeId i = 0; i < n; ++i) {
+    for (const std::uint32_t j : metrics.representatives(i, t0)) ++load[j];
+  }
+
+  for (NodeId i = 0; i < n; ++i) {
+    fragment.B.push_back(metrics.representatives(i, t0));
+    const auto gens = metrics.generators(i, t0);
+    if (gens.empty()) {
+      throw std::invalid_argument{
+          "extract_fragment: some (P_i, t0+1) has no generator at this t0"};
+    }
+    // Choose the generator holding the fewest t0-pebbles: the fragment with
+    // the smallest D_i the protocol admits.
+    std::uint32_t best = gens.front();
+    for (const std::uint32_t g : gens) {
+      if (load[g] < load[best]) best = g;
+    }
+    fragment.b.push_back(best);
+  }
+
+  // D_i = { i' : b_i in B_{i'} }.  Invert once: for each processor, the
+  // sorted list of guests it represents at t0.
+  std::vector<std::vector<std::uint32_t>> held_by(metrics.num_hosts());
+  for (NodeId i = 0; i < n; ++i) {
+    for (const std::uint32_t j : fragment.B[i]) held_by[j].push_back(i);
+  }
+  fragment.D.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    fragment.D.push_back(held_by[fragment.b[i]]);
+  }
+  return fragment;
+}
+
+double log2_multiplicity_bound(const Fragment& fragment, std::uint32_t c) {
+  double total = 0.0;
+  for (const auto& d : fragment.D) {
+    total += log2_binomial(static_cast<double>(d.size()), static_cast<double>(c) / 2.0);
+  }
+  return total;
+}
+
+std::uint32_t count_small_d(const Fragment& fragment, double threshold) {
+  std::uint32_t count = 0;
+  for (const auto& d : fragment.D) {
+    if (static_cast<double>(d.size()) <= threshold) ++count;
+  }
+  return count;
+}
+
+}  // namespace upn

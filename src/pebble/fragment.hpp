@@ -1,0 +1,45 @@
+// Fragments (Definition 3.2) and the multiplicity bound (Lemma 3.3).
+//
+// A fragment (B, B', D) records, for a critical guest time t_0:
+//   B_i  = Q_S(i, t_0)       -- the representatives of P_i,
+//   b_i  in Q'_S(i, t_0)     -- one generator of (P_i, t_0 + 1),
+//   D_i  = { i' : b_i in B_{i'} } -- guests whose configuration b_i holds.
+//
+// Lemma 3.3: the number of c-regular guests consistent with a fixed fragment
+// is at most prod_i C(|D_i|, c/2) -- because Q_{b_i} must hold the t_0-
+// configurations of all neighbors of P_i, so P_i's outgoing (Eulerian-
+// oriented) edges all end inside D_i.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pebble/metrics.hpp"
+#include "src/util/rng.hpp"
+
+namespace upn {
+
+struct Fragment {
+  std::uint32_t t0 = 0;
+  std::vector<std::vector<std::uint32_t>> B;  ///< B_i, sorted processor ids
+  std::vector<std::uint32_t> b;               ///< b_i (one generator each)
+  std::vector<std::vector<std::uint32_t>> D;  ///< D_i, sorted guest ids
+
+  /// Sum of |B_i| (bounded by q n k in the Main Lemma, part 2).
+  [[nodiscard]] std::uint64_t total_b_size() const;
+};
+
+/// Extracts the fragment at t_0 choosing, for each i, the generator b_i
+/// that minimizes |P(b_i, t_0)| (the best case for the Main Lemma's
+/// property 3).  t_0 must satisfy 0 <= t_0 < T and every (P_i, t_0+1) must
+/// have at least one generator; throws otherwise.
+[[nodiscard]] Fragment extract_fragment(const ProtocolMetrics& metrics, std::uint32_t t0);
+
+/// log2 of Lemma 3.3's multiplicity bound prod_i C(|D_i|, c/2).
+[[nodiscard]] double log2_multiplicity_bound(const Fragment& fragment, std::uint32_t c);
+
+/// How many i have |D_i| <= threshold (Main Lemma, property 3 counts the i
+/// with |D_i| <= n / sqrt(m)).
+[[nodiscard]] std::uint32_t count_small_d(const Fragment& fragment, double threshold);
+
+}  // namespace upn

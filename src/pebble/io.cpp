@@ -1,0 +1,95 @@
+#include "src/pebble/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace upn {
+
+void write_protocol(std::ostream& os, const Protocol& protocol) {
+  os << "upn-protocol 1 " << protocol.num_guests() << ' ' << protocol.num_hosts() << ' '
+     << protocol.guest_steps() << '\n';
+  for (const auto& step : protocol.steps()) {
+    os << "step\n";
+    for (const Op& op : step) {
+      switch (op.kind) {
+        case OpKind::kGenerate:
+          os << "G " << op.proc << ' ' << op.pebble.node << ' ' << op.pebble.time << '\n';
+          break;
+        case OpKind::kSend:
+          os << "S " << op.proc << ' ' << op.pebble.node << ' ' << op.pebble.time << ' '
+             << op.partner << '\n';
+          break;
+        case OpKind::kReceive:
+          os << "R " << op.proc << ' ' << op.pebble.node << ' ' << op.pebble.time << ' '
+             << op.partner << '\n';
+          break;
+      }
+    }
+  }
+}
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error{"read_protocol: line " + std::to_string(line) + ": " + what};
+}
+
+}  // namespace
+
+Protocol read_protocol(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+  if (!std::getline(is, line)) fail(1, "empty input");
+  ++line_no;
+  std::istringstream header{line};
+  std::string magic;
+  int version = 0;
+  std::uint32_t n = 0, m = 0, T = 0;
+  if (!(header >> magic >> version >> n >> m >> T) || magic != "upn-protocol" ||
+      version != 1) {
+    fail(line_no, "bad header (expected 'upn-protocol 1 <n> <m> <T>')");
+  }
+  Protocol protocol{n, m, T};
+  bool in_step = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line == "step") {
+      protocol.begin_step();
+      in_step = true;
+      continue;
+    }
+    if (!in_step) fail(line_no, "operation before first 'step'");
+    std::istringstream fields{line};
+    char kind = 0;
+    Op op;
+    fields >> kind >> op.proc >> op.pebble.node >> op.pebble.time;
+    switch (kind) {
+      case 'G':
+        op.kind = OpKind::kGenerate;
+        break;
+      case 'S':
+        op.kind = OpKind::kSend;
+        if (!(fields >> op.partner)) fail(line_no, "send missing partner");
+        break;
+      case 'R':
+        op.kind = OpKind::kReceive;
+        if (!(fields >> op.partner)) fail(line_no, "receive missing partner");
+        break;
+      default:
+        fail(line_no, "unknown op kind");
+    }
+    if (fields.fail()) fail(line_no, "malformed fields");
+    try {
+      protocol.add(op);
+    } catch (const std::exception& e) {
+      fail(line_no, e.what());
+    }
+  }
+  return protocol;
+}
+
+}  // namespace upn

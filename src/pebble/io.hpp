@@ -1,0 +1,26 @@
+// Textual (de)serialization of pebble-game protocols.
+//
+// Format (line-oriented, whitespace-separated):
+//   upn-protocol 1 <n> <m> <T>
+//   step
+//   G <proc> <node> <time>
+//   S <proc> <node> <time> <partner>
+//   R <proc> <node> <time> <partner>
+//   ...
+// One `step` line per host time step (possibly with no ops).  Lets
+// protocols be stored, diffed, and replayed by external tooling.
+#pragma once
+
+#include <iosfwd>
+
+#include "src/pebble/protocol.hpp"
+
+namespace upn {
+
+void write_protocol(std::ostream& os, const Protocol& protocol);
+
+/// Parses a protocol; throws std::runtime_error with a line number on any
+/// malformed input (including violations of one-op-per-processor).
+[[nodiscard]] Protocol read_protocol(std::istream& is);
+
+}  // namespace upn

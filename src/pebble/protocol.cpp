@@ -1,0 +1,38 @@
+#include "src/pebble/protocol.hpp"
+
+namespace upn {
+
+Protocol::Protocol(std::uint32_t num_guests, std::uint32_t num_hosts,
+                   std::uint32_t guest_steps)
+    : num_guests_(num_guests),
+      num_hosts_(num_hosts),
+      guest_steps_(guest_steps),
+      proc_used_step_(num_hosts, 0) {}
+
+void Protocol::begin_step() { steps_.emplace_back(); }
+
+void Protocol::add(const Op& op) {
+  if (steps_.empty()) {
+    throw std::logic_error{"Protocol::add: begin_step() first"};
+  }
+  if (op.proc >= num_hosts_) {
+    throw std::out_of_range{"Protocol::add: host processor out of range"};
+  }
+  if (op.pebble.node >= num_guests_ || op.pebble.time > guest_steps_) {
+    throw std::out_of_range{"Protocol::add: pebble type out of range"};
+  }
+  const auto current = static_cast<std::uint32_t>(steps_.size());
+  if (proc_used_step_[op.proc] == current) {
+    throw std::logic_error{"Protocol::add: processor already acted this step"};
+  }
+  proc_used_step_[op.proc] = current;
+  steps_.back().push_back(op);
+}
+
+std::uint64_t Protocol::num_ops() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& step : steps_) total += step.size();
+  return total;
+}
+
+}  // namespace upn

@@ -1,0 +1,28 @@
+// Operational statistics of a protocol: the library-surface view of how a
+// simulation spends its host steps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pebble/protocol.hpp"
+
+namespace upn {
+
+struct ProtocolStats {
+  std::uint64_t generates = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t receives = 0;
+  std::uint64_t idle_slots = 0;     ///< processor-steps with no operation
+  double utilization = 0.0;         ///< ops / (T' * m)
+  std::uint32_t busiest_proc = 0;
+  std::uint64_t busiest_proc_ops = 0;
+  std::uint32_t laziest_proc = 0;
+  std::uint64_t laziest_proc_ops = 0;
+  /// Communication fraction: (sends + receives) / ops.
+  double comm_fraction = 0.0;
+};
+
+[[nodiscard]] ProtocolStats protocol_stats(const Protocol& protocol);
+
+}  // namespace upn

@@ -1,0 +1,129 @@
+#include "src/pebble/validator.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+namespace upn {
+
+namespace {
+
+/// Pebble key within one processor's holdings: node * (T+1) + time.
+std::uint64_t key_of(const PebbleType& p, std::uint32_t guest_steps) noexcept {
+  return static_cast<std::uint64_t>(p.node) * (guest_steps + 1) + p.time;
+}
+
+std::string describe(const Op& op) {
+  const char* kind = op.kind == OpKind::kGenerate ? "generate"
+                     : op.kind == OpKind::kSend   ? "send"
+                                                  : "receive";
+  return std::string{kind} + "(P" + std::to_string(op.pebble.node) + "," +
+         std::to_string(op.pebble.time) + ") at proc " + std::to_string(op.proc);
+}
+
+}  // namespace
+
+ValidationResult validate_protocol(const Protocol& protocol, const Graph& guest,
+                                   const Graph& host) {
+  ValidationResult result;
+  if (guest.num_nodes() != protocol.num_guests() || host.num_nodes() != protocol.num_hosts()) {
+    result.error = "graph sizes do not match protocol header";
+    return result;
+  }
+  const std::uint32_t T = protocol.guest_steps();
+
+  // holdings[q]: keys of pebbles processor q holds.  Time-0 pebbles are
+  // implicitly held by everyone ("at the beginning, each processor of M
+  // contains all the initial pebbles").
+  std::vector<std::unordered_set<std::uint64_t>> holdings(protocol.num_hosts());
+  auto holds = [&](std::uint32_t proc, const PebbleType& p) {
+    return p.time == 0 || holdings[proc].count(key_of(p, T)) != 0;
+  };
+
+  std::vector<char> final_generated(protocol.num_guests(), 0);
+
+  for (std::uint32_t step = 0; step < protocol.host_steps(); ++step) {
+    const auto& ops = protocol.steps()[step];
+    // First pass: verify sends (content must already be held).
+    for (const Op& op : ops) {
+      if (op.kind != OpKind::kSend) continue;
+      if (!host.has_edge(op.proc, op.partner)) {
+        result.error = "step " + std::to_string(step) + ": " + describe(op) +
+                       ": partner is not a host neighbor";
+        return result;
+      }
+      if (!holds(op.proc, op.pebble)) {
+        result.error = "step " + std::to_string(step) + ": " + describe(op) +
+                       ": sender does not hold the pebble";
+        return result;
+      }
+      ++result.pebbles_sent;
+    }
+    // Second pass: receives and generates.
+    for (const Op& op : ops) {
+      switch (op.kind) {
+        case OpKind::kSend:
+          break;
+        case OpKind::kReceive: {
+          if (!host.has_edge(op.proc, op.partner)) {
+            result.error = "step " + std::to_string(step) + ": " + describe(op) +
+                           ": partner is not a host neighbor";
+            return result;
+          }
+          bool matched = false;
+          for (const Op& other : ops) {
+            if (other.kind == OpKind::kSend && other.proc == op.partner &&
+                other.partner == op.proc && other.pebble == op.pebble) {
+              matched = true;
+              break;
+            }
+          }
+          if (!matched) {
+            result.error = "step " + std::to_string(step) + ": " + describe(op) +
+                           ": no matching send from partner";
+            return result;
+          }
+          holdings[op.proc].insert(key_of(op.pebble, T));
+          break;
+        }
+        case OpKind::kGenerate: {
+          const std::uint32_t t = op.pebble.time;
+          if (t == 0 || t > T) {
+            result.error = "step " + std::to_string(step) + ": " + describe(op) +
+                           ": generated time out of range";
+            return result;
+          }
+          const PebbleType own{op.pebble.node, t - 1};
+          if (!holds(op.proc, own)) {
+            result.error = "step " + std::to_string(step) + ": " + describe(op) +
+                           ": missing own predecessor";
+            return result;
+          }
+          for (const NodeId j : guest.neighbors(op.pebble.node)) {
+            if (!holds(op.proc, PebbleType{j, t - 1})) {
+              result.error = "step " + std::to_string(step) + ": " + describe(op) +
+                             ": missing neighbor predecessor P" + std::to_string(j);
+              return result;
+            }
+          }
+          holdings[op.proc].insert(key_of(op.pebble, T));
+          if (t == T) final_generated[op.pebble.node] = 1;
+          ++result.pebbles_generated;
+          break;
+        }
+      }
+    }
+  }
+
+  // For T = 0 the final pebbles ARE the initial pebbles, present by fiat.
+  for (NodeId i = 0; T > 0 && i < protocol.num_guests(); ++i) {
+    if (!final_generated[i]) {
+      result.error = "final pebble (P" + std::to_string(i) + "," + std::to_string(T) +
+                     ") was never generated";
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace upn

@@ -1,0 +1,42 @@
+#include "src/routing/adversarial.hpp"
+
+#include <stdexcept>
+
+namespace upn {
+
+std::uint32_t bit_reverse(std::uint32_t value, std::uint32_t bits) noexcept {
+  std::uint32_t result = 0;
+  for (std::uint32_t b = 0; b < bits; ++b) {
+    result |= ((value >> b) & 1u) << (bits - 1 - b);
+  }
+  return result;
+}
+
+std::uint32_t transpose_word(std::uint32_t value, std::uint32_t bits) noexcept {
+  const std::uint32_t half = bits / 2;
+  const std::uint32_t mask = (1u << half) - 1u;
+  return ((value & mask) << half) | (value >> half);
+}
+
+HhProblem butterfly_bit_reversal(std::uint32_t dimension) {
+  const ButterflyLayout layout{dimension, false};
+  HhProblem problem{layout.num_nodes()};
+  for (std::uint32_t r = 0; r < layout.rows(); ++r) {
+    problem.add(layout.id(0, r), layout.id(dimension, bit_reverse(r, dimension)));
+  }
+  return problem;
+}
+
+HhProblem butterfly_transpose(std::uint32_t dimension) {
+  if (dimension % 2 != 0) {
+    throw std::invalid_argument{"butterfly_transpose: dimension must be even"};
+  }
+  const ButterflyLayout layout{dimension, false};
+  HhProblem problem{layout.num_nodes()};
+  for (std::uint32_t r = 0; r < layout.rows(); ++r) {
+    problem.add(layout.id(0, r), layout.id(dimension, transpose_word(r, dimension)));
+  }
+  return problem;
+}
+
+}  // namespace upn

@@ -1,0 +1,33 @@
+// Adversarial communication patterns for oblivious routers.
+//
+// Deterministic oblivious routing has provably bad permutations
+// (Borodin-Hopcroft; cf. the bandwidth/simulation lower bounds [10, 17]
+// cited in Section 1).  The classics on hypercubic networks are the
+// bit-reversal and transpose permutations, which funnel Theta(sqrt(N))
+// packets through single nodes under bit-fixing.  These generators let the
+// ROUTE bench exhibit the effect and show Valiant's randomization erasing
+// it.
+#pragma once
+
+#include <cstdint>
+
+#include "src/routing/hh_problem.hpp"
+#include "src/topology/butterfly.hpp"
+
+namespace upn {
+
+/// Row r (as a d-bit word) -> its bit reversal.
+[[nodiscard]] std::uint32_t bit_reverse(std::uint32_t value, std::uint32_t bits) noexcept;
+
+/// Row r = (hi || lo) -> (lo || hi): the matrix-transpose permutation
+/// (d must be even).
+[[nodiscard]] std::uint32_t transpose_word(std::uint32_t value, std::uint32_t bits) noexcept;
+
+/// Bit-reversal demand pattern between level-0 butterfly nodes:
+/// (0, r) -> (d, reverse(r)).  Every source row sends one packet.
+[[nodiscard]] HhProblem butterfly_bit_reversal(std::uint32_t dimension);
+
+/// Transpose demand pattern: (0, r) -> (d, transpose(r)); dimension even.
+[[nodiscard]] HhProblem butterfly_transpose(std::uint32_t dimension);
+
+}  // namespace upn

@@ -1,0 +1,155 @@
+#include "src/routing/benes.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/math.hpp"
+
+namespace upn {
+
+namespace {
+
+/// Recursive Waksman switch assignment.  `ids` are packet indices; `lin` /
+/// `lout` their local input/output rows within this subnetwork; `depth` is
+/// the recursion depth (the global bit being decided).  Writes the chosen
+/// subnetwork bit into choice[packet][depth].
+void solve(const std::vector<std::uint32_t>& ids, const std::vector<std::uint32_t>& lin,
+           const std::vector<std::uint32_t>& lout, std::uint32_t depth,
+           std::vector<std::vector<std::uint8_t>>& choice) {
+  const std::size_t size = ids.size();
+  if (size == 2) {
+    // Base case: one switch; send each packet to its target bit.
+    choice[ids[0]][depth] = static_cast<std::uint8_t>(lout[0] & 1u);
+    choice[ids[1]][depth] = static_cast<std::uint8_t>(lout[1] & 1u);
+    return;
+  }
+
+  // Positions of packets by local input row and by local output row.
+  std::vector<std::uint32_t> by_lin(size), by_lout(size);
+  for (std::uint32_t x = 0; x < size; ++x) {
+    by_lin[lin[x]] = x;
+    by_lout[lout[x]] = x;
+  }
+
+  // 2-color the constraint cycles: input partners and output partners must
+  // take different subnetworks.
+  std::vector<std::int8_t> color(size, -1);
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t seed = 0; seed < size; ++seed) {
+    if (color[seed] != -1) continue;
+    color[seed] = 0;
+    stack.push_back(seed);
+    while (!stack.empty()) {
+      const std::uint32_t x = stack.back();
+      stack.pop_back();
+      const std::uint32_t partners[2] = {by_lin[lin[x] ^ 1u], by_lout[lout[x] ^ 1u]};
+      for (const std::uint32_t y : partners) {
+        if (color[y] == -1) {
+          color[y] = static_cast<std::int8_t>(1 - color[x]);
+          stack.push_back(y);
+        } else if (color[y] == color[x]) {
+          throw std::logic_error{"benes_route: constraint cycle is not 2-colorable"};
+        }
+      }
+    }
+  }
+
+  // Record choices and split into the two half-size subnetworks.
+  std::vector<std::uint32_t> sub_ids[2], sub_lin[2], sub_lout[2];
+  for (int s = 0; s < 2; ++s) {
+    sub_ids[s].reserve(size / 2);
+    sub_lin[s].reserve(size / 2);
+    sub_lout[s].reserve(size / 2);
+  }
+  for (std::uint32_t x = 0; x < size; ++x) {
+    const int s = color[x];
+    choice[ids[x]][depth] = static_cast<std::uint8_t>(s);
+    sub_ids[s].push_back(ids[x]);
+    sub_lin[s].push_back(lin[x] >> 1);
+    sub_lout[s].push_back(lout[x] >> 1);
+  }
+  for (int s = 0; s < 2; ++s) {
+    solve(sub_ids[s], sub_lin[s], sub_lout[s], depth + 1, choice);
+  }
+}
+
+}  // namespace
+
+BenesPaths benes_route(const std::vector<std::uint32_t>& perm) {
+  const auto n = static_cast<std::uint32_t>(perm.size());
+  if (n < 2 || !is_power_of_two(n)) {
+    throw std::invalid_argument{"benes_route: size must be a power of two >= 2"};
+  }
+  const std::uint32_t d = floor_log2(n);
+  {
+    std::vector<char> seen(n, 0);
+    for (const std::uint32_t target : perm) {
+      if (target >= n || seen[target]) {
+        throw std::invalid_argument{"benes_route: input is not a permutation"};
+      }
+      seen[target] = 1;
+    }
+  }
+
+  std::vector<std::vector<std::uint8_t>> choice(n, std::vector<std::uint8_t>(d, 0));
+  {
+    std::vector<std::uint32_t> ids(n), lin(n), lout(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      ids[i] = i;
+      lin[i] = i;
+      lout[i] = perm[i];
+    }
+    solve(ids, lin, lout, 0, choice);
+  }
+
+  // Reconstruct row positions per wire level.
+  // Forward level l (0..d):   bits [0, l) are the chosen subnetwork bits,
+  //                           bits [l, d) still come from the input row.
+  // Backward level d+u (1..d): bits [d-u, d) already equal the target's,
+  //                           bits [0, d-u) are still the chosen bits.
+  BenesPaths paths;
+  paths.dimension = d;
+  paths.rows.assign(n, std::vector<std::uint32_t>(2 * d + 1, 0));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t chosen = 0;
+    for (std::uint32_t j = 0; j < d; ++j) {
+      chosen |= static_cast<std::uint32_t>(choice[i][j]) << j;
+    }
+    for (std::uint32_t level = 0; level <= d; ++level) {
+      const std::uint32_t low_mask = (level == 0) ? 0u : ((1u << level) - 1u);
+      paths.rows[i][level] = (chosen & low_mask) | (i & ~low_mask);
+    }
+    for (std::uint32_t u = 1; u <= d; ++u) {
+      const std::uint32_t high_mask = ~((1u << (d - u)) - 1u) & (n - 1u);
+      paths.rows[i][d + u] = (perm[i] & high_mask) | (chosen & ~high_mask & (n - 1u));
+    }
+  }
+  return paths;
+}
+
+bool validate_benes_paths(const BenesPaths& paths, const std::vector<std::uint32_t>& perm) {
+  const std::uint32_t d = paths.dimension;
+  const std::uint32_t n = 1u << d;
+  if (paths.rows.size() != n || perm.size() != n) return false;
+  std::vector<char> seen(n);
+  for (std::uint32_t level = 0; level <= 2 * d; ++level) {
+    std::fill(seen.begin(), seen.end(), 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t row = paths.rows[i][level];
+      if (row >= n || seen[row]) return false;  // node collision
+      seen[row] = 1;
+    }
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (paths.rows[i][0] != i || paths.rows[i][2 * d] != perm[i]) return false;
+    for (std::uint32_t level = 0; level < 2 * d; ++level) {
+      const std::uint32_t allowed_bit = level < d ? level : 2 * d - 1 - level;
+      const std::uint32_t delta = paths.rows[i][level] ^ paths.rows[i][level + 1];
+      if (delta != 0 && delta != (1u << allowed_bit)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace upn

@@ -1,0 +1,40 @@
+#include "src/routing/bitfix.hpp"
+
+#include <stdexcept>
+
+namespace upn {
+
+void ButterflyBitfixPolicy::prepare(const Graph& graph, std::vector<Packet>& packets) {
+  if (graph.num_nodes() != layout_.num_nodes()) {
+    throw std::invalid_argument{"ButterflyBitfixPolicy: host is not the right butterfly"};
+  }
+  (void)packets;
+}
+
+NodeId ButterflyBitfixPolicy::next_hop(const Graph& /*graph*/, NodeId at,
+                                       const Packet& packet) {
+  const std::uint32_t level = layout_.level_of(at);
+  const std::uint32_t row = layout_.row_of(at);
+  const std::uint32_t dst_level = layout_.level_of(packet.dst);
+  const std::uint32_t dst_row = layout_.row_of(packet.dst);
+
+  // Bits below `level` have already been fixed on the ascent; a row
+  // mismatch in [0, level) means we are still in phase 0 (descend).  A
+  // mismatch anywhere means the ascent (phase 1) is unfinished.
+  const std::uint32_t mismatch = row ^ dst_row;
+  const std::uint32_t below_mask = (level == 0) ? 0u : ((1u << level) - 1u);
+  if ((mismatch & below_mask) != 0) {
+    return layout_.id(level - 1, row);  // phase 0: descend untangled
+  }
+  if (mismatch != 0) {
+    // Phase 1: ascend; flip bit `level` if it disagrees.
+    const std::uint32_t flip = (mismatch >> level) & 1u;
+    return layout_.id(level + 1, flip ? (row ^ (1u << level)) : row);
+  }
+  // Phase 2: row correct; ride straight edges to the destination level.
+  if (level < dst_level) return layout_.id(level + 1, row);
+  if (level > dst_level) return layout_.id(level - 1, row);
+  throw std::logic_error{"ButterflyBitfixPolicy: already at destination"};
+}
+
+}  // namespace upn

@@ -1,0 +1,103 @@
+#include "src/routing/matching.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace upn {
+
+void BipartiteGraph::add_edge(std::uint32_t l, std::uint32_t r) {
+  if (l >= left_ || r >= right_) {
+    throw std::out_of_range{"BipartiteGraph::add_edge: vertex out of range"};
+  }
+  edges_.emplace_back(l, r);
+}
+
+namespace {
+
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+struct HkState {
+  std::vector<std::uint32_t> adj_offsets;
+  std::vector<std::uint32_t> adj;
+  std::vector<std::uint32_t> match_left;
+  std::vector<std::uint32_t> match_right;
+  std::vector<std::uint32_t> dist;
+
+  [[nodiscard]] bool bfs(std::uint32_t left_size) {
+    std::queue<std::uint32_t> queue;
+    for (std::uint32_t l = 0; l < left_size; ++l) {
+      if (match_left[l] == MatchingResult::kUnmatched) {
+        dist[l] = 0;
+        queue.push(l);
+      } else {
+        dist[l] = kInf;
+      }
+    }
+    bool found_augmenting = false;
+    while (!queue.empty()) {
+      const std::uint32_t l = queue.front();
+      queue.pop();
+      for (std::uint32_t e = adj_offsets[l]; e < adj_offsets[l + 1]; ++e) {
+        const std::uint32_t r = adj[e];
+        const std::uint32_t next = match_right[r];
+        if (next == MatchingResult::kUnmatched) {
+          found_augmenting = true;
+        } else if (dist[next] == kInf) {
+          dist[next] = dist[l] + 1;
+          queue.push(next);
+        }
+      }
+    }
+    return found_augmenting;
+  }
+
+  [[nodiscard]] bool dfs(std::uint32_t l) {
+    for (std::uint32_t e = adj_offsets[l]; e < adj_offsets[l + 1]; ++e) {
+      const std::uint32_t r = adj[e];
+      const std::uint32_t next = match_right[r];
+      if (next == MatchingResult::kUnmatched ||
+          (dist[next] == dist[l] + 1 && dfs(next))) {
+        match_left[l] = r;
+        match_right[r] = l;
+        return true;
+      }
+    }
+    dist[l] = kInf;
+    return false;
+  }
+};
+
+}  // namespace
+
+MatchingResult hopcroft_karp(const BipartiteGraph& graph) {
+  const std::uint32_t left_size = graph.left_size();
+  HkState state;
+  state.adj_offsets.assign(left_size + 1, 0);
+  for (const auto& [l, r] : graph.edges()) ++state.adj_offsets[l + 1];
+  for (std::uint32_t l = 1; l <= left_size; ++l) {
+    state.adj_offsets[l] += state.adj_offsets[l - 1];
+  }
+  state.adj.resize(graph.edges().size());
+  std::vector<std::uint32_t> cursor(state.adj_offsets.begin(), state.adj_offsets.end() - 1);
+  for (const auto& [l, r] : graph.edges()) state.adj[cursor[l]++] = r;
+
+  state.match_left.assign(left_size, MatchingResult::kUnmatched);
+  state.match_right.assign(graph.right_size(), MatchingResult::kUnmatched);
+  state.dist.assign(left_size, kInf);
+
+  std::uint32_t size = 0;
+  while (state.bfs(left_size)) {
+    for (std::uint32_t l = 0; l < left_size; ++l) {
+      if (state.match_left[l] == MatchingResult::kUnmatched && state.dfs(l)) ++size;
+    }
+  }
+
+  MatchingResult result;
+  result.match_left = std::move(state.match_left);
+  result.match_right = std::move(state.match_right);
+  result.size = size;
+  return result;
+}
+
+}  // namespace upn

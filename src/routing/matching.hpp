@@ -1,0 +1,46 @@
+// Hopcroft-Karp maximum bipartite matching.
+//
+// Used by the h-relation decomposition (decompose.hpp) to peel a perfect
+// matching off an odd-regular demand multigraph, and independently useful as
+// a substrate (e.g., verifying the per-step transfer matchings of the
+// single-port router).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace upn {
+
+/// A bipartite multigraph with `left` + `right` vertices; edges are
+/// (left vertex, right vertex) pairs, duplicates allowed.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::uint32_t left, std::uint32_t right) : left_(left), right_(right) {}
+
+  void add_edge(std::uint32_t l, std::uint32_t r);
+
+  [[nodiscard]] std::uint32_t left_size() const noexcept { return left_; }
+  [[nodiscard]] std::uint32_t right_size() const noexcept { return right_; }
+  [[nodiscard]] const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges()
+      const noexcept {
+    return edges_;
+  }
+
+ private:
+  std::uint32_t left_;
+  std::uint32_t right_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+};
+
+/// Result: match_left[l] = matched right vertex or kUnmatched.
+struct MatchingResult {
+  static constexpr std::uint32_t kUnmatched = 0xffffffffu;
+  std::vector<std::uint32_t> match_left;
+  std::vector<std::uint32_t> match_right;
+  std::uint32_t size = 0;
+};
+
+/// Maximum matching in O(E sqrt(V)).
+[[nodiscard]] MatchingResult hopcroft_karp(const BipartiteGraph& graph);
+
+}  // namespace upn

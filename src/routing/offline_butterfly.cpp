@@ -1,0 +1,201 @@
+#include "src/routing/offline_butterfly.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "src/routing/benes.hpp"
+#include "src/routing/decompose.hpp"
+
+namespace upn {
+
+namespace {
+
+/// Tracks one packet through the three phases.
+struct Tracked {
+  NodeId src;
+  NodeId dst;
+  std::uint32_t batch = 0;  ///< Benes batch index (phase 2)
+};
+
+/// Pipelined column traffic: moves every queued packet one level toward
+/// level 0 (gather) or toward its destination level (scatter), one packet
+/// per directed straight edge per step.  Appends moves and returns the step
+/// at which the phase completed.
+std::uint32_t run_column_phase(const ButterflyLayout& layout, std::vector<Tracked>& packets,
+                               std::vector<NodeId>& position, bool gather,
+                               std::uint32_t start_step, std::vector<ScheduledMove>& moves) {
+  const std::uint32_t levels = layout.levels();
+  // Per-node FIFO of packet ids waiting to move through this phase.
+  std::vector<std::deque<std::uint32_t>> queue(layout.num_nodes());
+  std::uint32_t pending = 0;
+  for (std::uint32_t p = 0; p < packets.size(); ++p) {
+    const std::uint32_t target_level =
+        gather ? 0u : layout.level_of(packets[p].dst);
+    if (layout.level_of(position[p]) != target_level) {
+      queue[position[p]].push_back(p);
+      ++pending;
+    }
+  }
+  std::uint32_t step = start_step;
+  while (pending > 0) {
+    // Collect this step's moves first, then apply, so a packet moves at most
+    // one level per step.
+    std::vector<ScheduledMove> this_step;
+    for (std::uint32_t level = 0; level < levels; ++level) {
+      for (std::uint32_t row = 0; row < layout.rows(); ++row) {
+        const NodeId node = layout.id(level, row);
+        if (queue[node].empty()) continue;
+        const std::uint32_t next_level = gather ? level - 1 : level + 1;
+        const NodeId next = layout.id(next_level, row);
+        const std::uint32_t p = queue[node].front();
+        queue[node].pop_front();
+        this_step.push_back(ScheduledMove{step, node, next, p});
+      }
+    }
+    for (const ScheduledMove& move : this_step) {
+      position[move.packet] = move.to;
+      const std::uint32_t target_level =
+          gather ? 0u : layout.level_of(packets[move.packet].dst);
+      if (layout.level_of(move.to) == target_level) {
+        --pending;
+      } else {
+        queue[move.to].push_back(move.packet);
+      }
+      moves.push_back(move);
+    }
+    ++step;
+  }
+  return step;
+}
+
+}  // namespace
+
+OfflineSchedule route_relation_offline(std::uint32_t dimension, const HhProblem& problem) {
+  const ButterflyLayout layout{dimension, /*wrapped=*/false};
+  if (problem.num_nodes() != layout.num_nodes()) {
+    throw std::invalid_argument{"route_relation_offline: demand node count mismatch"};
+  }
+  OfflineSchedule schedule;
+  schedule.layout = layout;
+
+  std::vector<Tracked> packets;
+  packets.reserve(problem.size());
+  std::vector<NodeId> position;
+  position.reserve(problem.size());
+  for (const Demand& d : problem.demands()) {
+    packets.push_back(Tracked{d.src, d.dst});
+    position.push_back(d.src);
+  }
+
+  // ---- Phase 1: gather every packet to level 0 of its source column. ----
+  std::uint32_t step =
+      run_column_phase(layout, packets, position, /*gather=*/true, 0, schedule.moves);
+
+  // ---- Phase 2: Benes-route the row-to-row relation, pipelined. ----
+  // Row relation: one demand per packet.
+  HhProblem row_relation{layout.rows()};
+  for (const Tracked& p : packets) {
+    row_relation.add(layout.row_of(p.src), layout.row_of(p.dst));
+  }
+  const auto rounds = decompose_into_permutations(row_relation);
+  schedule.num_batches = static_cast<std::uint32_t>(rounds.size());
+
+  // Assign concrete packets to rounds: bucket packets by (src row, dst row).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::deque<std::uint32_t>> buckets;
+  for (std::uint32_t p = 0; p < packets.size(); ++p) {
+    buckets[{layout.row_of(packets[p].src), layout.row_of(packets[p].dst)}].push_back(p);
+  }
+  // batch_rows[b]: for each participating packet, its Benes path.
+  const std::uint32_t d = dimension;
+  const std::uint32_t rows = layout.rows();
+  for (std::uint32_t b = 0; b < rounds.size(); ++b) {
+    // Pad the partial permutation to a full one.
+    std::vector<std::uint32_t> perm(rows, 0xffffffffu);
+    std::vector<char> dst_used(rows, 0);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> packet_of_row(rows,
+                                                                       {0xffffffffu, 0u});
+    for (const Demand& demand : rounds[b]) {
+      perm[demand.src] = demand.dst;
+      dst_used[demand.dst] = 1;
+      auto& bucket = buckets[{demand.src, demand.dst}];
+      packet_of_row[demand.src] = {bucket.front(), 1u};
+      bucket.pop_front();
+    }
+    std::uint32_t free_dst = 0;
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      if (perm[r] != 0xffffffffu) continue;
+      while (dst_used[free_dst]) ++free_dst;
+      perm[r] = free_dst;
+      dst_used[free_dst] = 1;
+    }
+    const BenesPaths paths = benes_route(perm);
+    // Batch b's stage s runs at global step `step + b + s`.  Map Benes level
+    // onto butterfly level: lambda(s) = s for s <= d, 2d - s beyond.
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      const auto [packet_id, real] = packet_of_row[r];
+      if (!real) continue;
+      for (std::uint32_t s = 0; s < 2 * d; ++s) {
+        const std::uint32_t level_from = s <= d ? s : 2 * d - s;
+        const std::uint32_t level_to = (s + 1) <= d ? (s + 1) : 2 * d - (s + 1);
+        schedule.moves.push_back(
+            ScheduledMove{step + b + s, layout.id(level_from, paths.rows[r][s]),
+                          layout.id(level_to, paths.rows[r][s + 1]), packet_id});
+      }
+      position[packet_id] = layout.id(0, perm[r]);
+    }
+  }
+  if (!rounds.empty()) {
+    step += static_cast<std::uint32_t>(rounds.size()) - 1 + 2 * d;
+  }
+
+  // ---- Phase 3: scatter packets up their destination columns. ----
+  step = run_column_phase(layout, packets, position, /*gather=*/false, step, schedule.moves);
+
+  schedule.num_steps = step;
+  std::stable_sort(schedule.moves.begin(), schedule.moves.end(),
+                   [](const ScheduledMove& a, const ScheduledMove& b) {
+                     return a.step < b.step;
+                   });
+  return schedule;
+}
+
+bool validate_schedule(const OfflineSchedule& schedule, const HhProblem& problem) {
+  const ButterflyLayout& layout = schedule.layout;
+  std::vector<NodeId> position;
+  position.reserve(problem.size());
+  for (const Demand& d : problem.demands()) position.push_back(d.src);
+
+  // Group moves by step (they are sorted).
+  std::size_t i = 0;
+  std::map<std::uint64_t, std::uint32_t> link_load;  // (from, to) within a step
+  while (i < schedule.moves.size()) {
+    const std::uint32_t step = schedule.moves[i].step;
+    link_load.clear();
+    for (; i < schedule.moves.size() && schedule.moves[i].step == step; ++i) {
+      const ScheduledMove& move = schedule.moves[i];
+      if (move.packet >= position.size()) return false;
+      if (position[move.packet] != move.from) return false;  // teleport
+      // Butterfly edge check: adjacent levels, row unchanged or flipping the
+      // lower level's bit.
+      const std::uint32_t lf = layout.level_of(move.from);
+      const std::uint32_t lt = layout.level_of(move.to);
+      if (lf != lt + 1 && lt != lf + 1) return false;
+      const std::uint32_t low = std::min(lf, lt);
+      const std::uint32_t delta = layout.row_of(move.from) ^ layout.row_of(move.to);
+      if (delta != 0 && delta != (1u << low)) return false;
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(move.from) << 32) | move.to;
+      if (++link_load[key] > 1) return false;  // directed link overload
+      position[move.packet] = move.to;
+    }
+  }
+  for (std::size_t p = 0; p < position.size(); ++p) {
+    if (position[p] != problem.demands()[p].dst) return false;
+  }
+  return true;
+}
+
+}  // namespace upn

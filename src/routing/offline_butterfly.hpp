@@ -1,0 +1,68 @@
+// Off-line h-relation routing on the unwrapped butterfly in O(h log m) steps.
+//
+// This is the constructive heart of the paper's upper bound: "Because the
+// guest has constant degree, the ceil(n/m)-ceil(n/m) routing problem ... can
+// be solved by routing O(n/m) permutations that ... are known in advance.
+// The off-line routing problem can be solved in time O(log m) [Waksman]."
+//
+// Given any h-relation on the (d+1) 2^d butterfly nodes, we build an explicit
+// transfer schedule in three phases:
+//
+//   1. GATHER:  every packet rides its column's straight edges down to
+//               level 0 (pipelined; O(h d) steps for column load h(d+1)).
+//   2. BENES:   the demands, now a row-to-row relation with at most h(d+1)
+//               packets per row on either side, are decomposed into at most
+//               h(d+1) partial row permutations (decompose.hpp), each padded
+//               to a full permutation and routed along node-disjoint Benes
+//               paths (benes.hpp) mapped onto butterfly levels
+//               0,1,...,d,d-1,...,0.  Batches are pipelined one step apart:
+//               at any instant, distinct batches occupy distinct Benes
+//               levels, and the forward/backward sweeps that share a
+//               butterfly level travel over oppositely-directed links, so
+//               the schedule never exceeds one packet per directed link per
+//               step.  Cost: 2d + (#batches) steps.
+//   3. SCATTER: packets ride their destination column's straight edges up
+//               from level 0 to their target level (pipelined).
+//
+// Total: O(h d) = O(h log m) steps, matching the corollary to Theorem 2.1.
+// The schedule is explicit and machine-validated (validate_schedule).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/routing/hh_problem.hpp"
+#include "src/topology/butterfly.hpp"
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+/// One scheduled hop of one packet.
+struct ScheduledMove {
+  std::uint32_t step = 0;
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint32_t packet = 0;  ///< index into the demand list
+};
+
+/// A complete off-line schedule for a demand list on a butterfly host.
+struct OfflineSchedule {
+  ButterflyLayout layout;
+  std::uint32_t num_steps = 0;
+  std::vector<ScheduledMove> moves;   ///< sorted by step
+  std::uint32_t num_batches = 0;      ///< Benes batches used (diagnostics)
+};
+
+/// Schedules an arbitrary relation (demand list) on the dimension-d
+/// unwrapped butterfly.  Demands address butterfly node ids (ButterflyLayout
+/// numbering).  Throws if a demand is out of range.
+[[nodiscard]] OfflineSchedule route_relation_offline(std::uint32_t dimension,
+                                                     const HhProblem& problem);
+
+/// Replays the schedule and checks: every move follows a butterfly edge from
+/// the packet's current position; no directed link carries two packets in
+/// one step; every packet ends at its destination.
+[[nodiscard]] bool validate_schedule(const OfflineSchedule& schedule,
+                                     const HhProblem& problem);
+
+}  // namespace upn

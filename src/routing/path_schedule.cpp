@@ -1,0 +1,104 @@
+#include "src/routing/path_schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "src/routing/policies.hpp"
+
+namespace upn {
+
+namespace {
+
+std::uint64_t link_key(NodeId from, NodeId to) noexcept {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
+
+PathSchedule schedule_paths(const Graph& host, const HhProblem& problem) {
+  DistanceOracle oracle{host};
+  PathSchedule schedule;
+
+  // Fix one shortest path per demand.
+  std::vector<std::vector<NodeId>> paths;
+  paths.reserve(problem.size());
+  std::map<std::uint64_t, std::uint32_t> link_load;
+  std::uint32_t packet_id = 0;
+  for (const Demand& demand : problem.demands()) {
+    std::vector<NodeId> path{demand.src};
+    NodeId at = demand.src;
+    while (at != demand.dst) {
+      const NodeId next = greedy_next_hop(host, oracle, at, demand.dst, packet_id);
+      ++link_load[link_key(at, next)];
+      path.push_back(next);
+      at = next;
+    }
+    schedule.dilation =
+        std::max(schedule.dilation, static_cast<std::uint32_t>(path.size() - 1));
+    paths.push_back(std::move(path));
+    ++packet_id;
+  }
+  for (const auto& [key, load] : link_load) {
+    schedule.congestion = std::max(schedule.congestion, load);
+  }
+
+  // Greedy farthest-to-go-first link scheduling.
+  std::vector<std::uint32_t> position(paths.size(), 0);  // index into path
+  std::uint32_t remaining = 0;
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    if (paths[p].size() > 1) ++remaining;
+  }
+  while (remaining > 0) {
+    // Requests per directed link, keeping only the farthest-to-go packet.
+    std::map<std::uint64_t, std::uint32_t> winner;  // link -> packet
+    auto residual = [&](std::uint32_t p) {
+      return static_cast<std::uint32_t>(paths[p].size() - 1) - position[p];
+    };
+    for (std::uint32_t p = 0; p < paths.size(); ++p) {
+      if (residual(p) == 0) continue;
+      const std::uint64_t key = link_key(paths[p][position[p]], paths[p][position[p] + 1]);
+      const auto it = winner.find(key);
+      if (it == winner.end() || residual(p) > residual(it->second)) {
+        winner[key] = p;
+      }
+    }
+    std::vector<std::array<std::uint32_t, 3>> step_moves;
+    step_moves.reserve(winner.size());
+    for (const auto& [key, p] : winner) {
+      step_moves.push_back({p, paths[p][position[p]], paths[p][position[p] + 1]});
+      ++position[p];
+      if (residual(p) == 0) --remaining;
+      ++schedule.total_moves;
+    }
+    schedule.moves.push_back(std::move(step_moves));
+    ++schedule.makespan;
+    if (schedule.makespan > (schedule.congestion + 1u) * (schedule.dilation + 1u) + 8u) {
+      throw std::logic_error{"schedule_paths: exceeded the C*D safety bound"};
+    }
+  }
+  return schedule;
+}
+
+bool validate_path_schedule(const Graph& host, const HhProblem& problem,
+                            const PathSchedule& schedule) {
+  std::vector<NodeId> at;
+  at.reserve(problem.size());
+  for (const Demand& d : problem.demands()) at.push_back(d.src);
+  for (const auto& step : schedule.moves) {
+    std::map<std::uint64_t, int> used;
+    for (const auto& [packet, from, to] : step) {
+      if (packet >= at.size()) return false;
+      if (at[packet] != from) return false;
+      if (!host.has_edge(from, to)) return false;
+      if (++used[link_key(from, to)] > 1) return false;
+      at[packet] = to;
+    }
+  }
+  for (std::size_t p = 0; p < at.size(); ++p) {
+    if (at[p] != problem.demands()[p].dst) return false;
+  }
+  return true;
+}
+
+}  // namespace upn

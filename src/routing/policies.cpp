@@ -1,0 +1,66 @@
+#include "src/routing/policies.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "src/topology/properties.hpp"
+
+namespace upn {
+
+const std::vector<std::uint16_t>& DistanceOracle::to(NodeId dst) {
+  auto it = cache_.find(dst);
+  if (it != cache_.end()) return it->second;
+  const auto wide = bfs_distances(*graph_, dst);
+  std::vector<std::uint16_t> narrow(wide.size());
+  for (std::size_t v = 0; v < wide.size(); ++v) {
+    if (wide[v] == kUnreachable) {
+      throw std::invalid_argument{"DistanceOracle: graph must be connected"};
+    }
+    narrow[v] = static_cast<std::uint16_t>(wide[v]);
+  }
+  return cache_.emplace(dst, std::move(narrow)).first->second;
+}
+
+NodeId greedy_next_hop(const Graph& graph, DistanceOracle& oracle, NodeId at, NodeId target,
+                       std::uint32_t salt) {
+  const auto& dist = oracle.to(target);
+  const auto nbrs = graph.neighbors(at);
+  std::uint16_t best = std::numeric_limits<std::uint16_t>::max();
+  std::uint32_t count = 0;
+  for (const NodeId u : nbrs) {
+    if (dist[u] < best) {
+      best = dist[u];
+      count = 1;
+    } else if (dist[u] == best) {
+      ++count;
+    }
+  }
+  // Pick the (hash % count)-th minimizer: deterministic per packet, but
+  // different packets spread across the tied shortest-path neighbors.
+  const std::uint64_t hash = mix64((static_cast<std::uint64_t>(salt) << 32) | at);
+  std::uint32_t skip = static_cast<std::uint32_t>(hash % count);
+  for (const NodeId u : nbrs) {
+    if (dist[u] == best) {
+      if (skip == 0) return u;
+      --skip;
+    }
+  }
+  throw std::logic_error{"greedy_next_hop: no neighbor found"};
+}
+
+NodeId GreedyPolicy::next_hop(const Graph& graph, NodeId at, const Packet& packet) {
+  return greedy_next_hop(graph, oracle_, at, packet.current_target(), packet.id);
+}
+
+void ValiantPolicy::prepare(const Graph& graph, std::vector<Packet>& packets) {
+  for (Packet& p : packets) {
+    p.via = static_cast<NodeId>(rng_.below(graph.num_nodes()));
+    p.phase = 0;
+  }
+}
+
+NodeId ValiantPolicy::next_hop(const Graph& graph, NodeId at, const Packet& packet) {
+  return greedy_next_hop(graph, oracle_, at, packet.current_target(), packet.id);
+}
+
+}  // namespace upn

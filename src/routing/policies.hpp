@@ -1,0 +1,66 @@
+// Routing policies for the synchronous router.
+//
+//  * GreedyPolicy  -- forward along a BFS shortest path; ties broken by a
+//                     per-packet hash so load spreads over equal-length paths.
+//  * ValiantPolicy -- two-phase randomized routing: first to a uniformly
+//                     random intermediate node, then to the destination.
+//                     Destroys adversarial correlation in the demand pattern;
+//                     the classic online technique for h-h routing that
+//                     Section 2 invokes for simulating the complete network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/routing/router.hpp"
+#include "src/topology/graph.hpp"
+#include "src/util/rng.hpp"
+
+namespace upn {
+
+/// Lazily built per-destination BFS distance tables shared by policies.
+class DistanceOracle {
+ public:
+  explicit DistanceOracle(const Graph& graph) : graph_(&graph) {}
+
+  /// Distance vector from every node to `dst` (BFS, cached).
+  [[nodiscard]] const std::vector<std::uint16_t>& to(NodeId dst);
+
+ private:
+  const Graph* graph_;
+  std::unordered_map<NodeId, std::vector<std::uint16_t>> cache_;
+};
+
+class GreedyPolicy final : public RoutingPolicy {
+ public:
+  explicit GreedyPolicy(const Graph& graph) : oracle_(graph) {}
+
+  [[nodiscard]] NodeId next_hop(const Graph& graph, NodeId at, const Packet& packet) override;
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+
+ private:
+  DistanceOracle oracle_;
+};
+
+class ValiantPolicy final : public RoutingPolicy {
+ public:
+  ValiantPolicy(const Graph& graph, std::uint64_t seed) : oracle_(graph), rng_(seed) {}
+
+  /// Assigns every packet a uniform random intermediate node.
+  void prepare(const Graph& graph, std::vector<Packet>& packets) override;
+  [[nodiscard]] NodeId next_hop(const Graph& graph, NodeId at, const Packet& packet) override;
+  [[nodiscard]] std::string name() const override { return "valiant"; }
+
+ private:
+  DistanceOracle oracle_;
+  Rng rng_;
+};
+
+/// Shared helper: the neighbor of `at` that minimizes distance to `target`,
+/// with hash-based tie-breaking among equally good neighbors.
+[[nodiscard]] NodeId greedy_next_hop(const Graph& graph, DistanceOracle& oracle, NodeId at,
+                                     NodeId target, std::uint32_t salt);
+
+}  // namespace upn

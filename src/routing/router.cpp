@@ -1,0 +1,176 @@
+#include "src/routing/router.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "src/routing/hh_problem.hpp"
+#include "src/util/rng.hpp"
+
+namespace upn {
+
+void RoutingPolicy::prepare(const Graph& /*graph*/, std::vector<Packet>& /*packets*/) {}
+
+SyncRouter::SyncRouter(const Graph& graph, PortModel port_model)
+    : graph_(&graph), port_model_(port_model) {}
+
+namespace {
+
+/// Per-node FIFO queues, one per outgoing port (= neighbor index).
+struct NodeState {
+  std::vector<std::deque<std::uint32_t>> ports;  // packet indices
+  std::uint32_t buffered = 0;
+  std::uint32_t rr_cursor = 0;  // round-robin port scan start (single-port)
+};
+
+}  // namespace
+
+RouteResult SyncRouter::route(std::vector<Packet> packets, RoutingPolicy& policy,
+                              bool record_transfers, std::uint32_t max_steps) {
+  const Graph& g = *graph_;
+  const std::uint32_t n = g.num_nodes();
+  policy.prepare(g, packets);
+
+  RouteResult result;
+  std::vector<NodeState> nodes(n);
+  for (NodeId v = 0; v < n; ++v) nodes[v].ports.resize(g.degree(v));
+
+  // Port index of neighbor `to` within `from`'s sorted adjacency.
+  auto port_of = [&g](NodeId from, NodeId to) -> std::uint32_t {
+    const auto nbrs = g.neighbors(from);
+    const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), to);
+    if (it == nbrs.end() || *it != to) {
+      throw std::logic_error{"SyncRouter: policy returned a non-neighbor"};
+    }
+    return static_cast<std::uint32_t>(it - nbrs.begin());
+  };
+
+  std::uint32_t undelivered = 0;
+
+  // A packet has just arrived (or started) at `at`: deliver, advance its
+  // Valiant phase, or enqueue it on the port the policy selects.
+  auto place = [&](std::uint32_t packet_index, NodeId at) {
+    Packet& p = packets[packet_index];
+    if (p.phase == 0 && at == p.via) p.phase = 1;
+    if (at == p.dst && p.phase == 1) {
+      return true;  // delivered
+    }
+    const NodeId next = policy.next_hop(g, at, p);
+    nodes[at].ports[port_of(at, next)].push_back(packet_index);
+    ++nodes[at].buffered;
+    return false;
+  };
+
+  for (std::uint32_t i = 0; i < packets.size(); ++i) {
+    packets[i].id = i;
+    packets[i].delivered_at = -1;
+    if (packets[i].phase == 1 && packets[i].src == packets[i].dst) {
+      packets[i].delivered_at = 0;
+    } else if (!place(i, packets[i].src)) {
+      ++undelivered;
+    } else {
+      packets[i].delivered_at = 0;
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) result.max_queue = std::max(result.max_queue, nodes[v].buffered);
+
+  std::uint32_t step = 0;
+  std::vector<std::pair<std::uint32_t, NodeId>> arrivals;  // (packet, node)
+  std::vector<char> busy(n, 0);
+  while (undelivered > 0) {
+    if (step >= max_steps) {
+      throw std::runtime_error{"SyncRouter::route: step limit exceeded (livelock?)"};
+    }
+    arrivals.clear();
+
+    if (port_model_ == PortModel::kMultiPort) {
+      // Every directed link moves one packet.
+      for (NodeId v = 0; v < n; ++v) {
+        const auto nbrs = g.neighbors(v);
+        for (std::uint32_t port = 0; port < nbrs.size(); ++port) {
+          auto& queue = nodes[v].ports[port];
+          if (queue.empty()) continue;
+          const std::uint32_t packet_index = queue.front();
+          queue.pop_front();
+          --nodes[v].buffered;
+          arrivals.emplace_back(packet_index, nbrs[port]);
+          if (record_transfers) {
+            result.transfers.push_back(Transfer{step, v, nbrs[port], packet_index});
+          }
+          ++result.total_transfers;
+        }
+      }
+    } else {
+      // Single-port: transfers form a matching; a node either sends or
+      // receives.  Greedy maximal matching with a rotating scan start for
+      // fairness.
+      std::fill(busy.begin(), busy.end(), 0);
+      const NodeId offset = static_cast<NodeId>(step % std::max(1u, n));
+      for (std::uint32_t scan = 0; scan < n; ++scan) {
+        const NodeId v = static_cast<NodeId>((scan + offset) % n);
+        if (busy[v] || nodes[v].buffered == 0) continue;
+        const auto nbrs = g.neighbors(v);
+        const std::uint32_t degree = static_cast<std::uint32_t>(nbrs.size());
+        // Round-robin over ports so no queue starves.
+        for (std::uint32_t offs = 0; offs < degree; ++offs) {
+          const std::uint32_t port = (nodes[v].rr_cursor + offs) % degree;
+          if (nodes[v].ports[port].empty() || busy[nbrs[port]]) continue;
+          const std::uint32_t packet_index = nodes[v].ports[port].front();
+          nodes[v].ports[port].pop_front();
+          --nodes[v].buffered;
+          busy[v] = 1;
+          busy[nbrs[port]] = 1;
+          nodes[v].rr_cursor = (port + 1) % degree;
+          arrivals.emplace_back(packet_index, nbrs[port]);
+          if (record_transfers) {
+            result.transfers.push_back(Transfer{step, v, nbrs[port], packet_index});
+          }
+          ++result.total_transfers;
+          break;
+        }
+      }
+    }
+
+    for (const auto& [packet_index, at] : arrivals) {
+      if (place(packet_index, at)) {
+        packets[packet_index].delivered_at = step + 1;
+        --undelivered;
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      result.max_queue = std::max(result.max_queue, nodes[v].buffered);
+    }
+    ++step;
+  }
+
+  result.steps = step;
+  result.packets = std::move(packets);
+  return result;
+}
+
+RouteTimeEstimate measure_route_time(const Graph& host, std::uint32_t h,
+                                     RoutingPolicy& policy, PortModel port_model,
+                                     std::uint32_t instances, Rng& rng) {
+  SyncRouter router{host, port_model};
+  RouteTimeEstimate estimate;
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < instances; ++i) {
+    const HhProblem problem = random_h_relation(host.num_nodes(), h, rng);
+    std::vector<Packet> packets;
+    packets.reserve(problem.size());
+    for (const Demand& d : problem.demands()) {
+      Packet p;
+      p.src = d.src;
+      p.dst = d.dst;
+      p.via = d.dst;
+      packets.push_back(p);
+    }
+    const RouteResult result = router.route(std::move(packets), policy);
+    estimate.worst_steps = std::max(estimate.worst_steps, result.steps);
+    sum += result.steps;
+  }
+  estimate.mean_steps = instances == 0 ? 0.0 : sum / instances;
+  return estimate;
+}
+
+}  // namespace upn

@@ -1,0 +1,103 @@
+// Synchronous store-and-forward packet router.
+//
+// The execution substrate for all routing measurements and for the universal
+// simulator.  Two port models:
+//
+//  * MultiPort  -- every directed link carries one packet per step (the
+//                  classic store-and-forward model; used to measure
+//                  route_M(h) in the ROUTE experiment).
+//  * SinglePort -- each processor performs at most ONE operation per step,
+//                  so the transfers of a step form a matching between
+//                  senders and receivers.  This matches the pebble-game
+//                  model of Section 3.1 exactly ("every processor can
+//                  perform one of the following operations": send a copy,
+//                  or receive, or generate) and is what the universal
+//                  simulator uses when it emits machine-checkable protocols.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+struct Packet {
+  std::uint32_t id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  NodeId via = 0;            ///< Valiant intermediate; equals dst when unused
+  std::uint8_t phase = 1;    ///< 0: heading to via, 1: heading to dst
+  std::uint64_t payload = 0; ///< opaque data (a guest configuration)
+  std::uint32_t tag = 0;     ///< opaque tag (sending guest node id)
+  std::uint32_t tag2 = 0;    ///< opaque tag (receiving guest node id)
+  std::uint32_t injected_at = 0;
+  std::int64_t delivered_at = -1;
+
+  [[nodiscard]] NodeId current_target() const noexcept { return phase == 0 ? via : dst; }
+};
+
+/// One packet hop, for protocol emission and debugging.
+struct Transfer {
+  std::uint32_t step = 0;  ///< 0-based router step at which the hop happened
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint32_t packet = 0;  ///< index into RouteResult::packets
+};
+
+struct RouteResult {
+  std::uint32_t steps = 0;          ///< steps until the last delivery
+  std::uint64_t total_transfers = 0;
+  std::uint32_t max_queue = 0;      ///< peak per-node buffered packets
+  std::vector<Packet> packets;      ///< with delivered_at filled in
+  std::vector<Transfer> transfers;  ///< full hop log if requested
+};
+
+/// Chooses the outgoing neighbor for a packet.  Policies may keep per-run
+/// state; prepare() is called once with all packets before routing begins.
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+  virtual void prepare(const Graph& graph, std::vector<Packet>& packets);
+  /// Next neighbor of `at` for this packet; must be adjacent to `at`.
+  [[nodiscard]] virtual NodeId next_hop(const Graph& graph, NodeId at, const Packet& packet) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+enum class PortModel : std::uint8_t {
+  kMultiPort,   ///< one packet per directed link per step
+  kSinglePort,  ///< one operation per node per step (pebble-game compatible)
+};
+
+class SyncRouter {
+ public:
+  SyncRouter(const Graph& graph, PortModel port_model);
+
+  /// Routes all packets to their destinations.  Throws on livelock
+  /// (no delivery progress within the step limit).
+  [[nodiscard]] RouteResult route(std::vector<Packet> packets, RoutingPolicy& policy,
+                                  bool record_transfers = false,
+                                  std::uint32_t max_steps = 1u << 22);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] PortModel port_model() const noexcept { return port_model_; }
+
+ private:
+  const Graph* graph_;
+  PortModel port_model_;
+};
+
+/// route_M(h) measurement: routes `instances` random h-relations and returns
+/// the worst completion time observed.
+struct RouteTimeEstimate {
+  std::uint32_t worst_steps = 0;
+  double mean_steps = 0.0;
+};
+
+class Rng;
+[[nodiscard]] RouteTimeEstimate measure_route_time(const Graph& host, std::uint32_t h,
+                                                   RoutingPolicy& policy, PortModel port_model,
+                                                   std::uint32_t instances, Rng& rng);
+
+}  // namespace upn

@@ -1,0 +1,35 @@
+#include "src/sorting/odd_even_merge.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/util/math.hpp"
+
+namespace upn {
+
+ComparatorNetwork make_odd_even_merge_sorter(std::uint32_t n) {
+  if (!is_power_of_two(n) || n < 2) {
+    throw std::invalid_argument{"make_odd_even_merge_sorter: n must be a power of two >= 2"};
+  }
+  ComparatorNetwork network{n, "odd_even_merge(" + std::to_string(n) + ")"};
+  // Iterative Batcher: p = subsequence length being merged, k = stride.
+  // Comparators within one (p, k) round touch disjoint wires -> one layer.
+  for (std::uint32_t p = 1; p < n; p <<= 1) {
+    for (std::uint32_t k = p; k >= 1; k >>= 1) {
+      network.begin_layer();
+      for (std::uint32_t j = k % p; j + k < n; j += 2 * k) {
+        for (std::uint32_t i = 0; i < k; ++i) {
+          if (j + i + k >= n) break;
+          // Only compare wires within the same 2p-block.
+          if ((j + i) / (2 * p) == (j + i + k) / (2 * p)) {
+            network.add(j + i, j + i + k);
+          }
+        }
+      }
+    }
+  }
+  return network;
+}
+
+}  // namespace upn

@@ -1,0 +1,14 @@
+// Batcher's odd-even merge sort: depth O(log^2 n) with slightly smaller
+// constants than bitonic; the default column sorter inside Columnsort.
+#pragma once
+
+#include <cstdint>
+
+#include "src/sorting/comparator_network.hpp"
+
+namespace upn {
+
+/// The odd-even merge sorting network on n = 2^k wires.
+[[nodiscard]] ComparatorNetwork make_odd_even_merge_sorter(std::uint32_t n);
+
+}  // namespace upn

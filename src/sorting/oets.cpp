@@ -1,0 +1,22 @@
+#include "src/sorting/oets.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace upn {
+
+ComparatorNetwork make_odd_even_transposition_sorter(std::uint32_t n) {
+  if (n < 2) {
+    throw std::invalid_argument{"make_odd_even_transposition_sorter: n must be >= 2"};
+  }
+  ComparatorNetwork network{n, "oets(" + std::to_string(n) + ")"};
+  for (std::uint32_t round = 0; round < n; ++round) {
+    network.begin_layer();
+    for (std::uint32_t i = round % 2; i + 1 < n; i += 2) {
+      network.add(i, i + 1);
+    }
+  }
+  return network;
+}
+
+}  // namespace upn

@@ -1,0 +1,15 @@
+// Odd-even transposition sort: depth exactly n, nearest-neighbor comparators
+// only -- the natural sorter for path/ring/mesh hosts and the classic
+// building block of mesh Columnsort.
+#pragma once
+
+#include <cstdint>
+
+#include "src/sorting/comparator_network.hpp"
+
+namespace upn {
+
+/// The odd-even transposition sorting network on n wires (any n >= 2).
+[[nodiscard]] ComparatorNetwork make_odd_even_transposition_sorter(std::uint32_t n);
+
+}  // namespace upn

@@ -1,0 +1,140 @@
+#include "src/sorting/sort_route.hpp"
+
+#include <deque>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "src/routing/decompose.hpp"
+
+namespace upn {
+
+namespace {
+
+/// Key layout: destination in the high 32 bits, source in the low 32 bits,
+/// so sorting by key sorts by destination and the payload rides along.
+constexpr std::uint64_t pack(std::uint32_t dst, std::uint32_t src) {
+  return (static_cast<std::uint64_t>(dst) << 32) | src;
+}
+constexpr std::uint32_t unpack_dst(std::uint64_t key) {
+  return static_cast<std::uint32_t>(key >> 32);
+}
+
+}  // namespace
+
+SortRouteStats route_permutation_by_sorting(const std::vector<std::uint32_t>& perm,
+                                            const ComparatorNetwork& sorter) {
+  const auto n = static_cast<std::uint32_t>(perm.size());
+  if (n != sorter.wires()) {
+    throw std::invalid_argument{"route_permutation_by_sorting: size mismatch"};
+  }
+  std::vector<std::uint64_t> keys(n);
+  for (std::uint32_t i = 0; i < n; ++i) keys[i] = pack(perm[i], i);
+  sorter.apply(keys);
+  SortRouteStats stats;
+  stats.rounds = 1;
+  stats.comparator_steps = sorter.depth();
+  stats.delivered = true;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (unpack_dst(keys[i]) != i) {
+      stats.delivered = false;
+      break;
+    }
+  }
+  return stats;
+}
+
+SortRouteStats route_relation_by_sorting(const HhProblem& problem,
+                                         const ComparatorNetwork& sorter) {
+  const std::uint32_t n = problem.num_nodes();
+  if (n != sorter.wires()) {
+    throw std::invalid_argument{"route_relation_by_sorting: size mismatch"};
+  }
+  SortRouteStats stats;
+  stats.delivered = true;
+  for (const PermutationRound& round : decompose_into_permutations(problem)) {
+    // Complete the partial permutation with dummy packets on the unused
+    // source/destination pairs.
+    std::vector<std::uint32_t> perm(n, 0xffffffffu);
+    std::vector<char> dst_used(n, 0);
+    for (const Demand& d : round) {
+      perm[d.src] = d.dst;
+      dst_used[d.dst] = 1;
+    }
+    std::uint32_t free_dst = 0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (perm[v] != 0xffffffffu) continue;
+      while (dst_used[free_dst]) ++free_dst;
+      perm[v] = free_dst;
+      dst_used[free_dst] = 1;
+    }
+    const SortRouteStats round_stats = route_permutation_by_sorting(perm, sorter);
+    stats.rounds += 1;
+    stats.comparator_steps += round_stats.comparator_steps;
+    stats.delivered = stats.delivered && round_stats.delivered;
+  }
+  return stats;
+}
+
+SortRouteDelivery deliver_relation_by_sorting(const HhProblem& problem,
+                                              const std::vector<std::uint64_t>& payloads,
+                                              const ComparatorNetwork& sorter) {
+  const std::uint32_t n = problem.num_nodes();
+  if (n != sorter.wires()) {
+    throw std::invalid_argument{"deliver_relation_by_sorting: size mismatch"};
+  }
+  if (payloads.size() != problem.size()) {
+    throw std::invalid_argument{"deliver_relation_by_sorting: payload count mismatch"};
+  }
+  constexpr std::uint64_t kDummy = std::numeric_limits<std::uint64_t>::max();
+
+  // Recover demand identity: bucket global indices by (src, dst).
+  std::map<std::pair<NodeId, NodeId>, std::deque<std::uint64_t>> buckets;
+  for (std::size_t d = 0; d < problem.demands().size(); ++d) {
+    const Demand& demand = problem.demands()[d];
+    buckets[{demand.src, demand.dst}].push_back(d);
+  }
+
+  SortRouteDelivery delivery;
+  delivery.delivered.resize(n);
+  delivery.stats.delivered = true;
+  std::vector<std::uint64_t> keys(n), slots(n);
+  for (const PermutationRound& round : decompose_into_permutations(problem)) {
+    std::vector<std::uint32_t> dst_of(n, 0xffffffffu);
+    std::vector<std::uint64_t> index_of(n, kDummy);
+    std::vector<char> dst_used(n, 0);
+    for (const Demand& d : round) {
+      dst_of[d.src] = d.dst;
+      dst_used[d.dst] = 1;
+      auto& bucket = buckets[{d.src, d.dst}];
+      index_of[d.src] = bucket.front();
+      bucket.pop_front();
+    }
+    std::uint32_t free_dst = 0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (dst_of[v] != 0xffffffffu) continue;
+      while (dst_used[free_dst]) ++free_dst;
+      dst_of[v] = free_dst;
+      dst_used[free_dst] = 1;
+    }
+    for (std::uint32_t v = 0; v < n; ++v) {
+      keys[v] = pack(dst_of[v], v);
+      slots[v] = index_of[v];
+    }
+    sorter.apply_with_payload(keys, slots);
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (unpack_dst(keys[j]) != j) {
+        delivery.stats.delivered = false;
+        continue;
+      }
+      if (slots[j] != kDummy) {
+        delivery.delivered[j].push_back(payloads[slots[j]]);
+      }
+    }
+    delivery.stats.rounds += 1;
+    delivery.stats.comparator_steps += sorter.depth();
+  }
+  return delivery;
+}
+
+}  // namespace upn

@@ -1,0 +1,52 @@
+// Sorting as routing: the Galil-Paul route to universality.
+//
+// Galil & Paul [6]: a network that sorts n keys in sort(n, m) steps is
+// n-universal with slowdown O(sort(n, m)).  The mechanism is that routing a
+// (full) permutation reduces to sorting packets by destination: after the
+// sort, the packet destined for position j sits at position j.  Partial
+// permutations are completed with dummy packets; h-relations decompose into
+// h permutations first (decompose.hpp).
+//
+// The comparator-network layers bound the communication steps on any host
+// whose edges realize each layer (one layer = one step on hypercubic hosts
+// for bitonic).  The GP experiment compares this O(log^2 m)-per-round cost
+// against the paper's direct O(log m) off-line routing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/routing/hh_problem.hpp"
+#include "src/sorting/comparator_network.hpp"
+
+namespace upn {
+
+struct SortRouteStats {
+  std::uint32_t rounds = 0;            ///< permutation rounds routed
+  std::uint64_t comparator_steps = 0;  ///< total layers executed
+  bool delivered = false;              ///< all packets reached their dst
+};
+
+/// Routes a full permutation (perm[i] = destination of the packet at i) on
+/// an array of sorter.wires() positions by destination-sorting.
+[[nodiscard]] SortRouteStats route_permutation_by_sorting(
+    const std::vector<std::uint32_t>& perm, const ComparatorNetwork& sorter);
+
+/// Routes an arbitrary h-relation by decomposing into partial permutations,
+/// completing each with dummies, and sorting each round.
+[[nodiscard]] SortRouteStats route_relation_by_sorting(const HhProblem& problem,
+                                                       const ComparatorNetwork& sorter);
+
+/// One payload-carrying delivery: `payloads[i]` is the data of the i-th
+/// demand; on return, `delivered[v]` holds the payloads that arrived at
+/// node v (in round order).  This makes sorting-based routing a real data
+/// mover, so the Galil-Paul simulator can be verified end to end.
+struct SortRouteDelivery {
+  SortRouteStats stats;
+  std::vector<std::vector<std::uint64_t>> delivered;  ///< per destination node
+};
+[[nodiscard]] SortRouteDelivery deliver_relation_by_sorting(
+    const HhProblem& problem, const std::vector<std::uint64_t>& payloads,
+    const ComparatorNetwork& sorter);
+
+}  // namespace upn

@@ -1,0 +1,41 @@
+#include "src/topology/builders.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace upn {
+
+Graph make_path(std::uint32_t n) {
+  if (n == 0) throw std::invalid_argument{"make_path: n must be positive"};
+  GraphBuilder builder{n, "path(" + std::to_string(n) + ")"};
+  for (std::uint32_t v = 0; v + 1 < n; ++v) builder.add_edge(v, v + 1);
+  return std::move(builder).build();
+}
+
+Graph make_cycle(std::uint32_t n) {
+  if (n < 3) throw std::invalid_argument{"make_cycle: n must be >= 3"};
+  GraphBuilder builder{n, "cycle(" + std::to_string(n) + ")"};
+  for (std::uint32_t v = 0; v < n; ++v) builder.add_edge(v, (v + 1) % n);
+  return std::move(builder).build();
+}
+
+Graph make_complete(std::uint32_t n) {
+  if (n == 0) throw std::invalid_argument{"make_complete: n must be positive"};
+  GraphBuilder builder{n, "complete(" + std::to_string(n) + ")"};
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) builder.add_edge(u, v);
+  }
+  return std::move(builder).build();
+}
+
+Graph make_complete_binary_tree(std::uint32_t levels) {
+  if (levels == 0 || levels > 31) {
+    throw std::invalid_argument{"make_complete_binary_tree: levels in [1, 31]"};
+  }
+  const std::uint32_t n = (1u << levels) - 1u;
+  GraphBuilder builder{n, "binary_tree(" + std::to_string(levels) + ")"};
+  for (std::uint32_t v = 1; v < n; ++v) builder.add_edge(v, (v - 1) / 2);
+  return std::move(builder).build();
+}
+
+}  // namespace upn

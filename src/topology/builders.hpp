@@ -1,0 +1,25 @@
+// Elementary topology builders: path, cycle, complete graph, complete binary
+// tree.  The richer families (meshes, tori, butterflies, expanders, G_0) live
+// in their own headers in this module.
+#pragma once
+
+#include <cstdint>
+
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+/// Path P_n: 0 - 1 - ... - n-1.
+[[nodiscard]] Graph make_path(std::uint32_t n);
+
+/// Cycle C_n (n >= 3).
+[[nodiscard]] Graph make_cycle(std::uint32_t n);
+
+/// Complete graph K_n.  The "complete network" whose oblivious computations
+/// Section 1 discusses as an alternative guest class.
+[[nodiscard]] Graph make_complete(std::uint32_t n);
+
+/// Complete binary tree with `levels` levels (2^levels - 1 nodes), root 0.
+[[nodiscard]] Graph make_complete_binary_tree(std::uint32_t levels);
+
+}  // namespace upn

@@ -1,0 +1,49 @@
+#include "src/topology/butterfly.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace upn {
+
+Graph make_butterfly(std::uint32_t dimension) {
+  if (dimension == 0 || dimension > 25) {
+    throw std::invalid_argument{"make_butterfly: dimension in [1, 25]"};
+  }
+  const ButterflyLayout layout{dimension, /*wrapped=*/false};
+  GraphBuilder builder{layout.num_nodes(), "butterfly(" + std::to_string(dimension) + ")"};
+  for (std::uint32_t level = 0; level < dimension; ++level) {
+    for (std::uint32_t row = 0; row < layout.rows(); ++row) {
+      builder.add_edge(layout.id(level, row), layout.id(level + 1, row));
+      builder.add_edge(layout.id(level, row), layout.id(level + 1, row ^ (1u << level)));
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph make_wrapped_butterfly(std::uint32_t dimension) {
+  if (dimension == 0 || dimension > 25) {
+    throw std::invalid_argument{"make_wrapped_butterfly: dimension in [1, 25]"};
+  }
+  const ButterflyLayout layout{dimension, /*wrapped=*/true};
+  GraphBuilder builder{layout.num_nodes(),
+                       "wrapped_butterfly(" + std::to_string(dimension) + ")"};
+  for (std::uint32_t level = 0; level < dimension; ++level) {
+    const std::uint32_t next = (level + 1) % dimension;
+    for (std::uint32_t row = 0; row < layout.rows(); ++row) {
+      builder.add_edge(layout.id(level, row), layout.id(next, row));
+      builder.add_edge(layout.id(level, row), layout.id(next, row ^ (1u << level)));
+    }
+  }
+  return std::move(builder).build();
+}
+
+std::uint32_t butterfly_dimension_for_size(std::uint32_t max_nodes) {
+  std::uint32_t best = 0;
+  for (std::uint32_t d = 1; d <= 25; ++d) {
+    const std::uint64_t nodes = static_cast<std::uint64_t>(d + 1) << d;
+    if (nodes <= max_nodes) best = d;
+  }
+  return best;
+}
+
+}  // namespace upn

@@ -1,0 +1,26 @@
+#include "src/topology/ccc.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace upn {
+
+Graph make_cube_connected_cycles(std::uint32_t dimension) {
+  if (dimension < 3 || dimension > 22) {
+    throw std::invalid_argument{"make_cube_connected_cycles: dimension in [3, 22]"};
+  }
+  const CccLayout layout{dimension};
+  GraphBuilder builder{layout.num_nodes(), "ccc(" + std::to_string(dimension) + ")"};
+  const std::uint32_t corners = 1u << dimension;
+  for (std::uint32_t corner = 0; corner < corners; ++corner) {
+    for (std::uint32_t pos = 0; pos < dimension; ++pos) {
+      // Cycle edge around the corner.
+      builder.add_edge(layout.id(corner, pos), layout.id(corner, (pos + 1) % dimension));
+      // Hypercube edge along dimension `pos`.
+      builder.add_edge(layout.id(corner, pos), layout.id(corner ^ (1u << pos), pos));
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace upn

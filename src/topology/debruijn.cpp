@@ -1,0 +1,21 @@
+#include "src/topology/debruijn.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace upn {
+
+Graph make_debruijn(std::uint32_t dimension) {
+  if (dimension == 0 || dimension > 25) {
+    throw std::invalid_argument{"make_debruijn: dimension in [1, 25]"};
+  }
+  const std::uint32_t n = 1u << dimension;
+  GraphBuilder builder{n, "debruijn(" + std::to_string(dimension) + ")"};
+  for (std::uint32_t v = 0; v < n; ++v) {
+    builder.add_edge(v, (2 * v) % n);
+    builder.add_edge(v, (2 * v + 1) % n);
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace upn

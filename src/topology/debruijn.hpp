@@ -1,0 +1,14 @@
+// The binary de Bruijn graph on 2^d nodes: v <-> (2v mod 2^d) and
+// v <-> (2v+1 mod 2^d).  Degree <= 4, diameter d: the densest of the classic
+// constant-degree hosts and a strong universal-network candidate.
+#pragma once
+
+#include <cstdint>
+
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+[[nodiscard]] Graph make_debruijn(std::uint32_t dimension);
+
+}  // namespace upn

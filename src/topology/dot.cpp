@@ -1,0 +1,22 @@
+#include "src/topology/dot.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace upn {
+
+std::string graph_to_dot(const Graph& graph) {
+  std::ostringstream out;
+  std::string id = graph.name();
+  for (char& c : id) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_')) c = '_';
+  }
+  out << "graph " << (id.empty() ? "g" : id) << " {\n  node [shape=point];\n";
+  for (const auto& [u, v] : graph.edge_list()) {
+    out << "  " << u << " -- " << v << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace upn

@@ -1,0 +1,13 @@
+// Graphviz DOT emission for any Graph, for inspection and documentation.
+#pragma once
+
+#include <string>
+
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+/// Undirected DOT rendering; the graph's name() becomes the graph id.
+[[nodiscard]] std::string graph_to_dot(const Graph& graph);
+
+}  // namespace upn

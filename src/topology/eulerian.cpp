@@ -1,0 +1,63 @@
+#include "src/topology/eulerian.hpp"
+
+#include <stdexcept>
+
+namespace upn {
+
+std::vector<std::pair<NodeId, NodeId>> eulerian_orientation(const Graph& graph) {
+  const std::uint32_t n = graph.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    if (graph.degree(v) % 2 != 0) {
+      throw std::invalid_argument{"eulerian_orientation: all degrees must be even"};
+    }
+  }
+  // Adjacency as mutable half-edge lists; `used` marks consumed half-edges.
+  // Edge ids: position in the flattened adjacency of the smaller endpoint.
+  const auto edges = graph.edge_list();
+  std::vector<std::vector<std::pair<NodeId, std::uint32_t>>> adj(n);  // (other, edge id)
+  for (std::uint32_t e = 0; e < edges.size(); ++e) {
+    adj[edges[e].first].emplace_back(edges[e].second, e);
+    adj[edges[e].second].emplace_back(edges[e].first, e);
+  }
+  std::vector<char> used(edges.size(), 0);
+  std::vector<std::uint32_t> cursor(n, 0);
+  std::vector<std::pair<NodeId, NodeId>> oriented;
+  oriented.reserve(edges.size());
+
+  // Hierholzer, iterative, once per connected component with edges.
+  for (NodeId start = 0; start < n; ++start) {
+    if (cursor[start] >= adj[start].size()) continue;
+    std::vector<NodeId> stack{start};
+    std::vector<NodeId> tour;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      while (cursor[v] < adj[v].size() && used[adj[v][cursor[v]].second]) ++cursor[v];
+      if (cursor[v] == adj[v].size()) {
+        tour.push_back(v);
+        stack.pop_back();
+      } else {
+        const auto [next, edge_id] = adj[v][cursor[v]];
+        used[edge_id] = 1;
+        stack.push_back(next);
+      }
+    }
+    // `tour` is the Euler circuit in reverse; orient along walk direction.
+    for (std::size_t i = tour.size(); i > 1; --i) {
+      oriented.emplace_back(tour[i - 1], tour[i - 2]);
+    }
+  }
+  if (oriented.size() != edges.size()) {
+    throw std::logic_error{"eulerian_orientation: tour did not cover all edges"};
+  }
+  return oriented;
+}
+
+std::vector<std::vector<NodeId>> eulerian_out_neighbors(const Graph& graph) {
+  std::vector<std::vector<NodeId>> out(graph.num_nodes());
+  for (const auto& [from, to] : eulerian_orientation(graph)) {
+    out[from].push_back(to);
+  }
+  return out;
+}
+
+}  // namespace upn

@@ -1,0 +1,26 @@
+// Eulerian orientation of even-degree graphs.
+//
+// Lemma 3.3 represents each c-regular guest as a directed graph where every
+// node has c/2 incoming and c/2 outgoing edges, "obtained by walking along an
+// Eulerian Tour".  eulerian_orientation() implements exactly that: Hierholzer
+// per connected component, orienting each edge in traversal direction, which
+// balances in/out degree at every vertex of even degree.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+/// Returns each edge of `graph` as an ordered (from, to) pair such that
+/// out-degree == in-degree == degree/2 at every node.  Throws if any node has
+/// odd degree.
+[[nodiscard]] std::vector<std::pair<NodeId, NodeId>> eulerian_orientation(const Graph& graph);
+
+/// Out-neighbor lists of the Eulerian orientation, indexed by node.
+[[nodiscard]] std::vector<std::vector<NodeId>> eulerian_out_neighbors(const Graph& graph);
+
+}  // namespace upn

@@ -1,0 +1,162 @@
+#include "src/topology/expander.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/topology/properties.hpp"
+#include "src/topology/random_regular.hpp"
+
+namespace upn {
+
+namespace {
+
+/// y = A x for the adjacency matrix of `graph`.
+void adjacency_multiply(const Graph& graph, const std::vector<double>& x,
+                        std::vector<double>& y) {
+  const std::uint32_t n = graph.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    double sum = 0.0;
+    for (const NodeId u : graph.neighbors(v)) sum += x[u];
+    y[v] = sum;
+  }
+}
+
+/// Removes the component along the all-ones vector and normalizes.
+void deflate_and_normalize(std::vector<double>& x) {
+  const auto n = static_cast<double>(x.size());
+  double mean = 0.0;
+  for (const double value : x) mean += value;
+  mean /= n;
+  double norm_sq = 0.0;
+  for (double& value : x) {
+    value -= mean;
+    norm_sq += value * value;
+  }
+  const double norm = std::sqrt(norm_sq);
+  if (norm > 0) {
+    for (double& value : x) value /= norm;
+  }
+}
+
+}  // namespace
+
+double second_eigenvalue(const Graph& graph, std::uint32_t iterations, std::uint64_t seed) {
+  const std::uint32_t n = graph.num_nodes();
+  if (n < 2) return 0.0;
+  Rng rng{seed};
+  std::vector<double> x(n), y(n);
+  for (double& value : x) value = rng.uniform() - 0.5;
+  deflate_and_normalize(x);
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    // Iterate on A^2 so both ends of the spectrum converge to |lambda|_max
+    // within the deflated subspace.
+    adjacency_multiply(graph, x, y);
+    adjacency_multiply(graph, y, x);
+    deflate_and_normalize(x);
+  }
+  // |lambda| from the A^2 Rayleigh quotient: x^T A^2 x = ||Ax||^2 with ||x||=1.
+  adjacency_multiply(graph, x, y);
+  double norm_sq = 0.0;
+  for (const double value : y) norm_sq += value * value;
+  return std::sqrt(norm_sq);
+}
+
+double tanner_beta(std::uint32_t degree, double lambda, double alpha) noexcept {
+  const double d2 = static_cast<double>(degree) * degree;
+  const double l2 = lambda * lambda;
+  const double denom = l2 + (d2 - l2) * alpha;
+  return denom <= 0 ? 0.0 : d2 / denom;
+}
+
+double sampled_vertex_expansion(const Graph& graph, double alpha, std::uint32_t trials,
+                                Rng& rng) {
+  const std::uint32_t n = graph.num_nodes();
+  const auto max_size = static_cast<std::uint32_t>(alpha * n);
+  if (max_size == 0 || n == 0) return 0.0;
+  double worst = static_cast<double>(n);
+  std::vector<char> in_set(n), seen(n);
+  for (std::uint32_t trial = 0; trial < trials; ++trial) {
+    const auto target = static_cast<std::uint32_t>(rng.between(1, max_size));
+    // Grow a random connected set: biased toward bad (low-expansion) sets,
+    // which is what we want for a tight empirical estimate.
+    std::fill(in_set.begin(), in_set.end(), 0);
+    std::vector<NodeId> members, frontier;
+    const auto start = static_cast<NodeId>(rng.below(n));
+    members.push_back(start);
+    in_set[start] = 1;
+    frontier.push_back(start);
+    while (members.size() < target && !frontier.empty()) {
+      const auto pick = static_cast<std::size_t>(rng.below(frontier.size()));
+      const NodeId v = frontier[pick];
+      NodeId chosen = v;
+      std::uint32_t options = 0;
+      for (const NodeId u : graph.neighbors(v)) {
+        if (!in_set[u] && rng.below(++options) == 0) chosen = u;
+      }
+      if (options == 0) {
+        frontier[pick] = frontier.back();
+        frontier.pop_back();
+        continue;
+      }
+      in_set[chosen] = 1;
+      members.push_back(chosen);
+      frontier.push_back(chosen);
+    }
+    // |N(A)|: neighbors outside A.
+    std::fill(seen.begin(), seen.end(), 0);
+    std::uint32_t boundary = 0;
+    for (const NodeId v : members) {
+      for (const NodeId u : graph.neighbors(v)) {
+        if (!in_set[u] && !seen[u]) {
+          seen[u] = 1;
+          ++boundary;
+        }
+      }
+    }
+    worst = std::min(worst, static_cast<double>(boundary) / static_cast<double>(members.size()));
+  }
+  return worst;
+}
+
+ExpanderCertificate verify_expander(const Graph& graph, double alpha,
+                                    std::uint32_t iterations) {
+  ExpanderCertificate cert;
+  cert.alpha = alpha;
+  std::uint32_t degree = 0;
+  if (!is_regular(graph, &degree) || !is_connected(graph)) return cert;
+  cert.lambda = second_eigenvalue(graph, iterations);
+  cert.beta = tanner_beta(degree, cert.lambda, alpha);
+  cert.valid = cert.beta > 1.0;
+  return cert;
+}
+
+Graph make_random_expander(std::uint32_t n, Rng& rng, double alpha, std::uint32_t max_tries) {
+  for (std::uint32_t attempt = 0; attempt < max_tries; ++attempt) {
+    Graph candidate = make_random_regular(n, 4, rng);
+    const ExpanderCertificate cert = verify_expander(candidate, alpha);
+    if (cert.valid) return candidate;
+  }
+  throw std::runtime_error{"make_random_expander: no attempt produced a certified expander"};
+}
+
+Graph make_margulis_expander(std::uint32_t k) {
+  if (k < 2) throw std::invalid_argument{"make_margulis_expander: k >= 2"};
+  const std::uint32_t n = k * k;
+  auto id = [k](std::uint32_t x, std::uint32_t y) { return y * k + x; };
+  GraphBuilder builder{n, "margulis(" + std::to_string(k) + ")"};
+  for (std::uint32_t y = 0; y < k; ++y) {
+    for (std::uint32_t x = 0; x < k; ++x) {
+      const NodeId v = id(x, y);
+      builder.add_edge(v, id((x + y) % k, y));          // S1
+      builder.add_edge(v, id((x + y + 1) % k, y));      // S2
+      builder.add_edge(v, id(x, (y + x) % k));          // T1
+      builder.add_edge(v, id(x, (y + x + 1) % k));      // T2
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace upn

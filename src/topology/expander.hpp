@@ -1,0 +1,64 @@
+// Expander graphs with *verified* expansion.
+//
+// Definition 3.8: G = (V, E) is an (alpha, beta)-expander if every A with
+// |A| <= alpha |V| has |N(A)| >= beta |A|.  G_0 (Definition 3.9) plants a
+// 4-regular (alpha, beta)-expander; Lemma 3.15 uses its expansion to force
+// generating-pebble growth.  The paper assumes such expanders exist; we
+// *construct* them (random 4-regular, or explicit Margulis-style degree 8)
+// and *certify* the expansion with a spectral bound instead of assuming it:
+//
+//   Tanner's bound: in a d-regular graph with second-largest |eigenvalue|
+//   lambda, every A with |A| = alpha' n satisfies
+//       |N(A)| >= |A| * d^2 / (lambda^2 + (d^2 - lambda^2) alpha').
+//
+// Random 4-regular graphs have lambda ~ 2 sqrt(3) ~ 3.46 w.h.p., which gives
+// beta > 1 for small alpha.  We measure lambda by power iteration.
+#pragma once
+
+#include <cstdint>
+
+#include "src/topology/graph.hpp"
+#include "src/util/rng.hpp"
+
+namespace upn {
+
+/// Second-largest absolute eigenvalue of the adjacency matrix of a connected
+/// d-regular graph, estimated by power iteration on A deflated against the
+/// all-ones eigenvector.  `iterations` trades accuracy for time.
+[[nodiscard]] double second_eigenvalue(const Graph& graph, std::uint32_t iterations = 200,
+                                       std::uint64_t seed = 1);
+
+/// beta guaranteed by Tanner's bound for sets of size exactly alpha*n.
+[[nodiscard]] double tanner_beta(std::uint32_t degree, double lambda, double alpha) noexcept;
+
+/// Empirical vertex expansion: minimum |N(A)|/|A| over `trials` random
+/// connected sets of size <= alpha*n.  An upper bound on the true expansion
+/// (sampling can only find witnesses, not certify their absence).
+[[nodiscard]] double sampled_vertex_expansion(const Graph& graph, double alpha,
+                                              std::uint32_t trials, Rng& rng);
+
+/// Spectral certificate produced by verify_expander().
+struct ExpanderCertificate {
+  double lambda = 0.0;   ///< measured second eigenvalue
+  double alpha = 0.0;    ///< set-size fraction the certificate covers
+  double beta = 0.0;     ///< guaranteed expansion via Tanner's bound
+  bool valid = false;    ///< beta > 1 (true expansion) and graph connected
+};
+
+/// Certifies that `graph` (must be regular) is an (alpha, beta)-expander for
+/// the returned beta.  valid == false if the spectral gap is too small.
+[[nodiscard]] ExpanderCertificate verify_expander(const Graph& graph, double alpha,
+                                                  std::uint32_t iterations = 200);
+
+/// A random 4-regular graph, resampled (up to `max_tries`) until the spectral
+/// certificate at `alpha` is valid.  Throws if no attempt certifies.
+[[nodiscard]] Graph make_random_expander(std::uint32_t n, Rng& rng, double alpha = 0.1,
+                                         std::uint32_t max_tries = 16);
+
+/// Margulis-style explicit degree-8 expander on k*k nodes (Z_k x Z_k):
+/// (x, y) ~ (x + y, y), (x - y, y), (x, y + x), (x, y - x),
+///          (x + y + 1, y), (x - y - 1... ) -- we use the standard 4
+/// generators and their inverses, all mod k.
+[[nodiscard]] Graph make_margulis_expander(std::uint32_t k);
+
+}  // namespace upn

@@ -1,0 +1,49 @@
+#include "src/topology/g0.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "src/util/math.hpp"
+
+namespace upn {
+
+std::uint32_t g0_block_parameter(std::uint32_t host_size) noexcept {
+  if (host_size < 2) return 2;
+  const double a = std::sqrt(std::log2(static_cast<double>(host_size)));
+  return std::max(2u, static_cast<std::uint32_t>(std::ceil(a)));
+}
+
+std::uint32_t g0_round_guest_size(std::uint32_t n_hint, std::uint32_t a) noexcept {
+  const std::uint32_t block = 2 * a;
+  auto hint_side = static_cast<std::uint32_t>(isqrt(n_hint));
+  if (hint_side * hint_side < n_hint) ++hint_side;
+  const auto multiples = std::max<std::uint32_t>(
+      1u, static_cast<std::uint32_t>(ceil_div(hint_side, block)));
+  const std::uint32_t side = multiples * block;
+  return side * side;
+}
+
+G0 make_g0(std::uint32_t n, std::uint32_t host_size, Rng& rng, double alpha) {
+  const std::uint32_t a = g0_block_parameter(host_size);
+  const std::uint32_t block = 2 * a;
+  const auto side = static_cast<std::uint32_t>(isqrt(n));
+  if (side * side != n || side % block != 0) {
+    throw std::invalid_argument{
+        "make_g0: n must be a perfect square with side divisible by 2a; "
+        "use g0_round_guest_size"};
+  }
+  G0 result;
+  result.a = a;
+  result.host_size = host_size;
+  result.layout = multitorus_layout(n, block);
+  result.multitorus = make_multitorus(n, block);
+  Graph expander = make_random_expander(n, rng, alpha);
+  result.expander = verify_expander(expander, alpha);
+  result.graph = graph_union(result.multitorus, expander,
+                             "g0(n=" + std::to_string(n) + ",a=" + std::to_string(a) + ")");
+  return result;
+}
+
+}  // namespace upn

@@ -1,0 +1,54 @@
+// The fixed subgraph G_0 of Definition 3.9.
+//
+// With a = sqrt(log m), G_0 on n nodes is the edge union of
+//   E_1: a (2a, n)-multitorus, and
+//   E_2: a 4-regular (alpha, beta)-expander,
+// giving constant degree (the paper states 12; our multitorus realizes
+// degree <= 6 per node, so max degree <= 10 -- strictly within the paper's
+// budget).  G_0 is partitioned into h <= n / (4a^2) blocks T_1, ..., T_h,
+// each a (4a^2)-torus (a 2a x 2a torus); Lemma 3.10 roots one dependency
+// tree per block.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topology/expander.hpp"
+#include "src/topology/graph.hpp"
+#include "src/topology/multitorus.hpp"
+#include "src/util/rng.hpp"
+
+namespace upn {
+
+/// G_0 together with the bookkeeping the lower-bound machinery needs.
+struct G0 {
+  Graph graph;                   ///< E_1 union E_2
+  Graph multitorus;              ///< E_1 alone (dependency trees live here)
+  MultitorusLayout layout;       ///< 2a x 2a block structure
+  ExpanderCertificate expander;  ///< certificate for the planted E_2
+  std::uint32_t a = 0;           ///< block half-side: blocks are 2a x 2a
+  std::uint32_t host_size = 0;   ///< the m that a = sqrt(log m) refers to
+
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept { return graph.num_nodes(); }
+  /// h: number of (4a^2)-torus blocks.
+  [[nodiscard]] std::uint32_t num_blocks() const noexcept { return layout.num_blocks(); }
+  /// The nodes of block T_j (j in [0, h)).
+  [[nodiscard]] std::vector<NodeId> block(std::uint32_t j) const {
+    return layout.block_nodes(j);
+  }
+};
+
+/// The paper's a = ceil(sqrt(log2 m)), clamped to >= 2 so blocks are
+/// non-degenerate.
+[[nodiscard]] std::uint32_t g0_block_parameter(std::uint32_t host_size) noexcept;
+
+/// Smallest valid guest size >= n_hint for the given a: a perfect square
+/// whose side is a positive multiple of 2a (so n >= 4a^2).
+[[nodiscard]] std::uint32_t g0_round_guest_size(std::uint32_t n_hint, std::uint32_t a) noexcept;
+
+/// Builds G_0 for guests of size n against hosts of size host_size.
+/// n must satisfy the divisibility constraints (use g0_round_guest_size).
+[[nodiscard]] G0 make_g0(std::uint32_t n, std::uint32_t host_size, Rng& rng,
+                         double alpha = 0.1);
+
+}  // namespace upn

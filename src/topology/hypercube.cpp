@@ -1,0 +1,22 @@
+#include "src/topology/hypercube.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace upn {
+
+Graph make_hypercube(std::uint32_t dimension) {
+  if (dimension == 0 || dimension > 25) {
+    throw std::invalid_argument{"make_hypercube: dimension in [1, 25]"};
+  }
+  const std::uint32_t n = 1u << dimension;
+  GraphBuilder builder{n, "hypercube(" + std::to_string(dimension) + ")"};
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (std::uint32_t bit = 0; bit < dimension; ++bit) {
+      builder.add_edge(v, v ^ (1u << bit));
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace upn

@@ -1,0 +1,14 @@
+// The d-dimensional hypercube (2^d nodes, degree d).  Not constant-degree as
+// a family, but the classic substrate from which CCC / butterfly / shuffle-
+// exchange derive, and a useful host in tests and benches.
+#pragma once
+
+#include <cstdint>
+
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+[[nodiscard]] Graph make_hypercube(std::uint32_t dimension);
+
+}  // namespace upn

@@ -1,0 +1,66 @@
+#include "src/topology/kautz.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace upn {
+
+namespace {
+
+/// Enumerate the valid strings s_0 s_1 ... s_d (s_i in {0,1,2}, s_i !=
+/// s_{i+1}) and index them 0..3*2^d-1: s_0 in {0,1,2} and each subsequent
+/// symbol one of the 2 non-equal choices.
+std::uint32_t index_of(const std::vector<std::uint8_t>& word) {
+  std::uint32_t index = word[0];
+  for (std::size_t i = 1; i < word.size(); ++i) {
+    // The two legal successors of p in increasing order are lo < hi;
+    // encode word[i] as the binary choice between them.
+    const std::uint8_t p = word[i - 1];
+    const std::uint8_t lo = (p == 0) ? 1 : 0;
+    index = index * 2 + (word[i] == lo ? 0u : 1u);
+  }
+  return index;
+}
+
+std::vector<std::uint8_t> word_of(std::uint32_t index, std::uint32_t length) {
+  std::vector<std::uint8_t> word(length);
+  std::vector<std::uint32_t> digits(length);
+  for (std::uint32_t i = length; i-- > 1;) {
+    digits[i] = index % 2;
+    index /= 2;
+  }
+  digits[0] = index;  // in {0,1,2}
+  word[0] = static_cast<std::uint8_t>(digits[0]);
+  for (std::uint32_t i = 1; i < length; ++i) {
+    const std::uint8_t p = word[i - 1];
+    // The two legal successors in increasing order.
+    const std::uint8_t lo = (p == 0) ? 1 : 0;
+    const std::uint8_t hi = (p == 2) ? 1 : 2;
+    word[i] = digits[i] == 0 ? lo : hi;
+  }
+  return word;
+}
+
+}  // namespace
+
+Graph make_kautz(std::uint32_t d) {
+  if (d == 0 || d > 24) throw std::invalid_argument{"make_kautz: d in [1, 24]"};
+  const std::uint32_t length = d + 1;
+  const std::uint32_t n = kautz_size(d);
+  GraphBuilder builder{n, "kautz(" + std::to_string(d) + ")"};
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const auto word = word_of(v, length);
+    // Shift left and append each legal symbol: s_1 .. s_d x.
+    std::vector<std::uint8_t> next(word.begin() + 1, word.end());
+    next.push_back(0);
+    for (std::uint8_t x = 0; x < 3; ++x) {
+      if (x == word.back()) continue;
+      next.back() = x;
+      builder.add_edge(v, index_of(next));
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace upn

@@ -1,0 +1,21 @@
+// The Kautz graph K(2, d): vertices are length-(d+1) strings over {0,1,2}
+// with no two consecutive symbols equal; edges follow shift-append (both
+// directions).  (2+1) * 2^d vertices, degree <= 4, diameter d+1 -- the
+// densest known family at degree 4 and a strong universal-host candidate
+// alongside de Bruijn.
+#pragma once
+
+#include <cstdint>
+
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+/// Number of vertices of K(2, d): 3 * 2^d.
+[[nodiscard]] constexpr std::uint32_t kautz_size(std::uint32_t d) noexcept {
+  return 3u << d;
+}
+
+[[nodiscard]] Graph make_kautz(std::uint32_t d);
+
+}  // namespace upn

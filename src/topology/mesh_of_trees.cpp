@@ -1,0 +1,44 @@
+#include "src/topology/mesh_of_trees.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "src/util/math.hpp"
+
+namespace upn {
+
+Graph make_mesh_of_trees(std::uint32_t side) {
+  if (side < 2 || !is_power_of_two(side)) {
+    throw std::invalid_argument{"make_mesh_of_trees: side must be a power of two >= 2"};
+  }
+  const MeshOfTreesLayout layout{side};
+  GraphBuilder builder{layout.num_nodes(), "mesh_of_trees(" + std::to_string(side) + ")"};
+
+  // One complete binary tree over `side` leaves; `internal(j)` names the
+  // j-th internal node, `leaf(i)` the i-th leaf.  Internal nodes are a heap:
+  // children of j are 2j+1 and 2j+2; when a child index reaches the internal
+  // count, it wraps into the leaf range.
+  const std::uint32_t internals = layout.internal_per_tree();
+  auto add_tree = [&](auto&& internal, auto&& leaf) {
+    for (std::uint32_t j = 0; j < internals; ++j) {
+      for (const std::uint32_t child : {2 * j + 1, 2 * j + 2}) {
+        if (child < internals) {
+          builder.add_edge(internal(j), internal(child));
+        } else {
+          builder.add_edge(internal(j), leaf(child - internals));
+        }
+      }
+    }
+  };
+  for (std::uint32_t y = 0; y < side; ++y) {
+    add_tree([&](std::uint32_t j) { return layout.row_internal(y, j); },
+             [&](std::uint32_t i) { return layout.grid_id(i, y); });
+  }
+  for (std::uint32_t x = 0; x < side; ++x) {
+    add_tree([&](std::uint32_t j) { return layout.col_internal(x, j); },
+             [&](std::uint32_t i) { return layout.grid_id(x, i); });
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace upn

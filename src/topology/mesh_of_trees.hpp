@@ -1,0 +1,44 @@
+// The N x N mesh of trees (cited via [1]: "Optimal emulation of meshes on
+// meshes of trees").  N^2 grid nodes; every row and every column carries a
+// complete binary tree over its N grid nodes (N - 1 internal nodes each).
+// Constant degree (<= 3), diameter O(log N), strong routing properties --
+// another classic host family for the universality experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+/// Node numbering for the mesh of trees on an N x N grid (N = 2^k):
+///   grid node (x, y)            -> y*N + x                  (N^2 ids)
+///   row-tree internal (y, j)    -> N^2 + y*(N-1) + j        (j in [0, N-1))
+///   col-tree internal (x, j)    -> N^2 + N*(N-1) + x*(N-1) + j
+/// Internal nodes form implicit heaps: node j's children are 2j+1, 2j+2 for
+/// j < N/2 - 1... the last level's children are the grid nodes.
+struct MeshOfTreesLayout {
+  std::uint32_t side = 0;  ///< N, a power of two >= 2
+
+  [[nodiscard]] constexpr std::uint32_t grid_nodes() const noexcept { return side * side; }
+  [[nodiscard]] constexpr std::uint32_t internal_per_tree() const noexcept {
+    return side - 1;
+  }
+  [[nodiscard]] constexpr std::uint32_t num_nodes() const noexcept {
+    return grid_nodes() + 2 * side * internal_per_tree();
+  }
+  [[nodiscard]] constexpr NodeId grid_id(std::uint32_t x, std::uint32_t y) const noexcept {
+    return y * side + x;
+  }
+  [[nodiscard]] constexpr NodeId row_internal(std::uint32_t y, std::uint32_t j) const noexcept {
+    return grid_nodes() + y * internal_per_tree() + j;
+  }
+  [[nodiscard]] constexpr NodeId col_internal(std::uint32_t x, std::uint32_t j) const noexcept {
+    return grid_nodes() + side * internal_per_tree() + x * internal_per_tree() + j;
+  }
+};
+
+/// Builds the mesh of trees with side N (a power of two >= 2).
+[[nodiscard]] Graph make_mesh_of_trees(std::uint32_t side);
+
+}  // namespace upn

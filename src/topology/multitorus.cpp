@@ -1,0 +1,72 @@
+#include "src/topology/multitorus.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "src/util/math.hpp"
+
+namespace upn {
+
+std::uint32_t MultitorusLayout::block_of(NodeId v) const noexcept {
+  const Grid2D g = grid();
+  const std::uint32_t bx = g.x_of(v) / block_side;
+  const std::uint32_t by = g.y_of(v) / block_side;
+  return by * blocks_per_row() + bx;
+}
+
+std::vector<NodeId> MultitorusLayout::block_nodes(std::uint32_t b) const {
+  const Grid2D g = grid();
+  const std::uint32_t bx = (b % blocks_per_row()) * block_side;
+  const std::uint32_t by = (b / blocks_per_row()) * block_side;
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(block_side) * block_side);
+  for (std::uint32_t y = 0; y < block_side; ++y) {
+    for (std::uint32_t x = 0; x < block_side; ++x) {
+      nodes.push_back(g.id(bx + x, by + y));
+    }
+  }
+  return nodes;
+}
+
+std::pair<std::uint32_t, std::uint32_t> MultitorusLayout::local_coords(NodeId v) const noexcept {
+  const Grid2D g = grid();
+  return {g.x_of(v) % block_side, g.y_of(v) % block_side};
+}
+
+MultitorusLayout multitorus_layout(std::uint32_t n, std::uint32_t block_side) {
+  const auto side = static_cast<std::uint32_t>(isqrt(n));
+  if (side * side != n) {
+    throw std::invalid_argument{"multitorus: n must be a perfect square"};
+  }
+  if (block_side == 0 || side % block_side != 0) {
+    throw std::invalid_argument{"multitorus: sqrt(n) must be a multiple of block_side"};
+  }
+  return MultitorusLayout{side, block_side};
+}
+
+Graph make_multitorus(std::uint32_t n, std::uint32_t block_side) {
+  const MultitorusLayout layout = multitorus_layout(n, block_side);
+  const Grid2D grid = layout.grid();
+  const std::uint32_t side = layout.side;
+  GraphBuilder builder{n, "multitorus(a=" + std::to_string(block_side) +
+                              ",n=" + std::to_string(n) + ")"};
+  // Global n-torus edges.
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      builder.add_edge(grid.id(x, y), grid.id((x + 1) % side, y));
+      builder.add_edge(grid.id(x, y), grid.id(x, (y + 1) % side));
+    }
+  }
+  // Per-block wraparound edges turning each aligned a x a submesh into a torus.
+  for (std::uint32_t b = 0; b < layout.num_blocks(); ++b) {
+    const std::uint32_t bx = (b % layout.blocks_per_row()) * block_side;
+    const std::uint32_t by = (b / layout.blocks_per_row()) * block_side;
+    for (std::uint32_t i = 0; i < block_side; ++i) {
+      builder.add_edge(grid.id(bx + i, by), grid.id(bx + i, by + block_side - 1));
+      builder.add_edge(grid.id(bx, by + i), grid.id(bx + block_side - 1, by + i));
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace upn

@@ -1,0 +1,44 @@
+// The (a, n)-multitorus of Definition 3.8.
+//
+// Start from the n-torus (N x N with N = sqrt(n)), then extend every aligned
+// a x a submesh by wraparound edges so each block becomes an a x a torus.
+// The aligned blocks partition the vertex set; for G_0 (Definition 3.9) the
+// paper uses a (2a, n)-multitorus and partitions it into these (4a^2)-tori
+// T_1, ..., T_h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topology/graph.hpp"
+#include "src/topology/mesh.hpp"
+
+namespace upn {
+
+/// Layout bookkeeping for an (a, n)-multitorus: which block each node is in.
+struct MultitorusLayout {
+  std::uint32_t side = 0;        ///< N = sqrt(n)
+  std::uint32_t block_side = 0;  ///< a
+
+  [[nodiscard]] Grid2D grid() const noexcept { return Grid2D{side, side}; }
+  [[nodiscard]] std::uint32_t blocks_per_row() const noexcept { return side / block_side; }
+  [[nodiscard]] std::uint32_t num_blocks() const noexcept {
+    return blocks_per_row() * blocks_per_row();
+  }
+  [[nodiscard]] std::uint32_t block_of(NodeId v) const noexcept;
+
+  /// Nodes of block b in row-major order of their in-block coordinates.
+  [[nodiscard]] std::vector<NodeId> block_nodes(std::uint32_t b) const;
+
+  /// In-block coordinates (x, y) of node v, both in [0, block_side).
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> local_coords(NodeId v) const noexcept;
+};
+
+/// Builds the (block_side, n)-multitorus; n must be a perfect square whose
+/// side is a positive multiple of block_side.
+[[nodiscard]] Graph make_multitorus(std::uint32_t n, std::uint32_t block_side);
+
+/// The layout that accompanies make_multitorus(n, block_side).
+[[nodiscard]] MultitorusLayout multitorus_layout(std::uint32_t n, std::uint32_t block_side);
+
+}  // namespace upn

@@ -1,0 +1,162 @@
+#include "src/topology/parse.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/topology/builders.hpp"
+#include "src/topology/butterfly.hpp"
+#include "src/topology/ccc.hpp"
+#include "src/topology/debruijn.hpp"
+#include "src/topology/expander.hpp"
+#include "src/topology/hypercube.hpp"
+#include "src/topology/kautz.hpp"
+#include "src/topology/mesh.hpp"
+#include "src/topology/mesh_of_trees.hpp"
+#include "src/topology/multitorus.hpp"
+#include "src/topology/random_regular.hpp"
+#include "src/topology/shuffle_exchange.hpp"
+#include "src/topology/torus.hpp"
+#include "src/topology/torus3d.hpp"
+#include "src/util/rng.hpp"
+
+namespace upn {
+
+namespace {
+
+/// Splits on ':' and, inside a field, on 'x' (for WxH forms).
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    parts.push_back(text.substr(start, pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::uint32_t parse_u32(const std::string& field, const std::string& spec) {
+  try {
+    const unsigned long value = std::stoul(field);
+    if (value > 0xffffffffUL) throw std::out_of_range{"too large"};
+    return static_cast<std::uint32_t>(value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument{"make_topology: bad number '" + field + "' in '" + spec +
+                                "'"};
+  }
+}
+
+}  // namespace
+
+Graph make_topology(const std::string& spec) {
+  const auto parts = split(spec, ':');
+  const std::string& family = parts.front();
+  const std::size_t args = parts.size() - 1;
+  auto need = [&](std::size_t count) {
+    if (args != count) {
+      throw std::invalid_argument{"make_topology: '" + family + "' expects " +
+                                  std::to_string(count) + " parameter(s) in '" + spec + "'"};
+    }
+  };
+  auto arg = [&](std::size_t i) { return parse_u32(parts[i + 1], spec); };
+
+  if (family == "butterfly") {
+    need(1);
+    return make_butterfly(arg(0));
+  }
+  if (family == "wrapped_butterfly") {
+    need(1);
+    return make_wrapped_butterfly(arg(0));
+  }
+  if (family == "hypercube") {
+    need(1);
+    return make_hypercube(arg(0));
+  }
+  if (family == "ccc") {
+    need(1);
+    return make_cube_connected_cycles(arg(0));
+  }
+  if (family == "shuffle_exchange") {
+    need(1);
+    return make_shuffle_exchange(arg(0));
+  }
+  if (family == "debruijn") {
+    need(1);
+    return make_debruijn(arg(0));
+  }
+  if (family == "kautz") {
+    need(1);
+    return make_kautz(arg(0));
+  }
+  if (family == "mesh_of_trees") {
+    need(1);
+    return make_mesh_of_trees(arg(0));
+  }
+  if (family == "cycle") {
+    need(1);
+    return make_cycle(arg(0));
+  }
+  if (family == "path") {
+    need(1);
+    return make_path(arg(0));
+  }
+  if (family == "complete") {
+    need(1);
+    return make_complete(arg(0));
+  }
+  if (family == "binary_tree") {
+    need(1);
+    return make_complete_binary_tree(arg(0));
+  }
+  if (family == "margulis") {
+    need(1);
+    return make_margulis_expander(arg(0));
+  }
+  if (family == "mesh" || family == "torus") {
+    need(1);
+    const auto dims = split(parts[1], 'x');
+    if (dims.size() != 2) {
+      throw std::invalid_argument{"make_topology: '" + family + "' expects WxH in '" +
+                                  spec + "'"};
+    }
+    const std::uint32_t w = parse_u32(dims[0], spec);
+    const std::uint32_t h = parse_u32(dims[1], spec);
+    return family == "mesh" ? make_mesh(w, h) : make_torus(w, h);
+  }
+  if (family == "torus3d") {
+    need(1);
+    const auto dims = split(parts[1], 'x');
+    if (dims.size() != 3) {
+      throw std::invalid_argument{"make_topology: 'torus3d' expects XxYxZ in '" + spec +
+                                  "'"};
+    }
+    return make_torus3d(parse_u32(dims[0], spec), parse_u32(dims[1], spec),
+                        parse_u32(dims[2], spec));
+  }
+  if (family == "multitorus") {
+    need(2);
+    return make_multitorus(arg(0), arg(1));
+  }
+  if (family == "random") {
+    need(3);
+    Rng rng{arg(2)};
+    return make_random_regular(arg(0), arg(1), rng);
+  }
+  if (family == "expander") {
+    need(2);
+    Rng rng{arg(1)};
+    return make_random_expander(arg(0), rng);
+  }
+  throw std::invalid_argument{"make_topology: unknown family '" + family + "' (" +
+                              topology_spec_help() + ")"};
+}
+
+std::string topology_spec_help() {
+  return "known specs: butterfly:d wrapped_butterfly:d hypercube:d ccc:d "
+         "shuffle_exchange:d debruijn:d kautz:d mesh_of_trees:N cycle:n path:n "
+         "complete:n binary_tree:levels margulis:k mesh:WxH torus:WxH "
+         "torus3d:XxYxZ multitorus:n:a random:n:c:seed expander:n:seed";
+}
+
+}  // namespace upn

@@ -1,0 +1,27 @@
+// Topology spec strings: build any network in the library from a compact
+// textual description.  Used by the example/CLI tools so experiments can be
+// described on the command line.
+//
+//   butterfly:4          wrapped_butterfly:4     hypercube:5
+//   torus:8x8            mesh:8x4                multitorus:64:4
+//   ccc:3                shuffle_exchange:5      debruijn:6
+//   mesh_of_trees:4      cycle:12                path:9
+//   complete:16          binary_tree:4           margulis:8
+//   random:128:16:7      (n : degree : seed)
+//   expander:256:7       (n : seed, certified 4-regular)
+#pragma once
+
+#include <string>
+
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+/// Parses and builds; throws std::invalid_argument with a helpful message
+/// on unknown families or malformed parameters.
+[[nodiscard]] Graph make_topology(const std::string& spec);
+
+/// One-line usage summary of every known spec form.
+[[nodiscard]] std::string topology_spec_help();
+
+}  // namespace upn

@@ -1,0 +1,21 @@
+#include "src/topology/shuffle_exchange.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace upn {
+
+Graph make_shuffle_exchange(std::uint32_t dimension) {
+  if (dimension == 0 || dimension > 25) {
+    throw std::invalid_argument{"make_shuffle_exchange: dimension in [1, 25]"};
+  }
+  const std::uint32_t n = 1u << dimension;
+  GraphBuilder builder{n, "shuffle_exchange(" + std::to_string(dimension) + ")"};
+  for (std::uint32_t v = 0; v < n; ++v) {
+    builder.add_edge(v, v ^ 1u);
+    builder.add_edge(v, shuffle_word(v, dimension));
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace upn

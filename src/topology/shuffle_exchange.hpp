@@ -1,0 +1,21 @@
+// The shuffle-exchange network on 2^d nodes: exchange edges v <-> v XOR 1 and
+// shuffle edges v <-> rotate-left(v).  Degree <= 3; cited in Section 1 as an
+// n-universal network with slowdown O(log n (log log n)^2) via sorting.
+#pragma once
+
+#include <cstdint>
+
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+[[nodiscard]] Graph make_shuffle_exchange(std::uint32_t dimension);
+
+/// Left-rotation of a dimension-bit word (the "shuffle" permutation).
+[[nodiscard]] constexpr std::uint32_t shuffle_word(std::uint32_t v,
+                                                   std::uint32_t dimension) noexcept {
+  const std::uint32_t mask = (dimension >= 32) ? ~0u : ((1u << dimension) - 1u);
+  return ((v << 1) | (v >> (dimension - 1))) & mask;
+}
+
+}  // namespace upn

@@ -1,0 +1,34 @@
+#include "src/topology/torus.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "src/util/math.hpp"
+
+namespace upn {
+
+Graph make_torus(std::uint32_t width, std::uint32_t height) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument{"make_torus: dimensions must be positive"};
+  }
+  const Grid2D grid{width, height};
+  GraphBuilder builder{grid.num_nodes(),
+                       "torus(" + std::to_string(width) + "x" + std::to_string(height) + ")"};
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      builder.add_edge(grid.id(x, y), grid.id((x + 1) % width, y));
+      builder.add_edge(grid.id(x, y), grid.id(x, (y + 1) % height));
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph make_square_torus(std::uint32_t n) {
+  const auto side = static_cast<std::uint32_t>(isqrt(n));
+  if (side * side != n) {
+    throw std::invalid_argument{"make_square_torus: n must be a perfect square"};
+  }
+  return make_torus(side, side);
+}
+
+}  // namespace upn

@@ -1,0 +1,28 @@
+#include "src/topology/torus3d.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace upn {
+
+Graph make_torus3d(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  if (x == 0 || y == 0 || z == 0) {
+    throw std::invalid_argument{"make_torus3d: dimensions must be positive"};
+  }
+  const Grid3D grid{x, y, z};
+  GraphBuilder builder{grid.num_nodes(), "torus3d(" + std::to_string(x) + "x" +
+                                             std::to_string(y) + "x" + std::to_string(z) +
+                                             ")"};
+  for (std::uint32_t k = 0; k < z; ++k) {
+    for (std::uint32_t j = 0; j < y; ++j) {
+      for (std::uint32_t i = 0; i < x; ++i) {
+        builder.add_edge(grid.id(i, j, k), grid.id((i + 1) % x, j, k));
+        builder.add_edge(grid.id(i, j, k), grid.id(i, (j + 1) % y, k));
+        builder.add_edge(grid.id(i, j, k), grid.id(i, j, (k + 1) % z));
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace upn

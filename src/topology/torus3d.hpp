@@ -1,0 +1,24 @@
+// Three-dimensional tori: degree 6, diameter (x+y+z)/2, spreading exponent
+// 3 -- the next rung on the polynomial-spreading ladder of [15] between 2D
+// meshes and expanders.
+#pragma once
+
+#include <cstdint>
+
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+/// Coordinates in an X x Y x Z grid, x-fastest.
+struct Grid3D {
+  std::uint32_t x = 0, y = 0, z = 0;
+  [[nodiscard]] constexpr std::uint32_t num_nodes() const noexcept { return x * y * z; }
+  [[nodiscard]] constexpr NodeId id(std::uint32_t i, std::uint32_t j,
+                                    std::uint32_t k) const noexcept {
+    return (k * y + j) * x + i;
+  }
+};
+
+[[nodiscard]] Graph make_torus3d(std::uint32_t x, std::uint32_t y, std::uint32_t z);
+
+}  // namespace upn

@@ -1,0 +1,59 @@
+#include "src/util/cli.hpp"
+
+#include <stdexcept>
+
+namespace upn {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc < 1) throw std::invalid_argument{"Cli: empty argv"};
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+      throw std::invalid_argument{"Cli: expected --name[=value], got '" + token + "'"};
+    }
+    token.erase(0, 2);
+    if (const auto eq = token.find('='); eq != std::string::npos) {
+      values_[token.substr(0, eq)] = token.substr(eq + 1);
+    } else if (i + 1 < argc && std::string{argv[i + 1]}.rfind("--", 0) != 0) {
+      values_[token] = argv[++i];
+    } else {
+      values_[token] = "true";  // bare flag
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) != 0;
+}
+
+std::string Cli::get(const std::string& name, std::string fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+std::uint64_t Cli::get_u64(const std::string& name, std::uint64_t fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stoull(it->second);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+std::vector<std::string> Cli::unused() const {
+  std::vector<std::string> names;
+  for (const auto& [name, _] : values_) {
+    if (!queried_.count(name)) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace upn

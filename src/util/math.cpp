@@ -1,0 +1,48 @@
+#include "src/util/math.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace upn {
+
+namespace {
+constexpr double kLog2E = 1.4426950408889634074;  // log2(e)
+}  // namespace
+
+double log2_factorial(double x) noexcept {
+  if (x < 0) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(x + 1.0) * kLog2E;
+}
+
+double log2_binomial(double n, double k) noexcept {
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  if (k == 0 || k == n) return 0.0;
+  return log2_factorial(n) - log2_factorial(k) - log2_factorial(n - k);
+}
+
+double log2_pow(double a, double b) noexcept {
+  if (b == 0.0) return 0.0;
+  if (a <= 0.0) return -std::numeric_limits<double>::infinity();
+  return b * std::log2(a);
+}
+
+double log2_add(double a, double b) noexcept {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double hi = a > b ? a : b;
+  const double lo = a > b ? b : a;
+  return hi + std::log2(1.0 + std::exp2(lo - hi));
+}
+
+std::uint64_t isqrt(std::uint64_t x) noexcept {
+  if (x == 0) return 0;
+  auto r = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(x)));
+  if (r > 0xffffffffULL) r = 0xffffffffULL;  // floor(sqrt(2^64-1))
+  // sqrt on doubles can be off by one ulp for large x; correct exactly.
+  // Overflow-safe comparisons: r*r > x <=> r > x/r for r > 0.
+  while (r > 0 && r > x / r) --r;
+  while (r < 0xffffffffULL && (r + 1) <= x / (r + 1)) ++r;
+  return r;
+}
+
+}  // namespace upn

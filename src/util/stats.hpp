@@ -1,0 +1,40 @@
+// Tiny descriptive statistics for bench/experiment reporting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace upn {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;
+  double median = 0;
+};
+
+/// Summary statistics (population stddev) of a sample.
+[[nodiscard]] inline Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.median = values.size() % 2 == 1
+                 ? values[values.size() / 2]
+                 : 0.5 * (values[values.size() / 2 - 1] + values[values.size() / 2]);
+  double sum = 0;
+  for (const double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0;
+  for (const double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return s;
+}
+
+}  // namespace upn

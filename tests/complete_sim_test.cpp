@@ -1,0 +1,77 @@
+// Complete-network (K_n) online simulation tests (Section 2, last part).
+#include <gtest/gtest.h>
+
+#include "src/core/complete_sim.hpp"
+#include "src/core/embedding.hpp"
+#include "src/routing/policies.hpp"
+#include "src/topology/butterfly.hpp"
+#include "src/topology/debruijn.hpp"
+
+namespace upn {
+namespace {
+
+TEST(CompletePermutation, IsAPermutationAndVariesByStep) {
+  const auto p1 = complete_step_permutation(50, 1, 7);
+  const auto p2 = complete_step_permutation(50, 2, 7);
+  std::vector<char> seen(50, 0);
+  for (const NodeId v : p1) {
+    ASSERT_LT(v, 50u);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = 1;
+  }
+  EXPECT_NE(p1, p2);
+  // Deterministic in (t, seed).
+  EXPECT_EQ(p1, complete_step_permutation(50, 1, 7));
+  EXPECT_NE(p1, complete_step_permutation(50, 1, 8));
+}
+
+TEST(CompleteReference, EvolvesAndIsDeterministic) {
+  const auto a = run_complete_reference(32, 1, 2, 5);
+  const auto b = run_complete_reference(32, 1, 2, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, run_complete_reference(32, 1, 3, 5));  // pattern matters
+  EXPECT_NE(a, run_complete_reference(32, 9, 2, 5));  // seed matters
+}
+
+TEST(CompleteSim, GreedyOnlineSimulationIsCorrect) {
+  Rng rng{5};
+  const Graph host = make_butterfly(2);
+  const std::uint32_t n = 48;
+  const auto embedding = make_random_embedding(n, host.num_nodes(), rng);
+  GreedyPolicy policy{host};
+  const CompleteSimResult result =
+      run_complete_simulation(n, host, embedding, 5, policy);
+  EXPECT_TRUE(result.configs_match);
+  EXPECT_GE(result.slowdown, static_cast<double>(n) / host.num_nodes());
+}
+
+TEST(CompleteSim, ValiantOnlineSimulationIsCorrect) {
+  Rng rng{6};
+  const Graph host = make_debruijn(4);
+  const std::uint32_t n = 64;
+  const auto embedding = make_random_embedding(n, host.num_nodes(), rng);
+  ValiantPolicy policy{host, 17};
+  const CompleteSimResult result =
+      run_complete_simulation(n, host, embedding, 4, policy, PortModel::kMultiPort);
+  EXPECT_TRUE(result.configs_match);
+}
+
+TEST(CompleteSim, AllGuestsOnOneHost) {
+  const Graph host = make_butterfly(1);
+  GreedyPolicy policy{host};
+  const CompleteSimResult result =
+      run_complete_simulation(10, host, std::vector<NodeId>(10, 0), 3, policy);
+  EXPECT_TRUE(result.configs_match);
+  // No packets: host steps = T * load.
+  EXPECT_EQ(result.host_steps, 3u * 10u);
+}
+
+TEST(CompleteSim, RejectsBadEmbedding) {
+  const Graph host = make_butterfly(1);
+  GreedyPolicy policy{host};
+  EXPECT_THROW((void)run_complete_simulation(10, host, std::vector<NodeId>(5, 0), 1, policy),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace upn

@@ -1,0 +1,38 @@
+// DOT emission tests.
+#include <gtest/gtest.h>
+
+#include "src/topology/builders.hpp"
+#include "src/topology/butterfly.hpp"
+#include "src/topology/dot.hpp"
+
+namespace upn {
+namespace {
+
+TEST(Dot, ContainsAllEdges) {
+  const Graph c = make_cycle(4);
+  const std::string dot = graph_to_dot(c);
+  EXPECT_NE(dot.find("graph cycle_4_"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 3;"), std::string::npos);
+  EXPECT_NE(dot.find("2 -- 3;"), std::string::npos);
+}
+
+TEST(Dot, EdgeCountMatches) {
+  const Graph bf = make_butterfly(2);
+  const std::string dot = graph_to_dot(bf);
+  std::size_t count = 0, pos = 0;
+  while ((pos = dot.find(" -- ", pos)) != std::string::npos) {
+    ++count;
+    pos += 4;
+  }
+  EXPECT_EQ(count, bf.num_edges());
+}
+
+TEST(Dot, EmptyGraph) {
+  const Graph g;
+  const std::string dot = graph_to_dot(g);
+  EXPECT_NE(dot.find("graph g {"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace upn

@@ -1,0 +1,76 @@
+// Balanced embedding tests.
+#include <gtest/gtest.h>
+
+#include "src/core/embedding.hpp"
+
+namespace upn {
+namespace {
+
+TEST(BlockEmbedding, LoadIsCeilNoverM) {
+  const auto f = make_block_embedding(10, 3);
+  EXPECT_EQ(embedding_load(f, 3), 4u);  // ceil(10/3)
+  const auto inverse = invert_embedding(f, 3);
+  EXPECT_EQ(inverse[0].size(), 4u);
+  EXPECT_EQ(inverse[1].size(), 3u);
+  EXPECT_EQ(inverse[2].size(), 3u);
+}
+
+TEST(BlockEmbedding, ExactDivision) {
+  const auto f = make_block_embedding(12, 4);
+  EXPECT_EQ(embedding_load(f, 4), 3u);
+}
+
+TEST(BlockEmbedding, MoreHostsThanGuests) {
+  const auto f = make_block_embedding(3, 8);
+  EXPECT_EQ(embedding_load(f, 8), 1u);
+  const auto inverse = invert_embedding(f, 8);
+  std::size_t used = 0;
+  for (const auto& guests : inverse) {
+    if (!guests.empty()) ++used;
+  }
+  EXPECT_EQ(used, 3u);
+}
+
+class RandomEmbeddingSweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(RandomEmbeddingSweep, StaysBalanced) {
+  const auto [n, m] = GetParam();
+  Rng rng{n * 31 + m};
+  const auto f = make_random_embedding(n, m, rng);
+  EXPECT_EQ(f.size(), n);
+  EXPECT_LE(embedding_load(f, m), (n + m - 1) / m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RandomEmbeddingSweep,
+                         ::testing::Values(std::pair{10u, 3u}, std::pair{64u, 16u},
+                                           std::pair{100u, 7u}, std::pair{5u, 10u},
+                                           std::pair{256u, 256u}));
+
+TEST(RandomEmbedding, DiffersFromBlockUsually) {
+  Rng rng{5};
+  const auto block = make_block_embedding(64, 8);
+  const auto random = make_random_embedding(64, 8, rng);
+  EXPECT_NE(block, random);
+}
+
+TEST(InvertEmbedding, GuestsAreSortedAndComplete) {
+  Rng rng{6};
+  const auto f = make_random_embedding(30, 4, rng);
+  const auto inverse = invert_embedding(f, 4);
+  std::size_t total = 0;
+  for (const auto& guests : inverse) {
+    EXPECT_TRUE(std::is_sorted(guests.begin(), guests.end()));
+    total += guests.size();
+  }
+  EXPECT_EQ(total, 30u);
+}
+
+TEST(Embedding, RejectsBadInput) {
+  EXPECT_THROW((void)make_block_embedding(5, 0), std::invalid_argument);
+  EXPECT_THROW((void)invert_embedding({5}, 3), std::out_of_range);
+  EXPECT_THROW((void)embedding_load({5}, 3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace upn

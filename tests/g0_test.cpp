@@ -1,0 +1,69 @@
+// Tests for the paper's fixed subgraph G_0 (Definition 3.9).
+#include <gtest/gtest.h>
+
+#include "src/topology/g0.hpp"
+#include "src/topology/properties.hpp"
+#include "src/topology/random_regular.hpp"
+
+namespace upn {
+namespace {
+
+TEST(G0Parameters, BlockParameterTracksSqrtLogM) {
+  EXPECT_EQ(g0_block_parameter(2), 2u);     // clamped
+  EXPECT_EQ(g0_block_parameter(16), 2u);    // sqrt(4) = 2
+  EXPECT_EQ(g0_block_parameter(512), 3u);   // sqrt(9) = 3
+  EXPECT_EQ(g0_block_parameter(65536), 4u); // sqrt(16) = 4
+}
+
+TEST(G0Parameters, GuestSizeRounding) {
+  const std::uint32_t a = 2;
+  EXPECT_EQ(g0_round_guest_size(1, a), 16u);    // minimum 4a^2
+  EXPECT_EQ(g0_round_guest_size(16, a), 16u);   // already valid
+  EXPECT_EQ(g0_round_guest_size(17, a), 64u);   // next side multiple of 2a... (isqrt(17)=4 -> side 4 -> 16? )
+}
+
+TEST(G0, StructureAtSmallSize) {
+  Rng rng{42};
+  const std::uint32_t m = 64;
+  const std::uint32_t a = g0_block_parameter(m);
+  const std::uint32_t n = g0_round_guest_size(100, a);
+  const G0 g0 = make_g0(n, m, rng);
+  EXPECT_EQ(g0.num_nodes(), n);
+  EXPECT_EQ(g0.a, a);
+  EXPECT_TRUE(is_connected(g0.graph));
+  // Paper budget: degree 12.  Multitorus <= 8 plus expander 4.
+  EXPECT_LE(g0.graph.max_degree(), 12u);
+  EXPECT_TRUE(g0.expander.valid);
+  // Blocks partition [n] into h <= n/(4a^2) tori of size 4a^2.
+  EXPECT_EQ(g0.num_blocks() * 4 * a * a, n);
+  std::vector<char> seen(n, 0);
+  for (std::uint32_t j = 0; j < g0.num_blocks(); ++j) {
+    const auto block = g0.block(j);
+    EXPECT_EQ(block.size(), 4u * a * a);
+    for (const NodeId v : block) {
+      EXPECT_FALSE(seen[v]);
+      seen[v] = 1;
+    }
+  }
+}
+
+TEST(G0, RejectsBadGuestSize) {
+  Rng rng{1};
+  EXPECT_THROW(make_g0(17, 64, rng), std::invalid_argument);
+}
+
+TEST(G0, PlantedGuestContainsG0) {
+  Rng rng{7};
+  const std::uint32_t m = 64;
+  const std::uint32_t a = g0_block_parameter(m);
+  const std::uint32_t n = g0_round_guest_size(64, a);
+  const G0 g0 = make_g0(n, m, rng);
+  const Graph guest = make_random_regular_with_subgraph(g0.graph, kGuestDegree, rng);
+  for (const auto& [u, v] : g0.graph.edge_list()) {
+    EXPECT_TRUE(guest.has_edge(u, v));
+  }
+  EXPECT_LE(guest.max_degree(), kGuestDegree);
+}
+
+}  // namespace
+}  // namespace upn

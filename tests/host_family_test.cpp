@@ -1,0 +1,69 @@
+// Parameterized sweep: the universal simulator is host-agnostic.  Every
+// constant-degree host family simulates the same guest correctly, and the
+// measured slowdown respects the load bound everywhere.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/core/embedding.hpp"
+#include "src/core/universal_sim.hpp"
+#include "src/pebble/validator.hpp"
+#include "src/topology/butterfly.hpp"
+#include "src/topology/ccc.hpp"
+#include "src/topology/debruijn.hpp"
+#include "src/topology/mesh_of_trees.hpp"
+#include "src/topology/random_regular.hpp"
+#include "src/topology/shuffle_exchange.hpp"
+#include "src/topology/torus.hpp"
+
+namespace upn {
+namespace {
+
+struct HostCase {
+  const char* label;
+  std::function<Graph()> build;
+};
+
+class HostFamilySweep : public ::testing::TestWithParam<HostCase> {};
+
+TEST_P(HostFamilySweep, SimulatesRandomGuestCorrectly) {
+  Rng rng{123};
+  const Graph host = GetParam().build();
+  const std::uint32_t n = 4 * host.num_nodes();  // load 4
+  const Graph guest = make_random_regular(n, 8, rng);
+  UniversalSimulator sim{guest, host, make_random_embedding(n, host.num_nodes(), rng)};
+  const UniversalSimResult result = sim.run(3);
+  EXPECT_TRUE(result.configs_match) << GetParam().label;
+  EXPECT_GE(result.slowdown, 4.0) << GetParam().label;  // load bound
+  EXPECT_EQ(result.load, 4u);
+}
+
+TEST_P(HostFamilySweep, EmittedProtocolValidatesOnEveryHost) {
+  Rng rng{321};
+  const Graph host = GetParam().build();
+  const std::uint32_t n = 2 * host.num_nodes();
+  const Graph guest = make_random_regular(n, 6, rng);
+  UniversalSimulator sim{guest, host, make_random_embedding(n, host.num_nodes(), rng)};
+  UniversalSimOptions options;
+  options.emit_protocol = true;
+  const UniversalSimResult result = sim.run(2, options);
+  ASSERT_TRUE(result.protocol.has_value());
+  const ValidationResult validation = validate_protocol(*result.protocol, guest, host);
+  EXPECT_TRUE(validation.ok) << GetParam().label << ": " << validation.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Hosts, HostFamilySweep,
+    ::testing::Values(HostCase{"butterfly", [] { return make_butterfly(3); }},
+                      HostCase{"wrapped_butterfly", [] { return make_wrapped_butterfly(4); }},
+                      HostCase{"torus", [] { return make_torus(6, 6); }},
+                      HostCase{"ccc", [] { return make_cube_connected_cycles(3); }},
+                      HostCase{"shuffle_exchange", [] { return make_shuffle_exchange(5); }},
+                      HostCase{"debruijn", [] { return make_debruijn(5); }},
+                      HostCase{"mesh_of_trees", [] { return make_mesh_of_trees(4); }}),
+    [](const ::testing::TestParamInfo<HostCase>& param_info) {
+      return param_info.param.label;
+    });
+
+}  // namespace
+}  // namespace upn

@@ -1,0 +1,84 @@
+// Lemma 3.12 verification on protocols produced by the real simulator.
+#include <gtest/gtest.h>
+
+#include "src/core/embedding.hpp"
+#include "src/core/universal_sim.hpp"
+#include "src/lowerbound/lemma_verify.hpp"
+#include "src/pebble/validator.hpp"
+#include "src/topology/butterfly.hpp"
+#include "src/topology/random_regular.hpp"
+
+namespace upn {
+namespace {
+
+struct Fixture {
+  G0 g0;
+  Graph guest;
+  Graph host;
+  Protocol protocol;
+};
+
+Fixture make_fixture(std::uint32_t guest_steps) {
+  Rng rng{2024};
+  const std::uint32_t m = 12;  // butterfly(2)
+  const std::uint32_t a = g0_block_parameter(m);
+  const std::uint32_t n = g0_round_guest_size(60, a);
+  G0 g0 = make_g0(n, m, rng);
+  Graph guest = make_random_regular_with_subgraph(g0.graph, kGuestDegree, rng);
+  Graph host = make_butterfly(2);
+  UniversalSimulator sim{guest, host, make_random_embedding(n, m, rng)};
+  UniversalSimOptions options;
+  options.emit_protocol = true;
+  UniversalSimResult result = sim.run(guest_steps, options);
+  EXPECT_TRUE(result.configs_match);
+  return Fixture{std::move(g0), std::move(guest), std::move(host),
+                 std::move(*result.protocol)};
+}
+
+TEST(Lemma312, HoldsOnSimulatorProtocol) {
+  const Fixture fx = make_fixture(14);
+  ASSERT_TRUE(validate_protocol(fx.protocol, fx.guest, fx.host).ok);
+  const ProtocolMetrics metrics{fx.protocol};
+  const Lemma312Report report = verify_lemma312(metrics, fx.g0);
+
+  EXPECT_GT(report.tree_depth, 0u);
+  EXPECT_GT(report.inefficiency, 0.0);
+  // The averaging argument guarantees a large Z_S.
+  EXPECT_TRUE(report.z_large_enough)
+      << "|Z| = " << report.z_set.size() << " T = " << metrics.guest_steps();
+  ASSERT_FALSE(report.choices.empty());
+  for (const auto& choice : report.choices) {
+    EXPECT_EQ(choice.roots.size(), fx.g0.num_blocks());
+    EXPECT_TRUE(choice.roots_ok)
+        << "sum q = " << choice.sum_root_weights << " bound " << choice.bound_roots;
+    EXPECT_TRUE(choice.trees_ok)
+        << "sum w = " << choice.sum_tree_weights << " bound " << choice.bound_trees;
+    // Each root must actually belong to its block.
+    for (std::uint32_t j = 0; j < choice.roots.size(); ++j) {
+      EXPECT_EQ(fx.g0.layout.block_of(choice.roots[j]), j);
+    }
+  }
+  // The paper-form q-sum bound needs the protocol at least twice the tree
+  // depth long (T / (T - depth) <= 2 in the averaging).
+  if (metrics.guest_steps() >= 2 * report.tree_depth) {
+    EXPECT_TRUE(report.sum_q_ok);
+  }
+}
+
+TEST(Lemma312, RejectsTooShortProtocol) {
+  const Fixture fx = make_fixture(2);
+  const ProtocolMetrics metrics{fx.protocol};
+  // Tree depth for a = 2 exceeds 2 guest steps.
+  EXPECT_THROW((void)verify_lemma312(metrics, fx.g0), std::invalid_argument);
+}
+
+TEST(Lemma312, RejectsSizeMismatch) {
+  const Fixture fx = make_fixture(14);
+  Rng rng{5};
+  const G0 wrong = make_g0(g0_round_guest_size(200, fx.g0.a), 12, rng);
+  const ProtocolMetrics metrics{fx.protocol};
+  EXPECT_THROW((void)verify_lemma312(metrics, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace upn

@@ -1,0 +1,88 @@
+// Hopcroft-Karp maximum matching tests.
+#include <gtest/gtest.h>
+
+#include "src/routing/matching.hpp"
+#include "src/util/rng.hpp"
+
+namespace upn {
+namespace {
+
+TEST(HopcroftKarp, PerfectMatchingOnIdentity) {
+  BipartiteGraph g{4, 4};
+  for (std::uint32_t v = 0; v < 4; ++v) g.add_edge(v, v);
+  const MatchingResult result = hopcroft_karp(g);
+  EXPECT_EQ(result.size, 4u);
+  for (std::uint32_t v = 0; v < 4; ++v) EXPECT_EQ(result.match_left[v], v);
+}
+
+TEST(HopcroftKarp, AugmentingPathNeeded) {
+  // l0-{r0,r1}, l1-{r0}: greedy l0->r0 must be undone via augmenting path.
+  BipartiteGraph g{2, 2};
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const MatchingResult result = hopcroft_karp(g);
+  EXPECT_EQ(result.size, 2u);
+  EXPECT_EQ(result.match_left[0], 1u);
+  EXPECT_EQ(result.match_left[1], 0u);
+}
+
+TEST(HopcroftKarp, NoEdgesNoMatching) {
+  BipartiteGraph g{3, 3};
+  const MatchingResult result = hopcroft_karp(g);
+  EXPECT_EQ(result.size, 0u);
+  for (const auto l : result.match_left) EXPECT_EQ(l, MatchingResult::kUnmatched);
+}
+
+TEST(HopcroftKarp, HandlesMultiEdges) {
+  BipartiteGraph g{2, 2};
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);  // duplicate
+  g.add_edge(1, 0);
+  EXPECT_EQ(hopcroft_karp(g).size, 2u);
+}
+
+TEST(HopcroftKarp, UnevenSides) {
+  BipartiteGraph g{2, 5};
+  g.add_edge(0, 3);
+  g.add_edge(1, 3);
+  g.add_edge(1, 4);
+  const MatchingResult result = hopcroft_karp(g);
+  EXPECT_EQ(result.size, 2u);
+}
+
+TEST(HopcroftKarp, RejectsOutOfRange) {
+  BipartiteGraph g{2, 2};
+  EXPECT_THROW(g.add_edge(2, 0), std::out_of_range);
+  EXPECT_THROW(g.add_edge(0, 2), std::out_of_range);
+}
+
+TEST(HopcroftKarp, RegularMultigraphHasPerfectMatching) {
+  // Koenig: every h-regular bipartite multigraph has a perfect matching.
+  Rng rng{41};
+  const std::uint32_t n = 50, h = 4;
+  BipartiteGraph g{n, n};
+  for (std::uint32_t round = 0; round < h; ++round) {
+    const auto perm = rng.permutation(n);
+    for (std::uint32_t v = 0; v < n; ++v) g.add_edge(v, perm[v]);
+  }
+  EXPECT_EQ(hopcroft_karp(g).size, n);
+}
+
+TEST(HopcroftKarp, MatchingIsConsistent) {
+  Rng rng{43};
+  BipartiteGraph g{30, 30};
+  for (int e = 0; e < 120; ++e) {
+    g.add_edge(static_cast<std::uint32_t>(rng.below(30)),
+               static_cast<std::uint32_t>(rng.below(30)));
+  }
+  const MatchingResult result = hopcroft_karp(g);
+  for (std::uint32_t l = 0; l < 30; ++l) {
+    if (result.match_left[l] != MatchingResult::kUnmatched) {
+      EXPECT_EQ(result.match_right[result.match_left[l]], l);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace upn

@@ -1,0 +1,105 @@
+// Off-line butterfly h-relation scheduling tests (the Theorem 2.1 corollary
+// machinery): schedules must validate and obey the O(h log m) step shape.
+#include <gtest/gtest.h>
+
+#include "src/routing/offline_butterfly.hpp"
+#include "src/util/rng.hpp"
+
+namespace upn {
+namespace {
+
+HhProblem random_node_relation(const ButterflyLayout& layout, std::uint32_t h, Rng& rng) {
+  HhProblem p{layout.num_nodes()};
+  for (std::uint32_t round = 0; round < h; ++round) {
+    const auto perm = rng.permutation(layout.num_nodes());
+    for (std::uint32_t v = 0; v < layout.num_nodes(); ++v) p.add(v, perm[v]);
+  }
+  return p;
+}
+
+TEST(OfflineButterfly, EmptyRelation) {
+  const HhProblem p{ButterflyLayout{3, false}.num_nodes()};
+  const OfflineSchedule schedule = route_relation_offline(3, p);
+  EXPECT_TRUE(validate_schedule(schedule, p));
+  EXPECT_EQ(schedule.moves.size(), 0u);
+}
+
+TEST(OfflineButterfly, SingleDemandAcrossLevels) {
+  const ButterflyLayout layout{3, false};
+  HhProblem p{layout.num_nodes()};
+  p.add(layout.id(2, 5), layout.id(1, 3));
+  const OfflineSchedule schedule = route_relation_offline(3, p);
+  EXPECT_TRUE(validate_schedule(schedule, p));
+  EXPECT_GT(schedule.moves.size(), 0u);
+}
+
+TEST(OfflineButterfly, SelfDemand) {
+  const ButterflyLayout layout{2, false};
+  HhProblem p{layout.num_nodes()};
+  p.add(layout.id(1, 1), layout.id(1, 1));
+  const OfflineSchedule schedule = route_relation_offline(2, p);
+  EXPECT_TRUE(validate_schedule(schedule, p));
+}
+
+class OfflineSweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(OfflineSweep, RandomRelationsValidate) {
+  const auto [dim, h] = GetParam();
+  const ButterflyLayout layout{dim, false};
+  Rng rng{1000 + dim * 10 + h};
+  const HhProblem p = random_node_relation(layout, h, rng);
+  const OfflineSchedule schedule = route_relation_offline(dim, p);
+  ASSERT_TRUE(validate_schedule(schedule, p));
+  // Shape check: steps = O(h (d+1) + d); allow a generous constant.
+  EXPECT_LE(schedule.num_steps, 8u * (h * (dim + 1) + 2 * dim + 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, OfflineSweep,
+                         ::testing::Values(std::pair{2u, 1u}, std::pair{3u, 1u},
+                                           std::pair{3u, 2u}, std::pair{4u, 1u},
+                                           std::pair{4u, 3u}, std::pair{5u, 2u}));
+
+TEST(OfflineButterfly, BatchCountMatchesRowRelation) {
+  const std::uint32_t dim = 3;
+  const ButterflyLayout layout{dim, false};
+  Rng rng{55};
+  const HhProblem p = random_node_relation(layout, 1, rng);
+  const OfflineSchedule schedule = route_relation_offline(dim, p);
+  // A node permutation has row-relation h <= d+1, so at most d+1 batches...
+  // after padding, exactly the row-relation's h.
+  EXPECT_GE(schedule.num_batches, 1u);
+  EXPECT_LE(schedule.num_batches, (dim + 1) * 2);
+}
+
+TEST(OfflineButterfly, StepGrowthIsLinearInH) {
+  const std::uint32_t dim = 4;
+  const ButterflyLayout layout{dim, false};
+  Rng rng{66};
+  const HhProblem p1 = random_node_relation(layout, 1, rng);
+  const HhProblem p4 = random_node_relation(layout, 4, rng);
+  const auto s1 = route_relation_offline(dim, p1);
+  const auto s4 = route_relation_offline(dim, p4);
+  ASSERT_TRUE(validate_schedule(s1, p1));
+  ASSERT_TRUE(validate_schedule(s4, p4));
+  EXPECT_GT(s4.num_steps, s1.num_steps);
+  EXPECT_LT(s4.num_steps, 8 * s1.num_steps);  // roughly 4x, not 16x
+}
+
+TEST(OfflineButterfly, RejectsSizeMismatch) {
+  const HhProblem p{10};
+  EXPECT_THROW((void)route_relation_offline(3, p), std::invalid_argument);
+}
+
+TEST(ValidateSchedule, DetectsTeleport) {
+  const ButterflyLayout layout{2, false};
+  HhProblem p{layout.num_nodes()};
+  p.add(layout.id(0, 0), layout.id(0, 1));
+  OfflineSchedule schedule = route_relation_offline(2, p);
+  ASSERT_FALSE(schedule.moves.empty());
+  schedule.moves[0].from = layout.id(2, 3);  // teleport the first hop
+  EXPECT_FALSE(validate_schedule(schedule, p));
+}
+
+}  // namespace
+}  // namespace upn

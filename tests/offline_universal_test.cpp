@@ -1,0 +1,86 @@
+// Off-line universal simulation (the butterfly corollary, ablation partner
+// of the online simulator).
+#include <gtest/gtest.h>
+
+#include "src/core/embedding.hpp"
+#include "src/core/offline_universal.hpp"
+#include "src/core/universal_sim.hpp"
+#include "src/topology/butterfly.hpp"
+#include "src/topology/random_regular.hpp"
+#include "src/topology/torus.hpp"
+
+namespace upn {
+namespace {
+
+TEST(OfflineUniversal, SimulatesCorrectly) {
+  Rng rng{11};
+  const std::uint32_t d = 3;
+  const ButterflyLayout layout{d, false};
+  const std::uint32_t n = 128;
+  const Graph guest = make_random_regular(n, kGuestDegree, rng);
+  const auto embedding = make_random_embedding(n, layout.num_nodes(), rng);
+  const OfflineUniversalResult result = run_offline_universal(guest, d, embedding, 5, 42);
+  EXPECT_TRUE(result.configs_match);
+  EXPECT_GT(result.schedule_steps, 0u);
+  EXPECT_GT(result.num_batches, 0u);
+  EXPECT_EQ(result.host_steps, 5 * (result.schedule_steps + result.compute_steps));
+  EXPECT_GT(result.slowdown_single_port, result.slowdown);
+}
+
+TEST(OfflineUniversal, MatchesReferenceAcrossSeeds) {
+  Rng rng{12};
+  const std::uint32_t d = 2;
+  const ButterflyLayout layout{d, false};
+  const Graph guest = make_torus(6, 6);
+  const auto embedding = make_block_embedding(36, layout.num_nodes());
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const OfflineUniversalResult result =
+        run_offline_universal(guest, d, embedding, 4, seed);
+    EXPECT_TRUE(result.configs_match) << "seed " << seed;
+  }
+}
+
+TEST(OfflineUniversal, ScheduleStepsScaleWithLoad) {
+  // Doubling n (hence h = n/m) should roughly double the schedule length,
+  // not quadruple it: O(h log m).
+  Rng rng{13};
+  const std::uint32_t d = 3;
+  const ButterflyLayout layout{d, false};
+  const Graph guest_small = make_random_regular(layout.num_nodes() * 2, 8, rng);
+  const Graph guest_large = make_random_regular(layout.num_nodes() * 8, 8, rng);
+  const auto r_small = run_offline_universal(
+      guest_small, d, make_block_embedding(guest_small.num_nodes(), layout.num_nodes()), 1);
+  const auto r_large = run_offline_universal(
+      guest_large, d, make_block_embedding(guest_large.num_nodes(), layout.num_nodes()), 1);
+  EXPECT_TRUE(r_small.configs_match);
+  EXPECT_TRUE(r_large.configs_match);
+  EXPECT_GT(r_large.schedule_steps, r_small.schedule_steps);
+  EXPECT_LT(r_large.schedule_steps, 10 * r_small.schedule_steps);  // ~4x, not 16x
+}
+
+TEST(OfflineUniversal, OfflineBeatsOnlineSinglePort) {
+  // The precomputed schedule should not be slower than the online greedy
+  // single-port router by more than a small factor (it is usually faster).
+  Rng rng{14};
+  const std::uint32_t d = 3;
+  const ButterflyLayout layout{d, false};
+  const std::uint32_t n = 256;
+  const Graph guest = make_random_regular(n, kGuestDegree, rng);
+  const Graph host = make_butterfly(d);
+  const auto embedding = make_random_embedding(n, layout.num_nodes(), rng);
+  const OfflineUniversalResult offline = run_offline_universal(guest, d, embedding, 2);
+  UniversalSimulator online{guest, host, embedding};
+  const UniversalSimResult online_result = online.run(2);
+  EXPECT_TRUE(offline.configs_match);
+  EXPECT_TRUE(online_result.configs_match);
+  EXPECT_LT(offline.slowdown_single_port, 2.0 * online_result.slowdown);
+}
+
+TEST(OfflineUniversal, RejectsBadEmbedding) {
+  const Graph guest = make_torus(4, 4);
+  EXPECT_THROW((void)run_offline_universal(guest, 2, std::vector<NodeId>(3, 0), 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace upn

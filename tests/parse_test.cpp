@@ -1,0 +1,59 @@
+// Topology spec parser tests.
+#include <gtest/gtest.h>
+
+#include "src/topology/parse.hpp"
+#include "src/topology/properties.hpp"
+
+namespace upn {
+namespace {
+
+TEST(Parse, SingleParameterFamilies) {
+  EXPECT_EQ(make_topology("butterfly:3").num_nodes(), 32u);
+  EXPECT_EQ(make_topology("wrapped_butterfly:3").num_nodes(), 24u);
+  EXPECT_EQ(make_topology("hypercube:4").num_nodes(), 16u);
+  EXPECT_EQ(make_topology("ccc:3").num_nodes(), 24u);
+  EXPECT_EQ(make_topology("shuffle_exchange:4").num_nodes(), 16u);
+  EXPECT_EQ(make_topology("debruijn:4").num_nodes(), 16u);
+  EXPECT_EQ(make_topology("kautz:3").num_nodes(), 24u);
+  EXPECT_EQ(make_topology("mesh_of_trees:4").num_nodes(), 40u);
+  EXPECT_EQ(make_topology("cycle:9").num_nodes(), 9u);
+  EXPECT_EQ(make_topology("path:9").num_nodes(), 9u);
+  EXPECT_EQ(make_topology("complete:7").num_edges(), 21u);
+  EXPECT_EQ(make_topology("binary_tree:3").num_nodes(), 7u);
+  EXPECT_EQ(make_topology("margulis:5").num_nodes(), 25u);
+}
+
+TEST(Parse, GridFamilies) {
+  EXPECT_EQ(make_topology("mesh:5x3").num_nodes(), 15u);
+  EXPECT_EQ(make_topology("torus:4x6").num_nodes(), 24u);
+  EXPECT_EQ(make_topology("multitorus:64:4").num_nodes(), 64u);
+  EXPECT_EQ(make_topology("torus3d:3x4x5").num_nodes(), 60u);
+  EXPECT_THROW((void)make_topology("torus3d:3x4"), std::invalid_argument);
+}
+
+TEST(Parse, RandomFamiliesAreSeededAndRegular) {
+  const Graph a = make_topology("random:64:6:9");
+  const Graph b = make_topology("random:64:6:9");
+  const Graph c = make_topology("random:64:6:10");
+  EXPECT_EQ(a.edge_list(), b.edge_list());
+  EXPECT_NE(a.edge_list(), c.edge_list());
+  std::uint32_t degree = 0;
+  EXPECT_TRUE(is_regular(a, &degree));
+  EXPECT_EQ(degree, 6u);
+  const Graph e = make_topology("expander:128:4");
+  EXPECT_TRUE(is_regular(e, &degree));
+  EXPECT_EQ(degree, 4u);
+}
+
+TEST(Parse, Errors) {
+  EXPECT_THROW((void)make_topology("klein_bottle:3"), std::invalid_argument);
+  EXPECT_THROW((void)make_topology("butterfly"), std::invalid_argument);
+  EXPECT_THROW((void)make_topology("butterfly:3:4"), std::invalid_argument);
+  EXPECT_THROW((void)make_topology("torus:8"), std::invalid_argument);
+  EXPECT_THROW((void)make_topology("mesh:axb"), std::invalid_argument);
+  EXPECT_THROW((void)make_topology("random:64:6"), std::invalid_argument);
+  EXPECT_FALSE(topology_spec_help().empty());
+}
+
+}  // namespace
+}  // namespace upn

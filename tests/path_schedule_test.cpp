@@ -1,0 +1,81 @@
+// Off-line path scheduling on arbitrary hosts (C + D scheduling).
+#include <gtest/gtest.h>
+
+#include "src/routing/path_schedule.hpp"
+#include "src/topology/builders.hpp"
+#include "src/topology/butterfly.hpp"
+#include "src/topology/debruijn.hpp"
+#include "src/topology/torus.hpp"
+#include "src/util/rng.hpp"
+
+namespace upn {
+namespace {
+
+TEST(PathSchedule, SingleDemandTakesDistanceSteps) {
+  const Graph p = make_path(7);
+  HhProblem problem{7};
+  problem.add(0, 6);
+  const PathSchedule schedule = schedule_paths(p, problem);
+  EXPECT_EQ(schedule.dilation, 6u);
+  EXPECT_EQ(schedule.congestion, 1u);
+  EXPECT_EQ(schedule.makespan, 6u);
+  EXPECT_TRUE(validate_path_schedule(p, problem, schedule));
+}
+
+TEST(PathSchedule, EmptyProblem) {
+  const Graph p = make_path(3);
+  const HhProblem problem{3};
+  const PathSchedule schedule = schedule_paths(p, problem);
+  EXPECT_EQ(schedule.makespan, 0u);
+  EXPECT_TRUE(validate_path_schedule(p, problem, schedule));
+}
+
+TEST(PathSchedule, HeadOnTrafficSharesLinksCleanly) {
+  // Two packets crossing a path in opposite directions use opposite
+  // directed links: no interference.
+  const Graph p = make_path(5);
+  HhProblem problem{5};
+  problem.add(0, 4);
+  problem.add(4, 0);
+  const PathSchedule schedule = schedule_paths(p, problem);
+  EXPECT_EQ(schedule.makespan, 4u);
+  EXPECT_TRUE(validate_path_schedule(p, problem, schedule));
+}
+
+class PathScheduleSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PathScheduleSweep, MakespanNearCongestionPlusDilation) {
+  Rng rng{GetParam()};
+  const Graph host = make_torus(6, 6);
+  const HhProblem problem = random_h_relation(host.num_nodes(), 3, rng);
+  const PathSchedule schedule = schedule_paths(host, problem);
+  ASSERT_TRUE(validate_path_schedule(host, problem, schedule));
+  EXPECT_GE(schedule.makespan, std::max(schedule.congestion, schedule.dilation));
+  // The greedy schedule should be well under the C*D trivial bound and
+  // within a small factor of C + D.
+  EXPECT_LE(schedule.makespan, 3 * (schedule.congestion + schedule.dilation));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathScheduleSweep, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(PathSchedule, WorksOnButterflyAndDeBruijn) {
+  Rng rng{9};
+  for (const Graph& host : {make_butterfly(3), make_debruijn(5)}) {
+    const HhProblem problem = random_permutation_problem(host.num_nodes(), rng);
+    const PathSchedule schedule = schedule_paths(host, problem);
+    EXPECT_TRUE(validate_path_schedule(host, problem, schedule)) << host.name();
+  }
+}
+
+TEST(PathSchedule, ValidatorCatchesCorruption) {
+  const Graph p = make_path(4);
+  HhProblem problem{4};
+  problem.add(0, 3);
+  PathSchedule schedule = schedule_paths(p, problem);
+  ASSERT_FALSE(schedule.moves.empty());
+  schedule.moves[0][0][2] = 0;  // teleport the first hop's target
+  EXPECT_FALSE(validate_path_schedule(p, problem, schedule));
+}
+
+}  // namespace
+}  // namespace upn

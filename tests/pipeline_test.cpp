@@ -1,0 +1,79 @@
+// Full-pipeline API tests (and the Galil-Paul end-to-end simulator).
+#include <gtest/gtest.h>
+
+#include "src/core/galil_paul.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/sorting/sort_route.hpp"
+#include "src/sorting/bitonic.hpp"
+#include "src/topology/random_regular.hpp"
+#include "src/topology/torus.hpp"
+
+namespace upn {
+namespace {
+
+TEST(Pipeline, DefaultConfigPassesAllChecks) {
+  PipelineConfig config;
+  config.guest_steps = 14;
+  const PipelineReport report = run_paper_pipeline(config);
+  EXPECT_TRUE(report.configs_verified);
+  EXPECT_TRUE(report.protocol_valid) << report.protocol_error;
+  EXPECT_TRUE(report.lemma312_holds);
+  EXPECT_TRUE(report.expansion_caps_hold);
+  EXPECT_FALSE(report.ruled_out_by_counting);
+  EXPECT_TRUE(report.all_checks_pass());
+  EXPECT_GE(report.slowdown, report.load_bound);
+  EXPECT_GT(report.fragment_log2_multiplicity, 0.0);
+  EXPECT_GT(report.z_size, 0u);
+}
+
+TEST(Pipeline, DeterministicForFixedSeed) {
+  PipelineConfig config;
+  config.guest_steps = 12;
+  config.seed = 99;
+  const PipelineReport a = run_paper_pipeline(config);
+  const PipelineReport b = run_paper_pipeline(config);
+  EXPECT_DOUBLE_EQ(a.slowdown, b.slowdown);
+  EXPECT_EQ(a.protocol_ops, b.protocol_ops);
+  EXPECT_EQ(a.fragment_sum_b, b.fragment_sum_b);
+}
+
+TEST(SortRouteDelivery, MovesPayloadsCorrectly) {
+  Rng rng{8};
+  const std::uint32_t n = 32;
+  const ComparatorNetwork sorter = make_bitonic_sorter(n);
+  const HhProblem problem = random_h_relation(n, 3, rng);
+  std::vector<std::uint64_t> payloads(problem.size());
+  for (std::size_t d = 0; d < payloads.size(); ++d) payloads[d] = 1000 + d;
+  const SortRouteDelivery delivery = deliver_relation_by_sorting(problem, payloads, sorter);
+  EXPECT_TRUE(delivery.stats.delivered);
+  // Every destination receives exactly the payloads addressed to it.
+  std::vector<std::vector<std::uint64_t>> expected(n);
+  for (std::size_t d = 0; d < problem.demands().size(); ++d) {
+    expected[problem.demands()[d].dst].push_back(1000 + d);
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    auto got = delivery.delivered[v];
+    std::sort(got.begin(), got.end());
+    std::sort(expected[v].begin(), expected[v].end());
+    EXPECT_EQ(got, expected[v]) << "node " << v;
+  }
+}
+
+TEST(GalilPaulSim, FullSimulationVerifies) {
+  Rng rng{11};
+  const Graph guest = make_random_regular(96, 8, rng);
+  const GalilPaulSimResult result = run_galil_paul(guest, 16, 4);
+  EXPECT_TRUE(result.configs_match);
+  EXPECT_GT(result.slowdown, 0.0);
+}
+
+TEST(GalilPaulSim, CostsMoreThanLoadBound) {
+  Rng rng{12};
+  const Graph guest = make_torus(8, 8);
+  const GalilPaulSimResult result = run_galil_paul(guest, 8, 3);
+  EXPECT_TRUE(result.configs_match);
+  EXPECT_GE(result.slowdown, 8.0);  // at least the load 64/8
+}
+
+}  // namespace
+}  // namespace upn

@@ -1,0 +1,82 @@
+// Randomized router invariants: across random hosts, relations, policies and
+// port models, every packet is delivered exactly once, transfers conserve
+// packets, and the step count respects trivial lower bounds.
+#include <gtest/gtest.h>
+
+#include "src/routing/hh_problem.hpp"
+#include "src/routing/policies.hpp"
+#include "src/routing/router.hpp"
+#include "src/topology/properties.hpp"
+#include "src/topology/random_regular.hpp"
+#include "src/util/rng.hpp"
+
+namespace upn {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+  PortModel port_model;
+};
+
+class RouterFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(RouterFuzz, InvariantsHoldOnRandomInstances) {
+  Rng rng{GetParam().seed};
+  for (int trial = 0; trial < 12; ++trial) {
+    // Random connected host: random regular graphs are connected w.h.p.;
+    // retry if not.
+    const auto m = static_cast<std::uint32_t>(rng.between(8, 48)) & ~1u;
+    const auto degree = static_cast<std::uint32_t>(rng.between(3, 5));
+    Graph host = make_random_regular(m, degree, rng);
+    if (!is_connected(host)) continue;
+    const auto h = static_cast<std::uint32_t>(rng.between(1, 4));
+    const HhProblem problem = random_h_relation(m, h, rng);
+
+    GreedyPolicy greedy{host};
+    ValiantPolicy valiant{host, rng()};
+    RoutingPolicy* policy = rng.chance(0.5) ? static_cast<RoutingPolicy*>(&greedy)
+                                            : static_cast<RoutingPolicy*>(&valiant);
+    SyncRouter router{host, GetParam().port_model};
+    std::vector<Packet> packets;
+    for (const Demand& d : problem.demands()) {
+      Packet p;
+      p.src = d.src;
+      p.dst = d.dst;
+      p.via = d.dst;
+      p.payload = (static_cast<std::uint64_t>(d.src) << 32) | d.dst;
+      packets.push_back(p);
+    }
+    const RouteResult result = router.route(std::move(packets), *policy, true);
+
+    // Every packet delivered with intact payload, and transfer counts add up.
+    ASSERT_EQ(result.packets.size(), problem.size());
+    std::vector<std::uint32_t> hops(result.packets.size(), 0);
+    for (const Transfer& tr : result.transfers) {
+      ASSERT_LT(tr.packet, result.packets.size());
+      ASSERT_TRUE(host.has_edge(tr.from, tr.to));
+      ++hops[tr.packet];
+    }
+    DistanceOracle oracle{host};
+    for (std::size_t i = 0; i < result.packets.size(); ++i) {
+      const Packet& p = result.packets[i];
+      ASSERT_GE(p.delivered_at, 0) << "undelivered packet";
+      ASSERT_LE(p.delivered_at, static_cast<std::int64_t>(result.steps));
+      ASSERT_EQ(p.payload, (static_cast<std::uint64_t>(p.src) << 32) | p.dst);
+      // Hop count at least the shortest-path distance (via detours allowed).
+      ASSERT_GE(hops[i], oracle.to(p.dst)[p.src]);
+    }
+    ASSERT_EQ(result.total_transfers, result.transfers.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RouterFuzz,
+    ::testing::Values(FuzzCase{101, PortModel::kMultiPort},
+                      FuzzCase{102, PortModel::kMultiPort},
+                      FuzzCase{103, PortModel::kSinglePort},
+                      FuzzCase{104, PortModel::kSinglePort},
+                      FuzzCase{105, PortModel::kMultiPort},
+                      FuzzCase{106, PortModel::kSinglePort}));
+
+}  // namespace
+}  // namespace upn

@@ -1,0 +1,67 @@
+// Scheduled (off-line, host-agnostic) universal simulation tests.
+#include <gtest/gtest.h>
+
+#include "src/core/embedding.hpp"
+#include "src/core/scheduled_universal.hpp"
+#include "src/core/universal_sim.hpp"
+#include "src/topology/debruijn.hpp"
+#include "src/topology/mesh_of_trees.hpp"
+#include "src/topology/random_regular.hpp"
+#include "src/topology/torus.hpp"
+
+namespace upn {
+namespace {
+
+TEST(ScheduledUniversal, VerifiesOnTorusHost) {
+  Rng rng{77};
+  const Graph host = make_torus(5, 5);
+  const std::uint32_t n = 100;
+  const Graph guest = make_random_regular(n, 8, rng);
+  const auto embedding = make_random_embedding(n, host.num_nodes(), rng);
+  const ScheduledUniversalResult result =
+      run_scheduled_universal(guest, host, embedding, 4);
+  EXPECT_TRUE(result.configs_match);
+  EXPECT_GE(result.schedule_steps, std::max(result.congestion, result.dilation));
+  EXPECT_EQ(result.host_steps, 4 * (result.schedule_steps + result.compute_steps));
+}
+
+TEST(ScheduledUniversal, WorksAcrossHostFamilies) {
+  Rng rng{78};
+  for (const Graph& host : {make_debruijn(4), make_mesh_of_trees(4)}) {
+    const std::uint32_t n = 2 * host.num_nodes();
+    const Graph guest = make_random_regular(n, 6, rng);
+    const auto embedding = make_random_embedding(n, host.num_nodes(), rng);
+    const ScheduledUniversalResult result =
+        run_scheduled_universal(guest, host, embedding, 3);
+    EXPECT_TRUE(result.configs_match) << host.name();
+  }
+}
+
+TEST(ScheduledUniversal, OfflineCompetitiveWithOnlineSinglePort) {
+  // The precomputed schedule (multiport accounting) should beat the online
+  // single-port simulation and be in the same ballpark as online multiport.
+  Rng rng{79};
+  const Graph host = make_torus(6, 6);
+  const std::uint32_t n = 144;
+  const Graph guest = make_random_regular(n, kGuestDegree, rng);
+  const auto embedding = make_random_embedding(n, host.num_nodes(), rng);
+  const ScheduledUniversalResult offline =
+      run_scheduled_universal(guest, host, embedding, 2);
+  UniversalSimulator online{guest, host, embedding};
+  UniversalSimOptions options;
+  options.port_model = PortModel::kMultiPort;
+  const UniversalSimResult multi = online.run(2, options);
+  ASSERT_TRUE(offline.configs_match);
+  ASSERT_TRUE(multi.configs_match);
+  EXPECT_LT(offline.slowdown, 4.0 * multi.slowdown);
+}
+
+TEST(ScheduledUniversal, RejectsBadEmbedding) {
+  const Graph guest = make_torus(4, 4);
+  const Graph host = make_torus(3, 3);
+  EXPECT_THROW((void)run_scheduled_universal(guest, host, std::vector<NodeId>(3, 0), 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace upn

@@ -1,0 +1,47 @@
+// Execution trace and divergence finder tests.
+#include <gtest/gtest.h>
+
+#include "src/compute/trace.hpp"
+#include "src/topology/torus.hpp"
+
+namespace upn {
+namespace {
+
+TEST(Trace, RecordsPerStepDigests) {
+  const Graph g = make_torus(4, 4);
+  const Trace trace = record_trace(g, 5, 6);
+  ASSERT_EQ(trace.step_digests.size(), 7u);
+  // Digests change every step (overwhelmingly likely).
+  for (std::size_t t = 1; t < trace.step_digests.size(); ++t) {
+    EXPECT_NE(trace.step_digests[t], trace.step_digests[t - 1]);
+  }
+}
+
+TEST(Trace, FirstDifferenceFindsPerturbationStep) {
+  const Graph g = make_torus(4, 4);
+  const Trace a = record_trace(g, 5, 6);
+  const Trace b = record_trace(g, 6, 6);
+  const auto diff = first_trace_difference(a, b);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_EQ(*diff, 0u);  // different seeds diverge immediately
+  EXPECT_FALSE(first_trace_difference(a, a).has_value());
+}
+
+TEST(Divergence, NulloptOnAgreement) {
+  const Graph g = make_torus(4, 4);
+  const auto reference = run_reference(g, 7, 5);
+  EXPECT_FALSE(find_divergence(g, 7, 5, reference).has_value());
+}
+
+TEST(Divergence, LocatesFirstBadNode) {
+  const Graph g = make_torus(4, 4);
+  auto corrupted = run_reference(g, 7, 5);
+  corrupted[9] ^= 1;
+  const auto divergence = find_divergence(g, 7, 5, corrupted);
+  ASSERT_TRUE(divergence.has_value());
+  EXPECT_EQ(divergence->node, 9u);
+  EXPECT_EQ(divergence->actual, divergence->expected ^ 1);
+}
+
+}  // namespace
+}  // namespace upn

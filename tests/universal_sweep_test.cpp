@@ -1,0 +1,99 @@
+// Broad guest-family x host-family sweep of the universal simulator:
+// the Theorem 2.1 construction is guest-agnostic and host-agnostic as long
+// as the host is connected -- checked across the whole topology zoo.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/core/embedding.hpp"
+#include "src/core/universal_sim.hpp"
+#include "src/topology/builders.hpp"
+#include "src/topology/butterfly.hpp"
+#include "src/topology/debruijn.hpp"
+#include "src/topology/kautz.hpp"
+#include "src/topology/mesh.hpp"
+#include "src/topology/random_regular.hpp"
+#include "src/topology/torus.hpp"
+#include "src/topology/torus3d.hpp"
+
+namespace upn {
+namespace {
+
+struct SweepCase {
+  const char* label;
+  std::function<Graph(Rng&)> guest;
+  std::function<Graph()> host;
+};
+
+class UniversalSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(UniversalSweep, SimulationVerifies) {
+  Rng rng{2718};
+  const Graph guest = GetParam().guest(rng);
+  const Graph host = GetParam().host();
+  UniversalSimulator sim{guest, host,
+                         make_random_embedding(guest.num_nodes(), host.num_nodes(), rng)};
+  const UniversalSimResult result = sim.run(3);
+  EXPECT_TRUE(result.configs_match) << GetParam().label;
+  EXPECT_GE(result.slowdown,
+            static_cast<double>(guest.num_nodes()) / host.num_nodes())
+      << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, UniversalSweep,
+    ::testing::Values(
+        SweepCase{"mesh_on_butterfly", [](Rng&) { return make_mesh(8, 8); },
+                  [] { return make_butterfly(2); }},
+        SweepCase{"torus3d_on_debruijn", [](Rng&) { return make_torus3d(4, 4, 4); },
+                  [] { return make_debruijn(4); }},
+        SweepCase{"expanderish_on_kautz",
+                  [](Rng& rng) { return make_random_regular(96, 12, rng); },
+                  [] { return make_kautz(3); }},
+        SweepCase{"cycle_on_torus", [](Rng&) { return make_cycle(80); },
+                  [] { return make_torus(4, 4); }},
+        SweepCase{"tree_on_butterfly", [](Rng&) { return make_complete_binary_tree(6); },
+                  [] { return make_butterfly(2); }},
+        SweepCase{"dense_on_small_host",
+                  [](Rng& rng) { return make_random_regular(60, 16, rng); },
+                  [] { return make_cycle(5); }}),
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+      return param_info.param.label;
+    });
+
+TEST(UniversalSweep, SlowdownDecreasesWithHostSize) {
+  // Fixed guest, growing butterfly hosts: more processors means less
+  // slowdown (monotone within noise; assert a generous ordering).
+  Rng rng{31};
+  const Graph guest = make_random_regular(256, 8, rng);
+  double previous = 1e18;
+  for (const std::uint32_t d : {2u, 3u, 4u}) {
+    const Graph host = make_butterfly(d);
+    UniversalSimulator sim{guest, host,
+                           make_random_embedding(256, host.num_nodes(), rng)};
+    const UniversalSimResult result = sim.run(2);
+    ASSERT_TRUE(result.configs_match);
+    EXPECT_LT(result.slowdown, previous);
+    previous = result.slowdown;
+  }
+}
+
+TEST(UniversalSweep, InefficiencyGrowsWithHostSize) {
+  // k = s m / n rises with m (the log m factor at work): the crux of the
+  // m <= n trade-off.
+  Rng rng{32};
+  const Graph guest = make_random_regular(256, 8, rng);
+  double previous = 0;
+  for (const std::uint32_t d : {2u, 3u, 4u}) {
+    const Graph host = make_butterfly(d);
+    UniversalSimulator sim{guest, host,
+                           make_random_embedding(256, host.num_nodes(), rng)};
+    const UniversalSimResult result = sim.run(2);
+    ASSERT_TRUE(result.configs_match);
+    EXPECT_GT(result.inefficiency, previous);
+    previous = result.inefficiency;
+  }
+}
+
+}  // namespace
+}  // namespace upn

@@ -1,0 +1,163 @@
+// Failure injection: targeted mutations of valid protocols must be caught
+// by the validator -- each mutation class breaks a specific Section 3.1
+// rule, and the error message must name it.
+#include <gtest/gtest.h>
+
+#include "src/core/embedding.hpp"
+#include "src/core/universal_sim.hpp"
+#include "src/pebble/validator.hpp"
+#include "src/topology/butterfly.hpp"
+#include "src/topology/random_regular.hpp"
+
+namespace upn {
+namespace {
+
+struct Fixture {
+  Graph guest;
+  Graph host;
+  Protocol protocol{1, 1, 1};
+};
+
+Fixture make_fixture() {
+  Rng rng{777};
+  Fixture fx;
+  fx.guest = make_random_regular(24, 4, rng);
+  fx.host = make_butterfly(2);
+  UniversalSimulator sim{fx.guest, fx.host,
+                         make_random_embedding(24, fx.host.num_nodes(), rng)};
+  UniversalSimOptions options;
+  options.emit_protocol = true;
+  UniversalSimResult result = sim.run(3, options);
+  fx.protocol = std::move(*result.protocol);
+  return fx;
+}
+
+/// Rebuilds the protocol applying `mutate` to each op (by flat index).
+Protocol rebuild_with(const Protocol& original,
+                      const std::function<bool(std::size_t, Op&)>& mutate) {
+  Protocol out{original.num_guests(), original.num_hosts(), original.guest_steps()};
+  std::size_t index = 0;
+  for (const auto& step : original.steps()) {
+    out.begin_step();
+    for (Op op : step) {
+      mutate(index++, op);
+      out.add(op);
+    }
+  }
+  return out;
+}
+
+/// Flat index of the first op satisfying `pred`.
+std::size_t find_op(const Protocol& protocol, const std::function<bool(const Op&)>& pred) {
+  std::size_t index = 0;
+  for (const auto& step : protocol.steps()) {
+    for (const Op& op : step) {
+      if (pred(op)) return index;
+      ++index;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+class MutationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fx_ = make_fixture();
+    ASSERT_TRUE(validate_protocol(fx_.protocol, fx_.guest, fx_.host).ok);
+  }
+  Fixture fx_;
+};
+
+TEST_F(MutationTest, DroppingReceivesBreaksValidityMostly) {
+  // Turning a receive into a send of an initial pebble removes a holding.
+  // Not every receive is load-bearing (the processor may obtain another
+  // copy), but the bulk of them are: the chain of forwards or a later
+  // generate must fail.  Scan the first receives and require that most
+  // mutations are caught.
+  std::size_t tested = 0, rejected = 0;
+  std::size_t index = 0;
+  std::vector<std::size_t> receive_indices;
+  for (const auto& step : fx_.protocol.steps()) {
+    for (const Op& op : step) {
+      // Time-0 pebbles are initial (held by everyone), so dropping their
+      // receives is legal; only generated pebbles' receives are load-bearing.
+      if (op.kind == OpKind::kReceive && op.pebble.time >= 1) {
+        receive_indices.push_back(index);
+      }
+      ++index;
+    }
+  }
+  ASSERT_FALSE(receive_indices.empty());
+  for (std::size_t r = 0; r < receive_indices.size() && tested < 25; r += 7, ++tested) {
+    const std::size_t target = receive_indices[r];
+    const Protocol mutated = rebuild_with(fx_.protocol, [&](std::size_t i, Op& op) {
+      if (i == target) {
+        op.kind = OpKind::kSend;
+        op.pebble = PebbleType{0, 0};  // initial pebble: always held
+      }
+      return true;
+    });
+    if (!validate_protocol(mutated, fx_.guest, fx_.host).ok) ++rejected;
+  }
+  EXPECT_GT(rejected * 2, tested) << rejected << " of " << tested << " caught";
+}
+
+TEST_F(MutationTest, ForwardDatedPebbleIsRejected) {
+  // A send of a pebble from the FUTURE (time+1) cannot be held.
+  const std::size_t target = find_op(fx_.protocol, [&](const Op& op) {
+    return op.kind == OpKind::kSend && op.pebble.time + 1 < fx_.protocol.guest_steps();
+  });
+  ASSERT_NE(target, static_cast<std::size_t>(-1));
+  const Protocol mutated = rebuild_with(fx_.protocol, [&](std::size_t i, Op& op) {
+    if (i == target) ++op.pebble.time;
+    return true;
+  });
+  const ValidationResult result = validate_protocol(mutated, fx_.guest, fx_.host);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST_F(MutationTest, RewiringAPartnerIsRejected) {
+  // Point a receive at a non-matching partner: pairing check fires.
+  const std::size_t target =
+      find_op(fx_.protocol, [](const Op& op) { return op.kind == OpKind::kReceive; });
+  ASSERT_NE(target, static_cast<std::size_t>(-1));
+  const Protocol mutated = rebuild_with(fx_.protocol, [&](std::size_t i, Op& op) {
+    if (i == target) {
+      // Any other neighbor of the receiving processor.
+      for (const NodeId nb : fx_.host.neighbors(op.proc)) {
+        if (nb != op.partner) {
+          op.partner = nb;
+          break;
+        }
+      }
+    }
+    return true;
+  });
+  const ValidationResult result = validate_protocol(mutated, fx_.guest, fx_.host);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("matching send"), std::string::npos);
+}
+
+TEST_F(MutationTest, DroppingFinalGenerateIsRejected) {
+  // Retime a final-level generate to a mid level: its guest's final pebble
+  // disappears.
+  const std::uint32_t T = fx_.protocol.guest_steps();
+  const std::size_t target = find_op(fx_.protocol, [&](const Op& op) {
+    return op.kind == OpKind::kGenerate && op.pebble.time == T;
+  });
+  ASSERT_NE(target, static_cast<std::size_t>(-1));
+  const Protocol mutated = rebuild_with(fx_.protocol, [&](std::size_t i, Op& op) {
+    if (i == target) op.pebble.time = T - 1;
+    return true;
+  });
+  const ValidationResult result = validate_protocol(mutated, fx_.guest, fx_.host);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST_F(MutationTest, UnmutatedCopyStaysValid) {
+  const Protocol copy = rebuild_with(fx_.protocol, [](std::size_t, Op&) { return true; });
+  EXPECT_TRUE(validate_protocol(copy, fx_.guest, fx_.host).ok);
+}
+
+}  // namespace
+}  // namespace upn
