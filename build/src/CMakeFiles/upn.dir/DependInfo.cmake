@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/complete_sim.cpp" "src/CMakeFiles/upn.dir/core/complete_sim.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/complete_sim.cpp.o.d"
   "/root/repo/src/core/embedding.cpp" "src/CMakeFiles/upn.dir/core/embedding.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/embedding.cpp.o.d"
   "/root/repo/src/core/embedding_metrics.cpp" "src/CMakeFiles/upn.dir/core/embedding_metrics.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/embedding_metrics.cpp.o.d"
+  "/root/repo/src/core/fault_tolerant_sim.cpp" "src/CMakeFiles/upn.dir/core/fault_tolerant_sim.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/fault_tolerant_sim.cpp.o.d"
   "/root/repo/src/core/galil_paul.cpp" "src/CMakeFiles/upn.dir/core/galil_paul.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/galil_paul.cpp.o.d"
   "/root/repo/src/core/offline_universal.cpp" "src/CMakeFiles/upn.dir/core/offline_universal.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/offline_universal.cpp.o.d"
   "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/upn.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/pipeline.cpp.o.d"
@@ -20,6 +21,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/scheduled_universal.cpp" "src/CMakeFiles/upn.dir/core/scheduled_universal.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/scheduled_universal.cpp.o.d"
   "/root/repo/src/core/slowdown.cpp" "src/CMakeFiles/upn.dir/core/slowdown.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/slowdown.cpp.o.d"
   "/root/repo/src/core/universal_sim.cpp" "src/CMakeFiles/upn.dir/core/universal_sim.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/universal_sim.cpp.o.d"
+  "/root/repo/src/fault/fault_plan.cpp" "src/CMakeFiles/upn.dir/fault/fault_plan.cpp.o" "gcc" "src/CMakeFiles/upn.dir/fault/fault_plan.cpp.o.d"
+  "/root/repo/src/fault/surgery.cpp" "src/CMakeFiles/upn.dir/fault/surgery.cpp.o" "gcc" "src/CMakeFiles/upn.dir/fault/surgery.cpp.o.d"
   "/root/repo/src/lowerbound/bandwidth.cpp" "src/CMakeFiles/upn.dir/lowerbound/bandwidth.cpp.o" "gcc" "src/CMakeFiles/upn.dir/lowerbound/bandwidth.cpp.o.d"
   "/root/repo/src/lowerbound/counting.cpp" "src/CMakeFiles/upn.dir/lowerbound/counting.cpp.o" "gcc" "src/CMakeFiles/upn.dir/lowerbound/counting.cpp.o.d"
   "/root/repo/src/lowerbound/dependency_graph.cpp" "src/CMakeFiles/upn.dir/lowerbound/dependency_graph.cpp.o" "gcc" "src/CMakeFiles/upn.dir/lowerbound/dependency_graph.cpp.o.d"

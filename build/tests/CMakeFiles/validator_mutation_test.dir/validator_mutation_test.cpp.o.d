@@ -296,10 +296,13 @@ tests/CMakeFiles/validator_mutation_test.dir/validator_mutation_test.cpp.o: \
  /root/repo/src/../src/core/embedding.hpp \
  /root/repo/src/../src/topology/graph.hpp /usr/include/c++/12/span \
  /root/repo/src/../src/util/rng.hpp \
- /root/repo/src/../src/core/universal_sim.hpp \
- /root/repo/src/../src/compute/machine.hpp \
+ /root/repo/src/../src/core/fault_tolerant_sim.hpp \
+ /root/repo/src/../src/fault/fault_plan.hpp \
  /root/repo/src/../src/pebble/protocol.hpp \
  /root/repo/src/../src/routing/router.hpp \
+ /root/repo/src/../src/core/universal_sim.hpp \
+ /root/repo/src/../src/compute/machine.hpp \
+ /root/repo/src/../src/fault/surgery.hpp \
  /root/repo/src/../src/pebble/validator.hpp \
  /root/repo/src/../src/topology/butterfly.hpp \
  /root/repo/src/../src/topology/random_regular.hpp

@@ -51,8 +51,16 @@ int main(int argc, char** argv) {
     const std::string mode = cli.get("mode", "generate");
     const std::string guest_spec = cli.get("guest", "random:96:16:5");
     const std::string host_spec = cli.get("host", "butterfly:3");
-    const Graph guest = make_topology(guest_spec);
-    const Graph host = make_topology(host_spec);
+    Graph guest, host;
+    try {
+      guest = make_topology(guest_spec);
+      host = make_topology(host_spec);
+    } catch (const std::exception& e) {
+      // Only topology-spec mistakes earn the spec cheat sheet; file and
+      // protocol errors below get just the message.
+      std::cerr << "error: " << e.what() << "\n" << topology_spec_help() << "\n";
+      return EXIT_FAILURE;
+    }
 
     if (mode == "generate") {
       const auto steps = static_cast<std::uint32_t>(cli.get_u64("steps", 4));
@@ -93,8 +101,9 @@ int main(int argc, char** argv) {
     std::cerr << "unknown --mode '" << mode << "' (generate | check)\n";
     return EXIT_FAILURE;
   } catch (const std::exception& e) {
+    // Catch-all: a malformed protocol file or flag must exit non-zero with
+    // a message, never std::terminate.
     std::cerr << "error: " << e.what() << "\n";
-    std::cerr << upn::topology_spec_help() << "\n";
     return EXIT_FAILURE;
   }
 }

@@ -1,0 +1,307 @@
+#include "src/fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "src/topology/properties.hpp"
+#include "src/util/rng.hpp"
+
+namespace upn {
+
+namespace {
+
+constexpr std::uint64_t link_key(NodeId u, NodeId v) noexcept {
+  const NodeId lo = u < v ? u : v;
+  const NodeId hi = u < v ? v : u;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+/// Uniform [0, 1) hash used by both the coupled generators and the drop
+/// decision; independent per (seed, salt) pair.
+double hash_uniform(std::uint64_t seed, std::uint64_t salt) noexcept {
+  return static_cast<double>(mix64(seed ^ mix64(salt)) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void FaultPlan::add_link_fault(const LinkFault& fault) {
+  if (fault.u == fault.v) {
+    throw std::invalid_argument{"FaultPlan: link fault endpoints must differ"};
+  }
+  link_faults_.push_back(fault);
+}
+
+void FaultPlan::add_node_fault(const NodeFault& fault) { node_faults_.push_back(fault); }
+
+void FaultPlan::add_drop_window(const DropWindow& window) {
+  if (window.prob < 0.0 || window.prob > 1.0) {
+    throw std::invalid_argument{"FaultPlan: drop probability must be in [0, 1]"};
+  }
+  if (window.begin >= window.end) {
+    throw std::invalid_argument{"FaultPlan: drop window must satisfy begin < end"};
+  }
+  drop_windows_.push_back(window);
+}
+
+bool FaultPlan::node_alive(NodeId v, std::uint32_t step) const noexcept {
+  for (const NodeFault& f : node_faults_) {
+    if (f.node == v && f.step <= step) return false;
+  }
+  return true;
+}
+
+bool FaultPlan::link_alive(NodeId u, NodeId v, std::uint32_t step) const noexcept {
+  if (!node_alive(u, step) || !node_alive(v, step)) return false;
+  const std::uint64_t key = link_key(u, v);
+  for (const LinkFault& f : link_faults_) {
+    if (link_key(f.u, f.v) == key && f.step <= step) return false;
+  }
+  return true;
+}
+
+bool FaultPlan::drops_packet(NodeId u, NodeId v, std::uint32_t step,
+                             std::uint32_t packet_id) const noexcept {
+  const std::uint64_t key = link_key(u, v);
+  for (const DropWindow& w : drop_windows_) {
+    if (link_key(w.u, w.v) != key || step < w.begin || step >= w.end) continue;
+    const std::uint64_t salt =
+        key ^ (static_cast<std::uint64_t>(step) << 20) ^ (0xd1b54a32d192ed03ULL * packet_id);
+    if (hash_uniform(seed_ ^ 0x7fau, salt) < w.prob) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::node_ever_fails(NodeId v) const noexcept {
+  for (const NodeFault& f : node_faults_) {
+    if (f.node == v) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::link_ever_fails(NodeId u, NodeId v) const noexcept {
+  if (node_ever_fails(u) || node_ever_fails(v)) return true;
+  const std::uint64_t key = link_key(u, v);
+  for (const LinkFault& f : link_faults_) {
+    if (link_key(f.u, f.v) == key) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint32_t> FaultPlan::epochs() const {
+  std::vector<std::uint32_t> steps;
+  steps.reserve(link_faults_.size() + node_faults_.size());
+  for (const LinkFault& f : link_faults_) steps.push_back(f.step);
+  for (const NodeFault& f : node_faults_) steps.push_back(f.step);
+  std::sort(steps.begin(), steps.end());
+  steps.erase(std::unique(steps.begin(), steps.end()), steps.end());
+  return steps;
+}
+
+FaultPlan FaultPlan::revealed_at(std::uint32_t step) const {
+  FaultPlan revealed{seed_};
+  for (const LinkFault& f : link_faults_) {
+    if (f.step <= step) revealed.add_link_fault(LinkFault{f.u, f.v, 0});
+  }
+  for (const NodeFault& f : node_faults_) {
+    if (f.step <= step) revealed.add_node_fault(NodeFault{f.node, 0});
+  }
+  for (const DropWindow& w : drop_windows_) revealed.add_drop_window(w);
+  return revealed;
+}
+
+FaultClock::FaultClock(const FaultPlan& plan, std::uint32_t num_nodes)
+    : plan_(&plan),
+      dead_nodes_(num_nodes, 0),
+      links_by_step_(plan.link_faults()),
+      nodes_by_step_(plan.node_faults()) {
+  const auto by_step = [](const auto& a, const auto& b) { return a.step < b.step; };
+  std::stable_sort(links_by_step_.begin(), links_by_step_.end(), by_step);
+  std::stable_sort(nodes_by_step_.begin(), nodes_by_step_.end(), by_step);
+}
+
+bool FaultClock::advance(std::uint32_t step) {
+  if (started_ && step <= step_) return false;
+  started_ = true;
+  step_ = step;
+  bool changed = false;
+  while (next_node_ < nodes_by_step_.size() && nodes_by_step_[next_node_].step <= step) {
+    const NodeId v = nodes_by_step_[next_node_].node;
+    if (v < dead_nodes_.size() && dead_nodes_[v] == 0) {
+      dead_nodes_[v] = 1;
+      changed = true;
+    }
+    ++next_node_;
+  }
+  while (next_link_ < links_by_step_.size() && links_by_step_[next_link_].step <= step) {
+    const std::uint64_t key = link_key(links_by_step_[next_link_].u, links_by_step_[next_link_].v);
+    const auto it = std::lower_bound(dead_links_.begin(), dead_links_.end(), key);
+    if (it == dead_links_.end() || *it != key) {
+      dead_links_.insert(it, key);
+      changed = true;
+    }
+    ++next_link_;
+  }
+  if (changed) faults_active_ = true;
+  return changed;
+}
+
+bool FaultClock::link_alive(NodeId u, NodeId v) const noexcept {
+  if (dead_nodes_[u] != 0 || dead_nodes_[v] != 0) return false;
+  const std::uint64_t key = link_key(u, v);
+  return !std::binary_search(dead_links_.begin(), dead_links_.end(), key);
+}
+
+FaultPlan make_uniform_link_faults(const Graph& host, double rate, std::uint64_t seed,
+                                   std::uint32_t step) {
+  FaultPlan plan{seed};
+  for (const auto& [u, v] : host.edge_list()) {
+    if (hash_uniform(seed ^ 0x11bcULL, link_key(u, v)) < rate) {
+      plan.add_link_fault(LinkFault{u, v, step});
+    }
+  }
+  return plan;
+}
+
+FaultPlan make_uniform_node_faults(const Graph& host, double rate, std::uint64_t seed,
+                                   std::uint32_t step) {
+  FaultPlan plan{seed};
+  for (NodeId v = 0; v < host.num_nodes(); ++v) {
+    if (hash_uniform(seed ^ 0x23cdULL, v) < rate) {
+      plan.add_node_fault(NodeFault{v, step});
+    }
+  }
+  return plan;
+}
+
+FaultPlan make_targeted_cut(const std::vector<std::pair<NodeId, NodeId>>& links,
+                            std::uint32_t step, std::uint64_t seed) {
+  FaultPlan plan{seed};
+  for (const auto& [u, v] : links) plan.add_link_fault(LinkFault{u, v, step});
+  return plan;
+}
+
+FaultPlan make_region_fault(const Graph& host, NodeId center, std::uint32_t radius,
+                            std::uint32_t step, std::uint64_t seed) {
+  FaultPlan plan{seed};
+  const std::vector<std::uint32_t> dist = bfs_distances(host, center);
+  for (NodeId v = 0; v < host.num_nodes(); ++v) {
+    if (dist[v] != kUnreachable && dist[v] <= radius) {
+      plan.add_node_fault(NodeFault{v, step});
+    }
+  }
+  return plan;
+}
+
+FaultPlan make_uniform_drops(const Graph& host, double rate, std::uint64_t seed,
+                             std::uint32_t begin, std::uint32_t end) {
+  FaultPlan plan{seed};
+  if (rate <= 0.0) return plan;
+  for (const auto& [u, v] : host.edge_list()) {
+    plan.add_drop_window(DropWindow{u, v, begin, end, rate});
+  }
+  return plan;
+}
+
+FaultPlan merge_plans(const FaultPlan& a, const FaultPlan& b) {
+  FaultPlan merged{a.seed()};
+  for (const LinkFault& f : a.link_faults()) merged.add_link_fault(f);
+  for (const NodeFault& f : a.node_faults()) merged.add_node_fault(f);
+  for (const DropWindow& w : a.drop_windows()) merged.add_drop_window(w);
+  for (const LinkFault& f : b.link_faults()) merged.add_link_fault(f);
+  for (const NodeFault& f : b.node_faults()) merged.add_node_fault(f);
+  for (const DropWindow& w : b.drop_windows()) merged.add_drop_window(w);
+  return merged;
+}
+
+void write_fault_plan(std::ostream& os, const FaultPlan& plan) {
+  os << "upn-faultplan 1 " << plan.seed() << ' ' << plan.link_faults().size() << ' '
+     << plan.node_faults().size() << ' ' << plan.drop_windows().size() << '\n';
+  for (const LinkFault& f : plan.link_faults()) {
+    os << "L " << f.u << ' ' << f.v << ' ' << f.step << '\n';
+  }
+  for (const NodeFault& f : plan.node_faults()) {
+    os << "N " << f.node << ' ' << f.step << '\n';
+  }
+  for (const DropWindow& w : plan.drop_windows()) {
+    std::ostringstream prob;
+    prob << std::setprecision(17) << w.prob;
+    os << "D " << w.u << ' ' << w.v << ' ' << w.begin << ' ' << w.end << ' ' << prob.str()
+       << '\n';
+  }
+}
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error{"read_fault_plan: line " + std::to_string(line) + ": " + what};
+}
+
+}  // namespace
+
+FaultPlan read_fault_plan(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+  if (!std::getline(is, line)) fail(1, "empty input");
+  ++line_no;
+  std::istringstream header{line};
+  std::string magic;
+  int version = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t num_links = 0, num_nodes = 0, num_drops = 0;
+  if (!(header >> magic >> version >> seed >> num_links >> num_nodes >> num_drops) ||
+      magic != "upn-faultplan" || version != 1) {
+    fail(line_no,
+         "bad header (expected 'upn-faultplan 1 <seed> <links> <nodes> <drops>')");
+  }
+  FaultPlan plan{seed};
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields{line};
+    char kind = 0;
+    fields >> kind;
+    try {
+      switch (kind) {
+        case 'L': {
+          LinkFault f;
+          if (!(fields >> f.u >> f.v >> f.step)) fail(line_no, "malformed link fault");
+          plan.add_link_fault(f);
+          break;
+        }
+        case 'N': {
+          NodeFault f;
+          if (!(fields >> f.node >> f.step)) fail(line_no, "malformed node fault");
+          plan.add_node_fault(f);
+          break;
+        }
+        case 'D': {
+          DropWindow w;
+          if (!(fields >> w.u >> w.v >> w.begin >> w.end >> w.prob)) {
+            fail(line_no, "malformed drop window");
+          }
+          plan.add_drop_window(w);
+          break;
+        }
+        default:
+          fail(line_no, "unknown record kind");
+      }
+    } catch (const std::invalid_argument& e) {
+      fail(line_no, e.what());
+    }
+    std::string trailing;
+    if (fields >> trailing) fail(line_no, "trailing garbage");
+  }
+  if (plan.link_faults().size() != num_links || plan.node_faults().size() != num_nodes ||
+      plan.drop_windows().size() != num_drops) {
+    fail(line_no, "record counts do not match header");
+  }
+  return plan;
+}
+
+}  // namespace upn

@@ -1,0 +1,53 @@
+#include "src/fault/surgery.hpp"
+
+#include "src/topology/properties.hpp"
+
+namespace upn {
+
+SurvivingHost surviving_subgraph(const Graph& host, const FaultPlan& plan) {
+  const std::uint32_t n = host.num_nodes();
+  SurvivingHost result;
+  result.to_survivor.assign(n, kNoSurvivor);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!plan.node_ever_fails(v)) {
+      result.to_survivor[v] = static_cast<NodeId>(result.to_original.size());
+      result.to_original.push_back(v);
+    }
+  }
+  GraphBuilder builder{static_cast<std::uint32_t>(result.to_original.size()),
+                       host.name() + "/survivors"};
+  for (const auto& [u, v] : host.edge_list()) {
+    if (result.to_survivor[u] == kNoSurvivor || result.to_survivor[v] == kNoSurvivor) continue;
+    if (plan.link_ever_fails(u, v)) continue;
+    builder.add_edge(result.to_survivor[u], result.to_survivor[v]);
+  }
+  result.graph = std::move(builder).build();
+  return result;
+}
+
+Graph surviving_edges_graph(const Graph& host, const FaultPlan& plan) {
+  GraphBuilder builder{host.num_nodes(), host.name() + "/live-edges"};
+  for (const auto& [u, v] : host.edge_list()) {
+    if (!plan.link_ever_fails(u, v)) builder.add_edge(u, v);
+  }
+  return std::move(builder).build();
+}
+
+DegradationReport assess_degradation(const Graph& host, const FaultPlan& plan) {
+  const SurvivingHost survivor = surviving_subgraph(host, plan);
+  DegradationReport report;
+  report.original_nodes = host.num_nodes();
+  report.original_links = static_cast<std::uint32_t>(host.num_edges());
+  report.live_nodes = survivor.graph.num_nodes();
+  report.live_links = static_cast<std::uint32_t>(survivor.graph.num_edges());
+  report.dead_nodes = report.original_nodes - report.live_nodes;
+  report.dead_links = report.original_links - report.live_links;
+  report.components = connected_components(survivor.graph);
+  report.largest_component = largest_component_size(survivor.graph);
+  report.min_degree = min_degree(survivor.graph);
+  report.max_degree = survivor.graph.max_degree();
+  report.connected = report.live_nodes > 0 && report.components == 1;
+  return report;
+}
+
+}  // namespace upn

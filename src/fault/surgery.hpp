@@ -1,0 +1,57 @@
+// Topology surgery: the host that survives a fault plan.
+//
+// Two views of a degraded host, both needed downstream:
+//
+//  * surviving_subgraph  -- dead nodes removed, ids compacted.  The natural
+//    object for connectivity / degradation analysis, with the node
+//    remapping needed to translate embeddings.
+//  * surviving_edges_graph -- the SAME node set as the original host, with
+//    every dead link removed and dead nodes isolated.  This is the graph a
+//    degraded simulation protocol is validated against: protocol processor
+//    ids keep their meaning, and any op crossing a dead link fails the
+//    unmodified Section 3.1 validator's host-neighbor check.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/fault/fault_plan.hpp"
+#include "src/topology/graph.hpp"
+
+namespace upn {
+
+/// Marker in SurvivingHost::to_survivor for nodes that did not survive.
+inline constexpr NodeId kNoSurvivor = std::numeric_limits<NodeId>::max();
+
+struct SurvivingHost {
+  Graph graph;                      ///< live nodes only, ids compacted
+  std::vector<NodeId> to_survivor;  ///< original id -> compact id (kNoSurvivor if dead)
+  std::vector<NodeId> to_original;  ///< compact id -> original id
+};
+
+/// The host after every permanent fault in `plan` has activated (the
+/// step = infinity view), with dead nodes removed and ids compacted.
+[[nodiscard]] SurvivingHost surviving_subgraph(const Graph& host, const FaultPlan& plan);
+
+/// Same node set as `host`; dead links removed, dead nodes isolated.
+[[nodiscard]] Graph surviving_edges_graph(const Graph& host, const FaultPlan& plan);
+
+/// Health summary of a degraded host (computed on the compacted survivor).
+struct DegradationReport {
+  std::uint32_t original_nodes = 0;
+  std::uint32_t original_links = 0;
+  std::uint32_t live_nodes = 0;
+  std::uint32_t live_links = 0;
+  std::uint32_t dead_nodes = 0;
+  std::uint32_t dead_links = 0;  ///< includes links lost to dead endpoints
+  std::uint32_t components = 0;
+  std::uint32_t largest_component = 0;
+  std::uint32_t min_degree = 0;
+  std::uint32_t max_degree = 0;
+  bool connected = false;  ///< the live subgraph is non-empty and connected
+};
+
+[[nodiscard]] DegradationReport assess_degradation(const Graph& host, const FaultPlan& plan);
+
+}  // namespace upn

@@ -11,16 +11,28 @@
 // protocols be stored, diffed, and replayed by external tooling.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 
 #include "src/pebble/protocol.hpp"
 
 namespace upn {
 
+/// Hostile-input caps enforced by read_protocol.  Dimension caps bound the
+/// allocation a forged header can force (proc_used_step_ is 4 bytes per
+/// host); the length caps bound per-line work.
+inline constexpr std::uint32_t kMaxProtocolDimension = 1u << 26;
+inline constexpr std::size_t kMaxProtocolTokenLength = 32;
+inline constexpr std::size_t kMaxProtocolLineLength = 4096;
+
 void write_protocol(std::ostream& os, const Protocol& protocol);
 
 /// Parses a protocol; throws std::runtime_error with a line number on any
-/// malformed input (including violations of one-op-per-processor).
+/// malformed input: non-numeric or negative fields, counts overflowing
+/// uint32_t, header dimensions above kMaxProtocolDimension, overlong lines
+/// or tokens, missing fields, trailing garbage, partners out of range, and
+/// violations of the one-op-per-processor rule.
 [[nodiscard]] Protocol read_protocol(std::istream& is);
 
 }  // namespace upn

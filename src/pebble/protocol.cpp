@@ -21,6 +21,9 @@ void Protocol::add(const Op& op) {
   if (op.pebble.node >= num_guests_ || op.pebble.time > guest_steps_) {
     throw std::out_of_range{"Protocol::add: pebble type out of range"};
   }
+  if (op.kind != OpKind::kGenerate && op.partner >= num_hosts_) {
+    throw std::out_of_range{"Protocol::add: partner out of range"};
+  }
   const auto current = static_cast<std::uint32_t>(steps_.size());
   if (proc_used_step_[op.proc] == current) {
     throw std::logic_error{"Protocol::add: processor already acted this step"};

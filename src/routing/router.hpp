@@ -29,6 +29,8 @@ struct Packet {
   NodeId dst = 0;
   NodeId via = 0;            ///< Valiant intermediate; equals dst when unused
   std::uint8_t phase = 1;    ///< 0: heading to via, 1: heading to dst
+  std::uint8_t lost = 0;     ///< 1: undeliverable under the active fault plan
+  std::uint16_t retries = 0; ///< retransmissions + detours consumed (faults)
   std::uint64_t payload = 0; ///< opaque data (a guest configuration)
   std::uint32_t tag = 0;     ///< opaque tag (sending guest node id)
   std::uint32_t tag2 = 0;    ///< opaque tag (receiving guest node id)
@@ -43,13 +45,18 @@ struct Transfer {
   std::uint32_t step = 0;  ///< 0-based router step at which the hop happened
   NodeId from = 0;
   NodeId to = 0;
-  std::uint32_t packet = 0;  ///< index into RouteResult::packets
+  std::uint32_t packet = 0;   ///< index into RouteResult::packets
+  std::uint8_t dropped = 0;   ///< 1: the link was used but the packet was lost
+                              ///< in flight (emit a SEND with no RECEIVE)
 };
 
 struct RouteResult {
   std::uint32_t steps = 0;          ///< steps until the last delivery
   std::uint64_t total_transfers = 0;
   std::uint32_t max_queue = 0;      ///< peak per-node buffered packets
+  std::uint32_t packets_lost = 0;   ///< packets that could not be delivered
+  std::uint64_t retransmissions = 0;///< resends after transient drops
+  std::uint64_t reroutes = 0;       ///< detours around permanently dead links
   std::vector<Packet> packets;      ///< with delivered_at filled in
   std::vector<Transfer> transfers;  ///< full hop log if requested
 };
@@ -70,6 +77,18 @@ enum class PortModel : std::uint8_t {
   kSinglePort,  ///< one operation per node per step (pebble-game compatible)
 };
 
+class FaultPlan;
+
+/// Fault-injection parameters for a routing run.  The plan is evaluated at
+/// global host step `step_offset + local_step`, so a long simulation can
+/// thread one plan through many routing phases.
+struct FaultRouteOptions {
+  const FaultPlan* plan = nullptr;  ///< nullptr: fault-free routing
+  std::uint32_t step_offset = 0;    ///< global host step of local step 0
+  std::uint32_t max_retries = 16;   ///< per packet, before declaring it lost
+  std::uint32_t backoff_base = 1;   ///< resend delay; doubles per retry (capped)
+};
+
 class SyncRouter {
  public:
   SyncRouter(const Graph& graph, PortModel port_model);
@@ -80,10 +99,29 @@ class SyncRouter {
                                   bool record_transfers = false,
                                   std::uint32_t max_steps = 1u << 22);
 
+  /// Fault-aware routing: consults `faults.plan` every step.  Packets on
+  /// links that die are re-queued around the failure (`reroutes`); packets
+  /// dropped in a transient window are retransmitted by the sender with
+  /// exponential backoff (`retransmissions`) until `max_retries` is
+  /// exhausted; packets whose destination dies (or becomes unreachable in
+  /// the surviving subgraph) are marked lost instead of throwing.  When
+  /// `policy` is non-null its choices are used whenever they cross a live
+  /// link; detours (and policy == nullptr) fall back to an internal greedy
+  /// shortest-path policy computed on the live subgraph.
+  [[nodiscard]] RouteResult route_with_faults(std::vector<Packet> packets,
+                                              const FaultRouteOptions& faults,
+                                              RoutingPolicy* policy = nullptr,
+                                              bool record_transfers = false,
+                                              std::uint32_t max_steps = 1u << 22);
+
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
   [[nodiscard]] PortModel port_model() const noexcept { return port_model_; }
 
  private:
+  [[nodiscard]] RouteResult route_impl(std::vector<Packet> packets, RoutingPolicy* policy,
+                                       const FaultRouteOptions* faults, bool record_transfers,
+                                       std::uint32_t max_steps);
+
   const Graph* graph_;
   PortModel port_model_;
 };

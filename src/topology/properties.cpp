@@ -57,6 +57,48 @@ bool is_connected(const Graph& graph) {
                       [](std::uint32_t d) { return d == kUnreachable; });
 }
 
+std::uint32_t connected_components(const Graph& graph, std::vector<std::uint32_t>* labels) {
+  const std::uint32_t n = graph.num_nodes();
+  std::vector<std::uint32_t> label(n, kUnreachable);
+  std::uint32_t count = 0;
+  std::vector<NodeId> stack;
+  for (NodeId source = 0; source < n; ++source) {
+    if (label[source] != kUnreachable) continue;
+    label[source] = count;
+    stack.push_back(source);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const NodeId u : graph.neighbors(v)) {
+        if (label[u] == kUnreachable) {
+          label[u] = count;
+          stack.push_back(u);
+        }
+      }
+    }
+    ++count;
+  }
+  if (labels != nullptr) *labels = std::move(label);
+  return count;
+}
+
+std::uint32_t largest_component_size(const Graph& graph) {
+  std::vector<std::uint32_t> labels;
+  const std::uint32_t count = connected_components(graph, &labels);
+  std::vector<std::uint32_t> sizes(count, 0);
+  for (const std::uint32_t c : labels) ++sizes[c];
+  return sizes.empty() ? 0u : *std::max_element(sizes.begin(), sizes.end());
+}
+
+std::uint32_t min_degree(const Graph& graph) {
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const std::uint32_t d = graph.degree(v);
+    if (v == 0 || d < best) best = d;
+  }
+  return best;
+}
+
 bool is_regular(const Graph& graph, std::uint32_t* degree) {
   if (graph.num_nodes() == 0) {
     if (degree != nullptr) *degree = 0;

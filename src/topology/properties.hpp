@@ -24,6 +24,17 @@ inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>
 
 [[nodiscard]] bool is_connected(const Graph& graph);
 
+/// Connected components in BFS discovery order.  Writes the per-node
+/// component index to *labels when non-null; returns the component count.
+[[nodiscard]] std::uint32_t connected_components(const Graph& graph,
+                                                 std::vector<std::uint32_t>* labels = nullptr);
+
+/// Number of nodes in the largest connected component (0 for empty graphs).
+[[nodiscard]] std::uint32_t largest_component_size(const Graph& graph);
+
+/// Minimum degree over all nodes (0 for the empty graph).
+[[nodiscard]] std::uint32_t min_degree(const Graph& graph);
+
 /// True iff all degrees are equal; writes the common degree to *degree.
 [[nodiscard]] bool is_regular(const Graph& graph, std::uint32_t* degree = nullptr);
 

@@ -1,0 +1,66 @@
+// Pins the deterministic fault-plan generators: the same seed must produce
+// the same plan, bit-for-bit, forever.  If this test fails, a generator or
+// the serialization format changed -- stored plans in the wild would no
+// longer reproduce published degradation curves.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/fault/fault_plan.hpp"
+#include "src/topology/butterfly.hpp"
+
+namespace upn {
+namespace {
+
+FaultPlan reference_plan() {
+  const Graph host = make_butterfly(2);
+  FaultPlan plan = merge_plans(make_uniform_link_faults(host, 0.2, 0xfee1),
+                               make_uniform_node_faults(host, 0.15, 0xfee1));
+  return merge_plans(plan, make_uniform_drops(host, 0.05, 0xfee1, 3, 9));
+}
+
+std::string serialize(const FaultPlan& plan) {
+  std::ostringstream out;
+  write_fault_plan(out, plan);
+  return out.str();
+}
+
+TEST(FaultPlanRegression, SameSeedSamePlan) {
+  EXPECT_EQ(serialize(reference_plan()), serialize(reference_plan()));
+}
+
+TEST(FaultPlanRegression, PinnedSerialization) {
+  const std::string expected =
+      "upn-faultplan 1 65249 4 1 16\n"
+      "L 0 4 0\n"
+      "L 2 6 0\n"
+      "L 3 7 0\n"
+      "L 6 8 0\n"
+      "N 10 0\n"
+      "D 0 4 3 9 0.050000000000000003\n"
+      "D 0 5 3 9 0.050000000000000003\n"
+      "D 1 4 3 9 0.050000000000000003\n"
+      "D 1 5 3 9 0.050000000000000003\n"
+      "D 2 6 3 9 0.050000000000000003\n"
+      "D 2 7 3 9 0.050000000000000003\n"
+      "D 3 6 3 9 0.050000000000000003\n"
+      "D 3 7 3 9 0.050000000000000003\n"
+      "D 4 8 3 9 0.050000000000000003\n"
+      "D 4 10 3 9 0.050000000000000003\n"
+      "D 5 9 3 9 0.050000000000000003\n"
+      "D 5 11 3 9 0.050000000000000003\n"
+      "D 6 8 3 9 0.050000000000000003\n"
+      "D 6 10 3 9 0.050000000000000003\n"
+      "D 7 9 3 9 0.050000000000000003\n"
+      "D 7 11 3 9 0.050000000000000003\n";
+  EXPECT_EQ(serialize(reference_plan()), expected);
+}
+
+TEST(FaultPlanRegression, PinnedSerializationRoundTrips) {
+  std::stringstream buffer{serialize(reference_plan())};
+  const FaultPlan parsed = read_fault_plan(buffer);
+  EXPECT_EQ(serialize(parsed), serialize(reference_plan()));
+}
+
+}  // namespace
+}  // namespace upn

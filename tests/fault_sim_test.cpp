@@ -1,0 +1,176 @@
+// Self-healing universal simulation under fault plans.
+#include <gtest/gtest.h>
+
+#include "src/core/fault_tolerant_sim.hpp"
+#include "src/core/universal_sim.hpp"
+#include "src/fault/fault_plan.hpp"
+#include "src/fault/surgery.hpp"
+#include "src/pebble/validator.hpp"
+#include "src/topology/butterfly.hpp"
+#include "src/topology/mesh.hpp"
+#include "src/topology/random_regular.hpp"
+#include "src/util/rng.hpp"
+
+namespace upn {
+namespace {
+
+struct Fixture {
+  Graph guest;
+  Graph host;
+  std::vector<NodeId> embedding;
+};
+
+Fixture make_fixture(std::uint64_t seed = 11) {
+  Rng rng{seed};
+  Fixture f{make_random_regular(16, 3, rng), make_butterfly(2), {}};
+  // Round-robin embedding: every host simulates at least one guest, so
+  // killing any host forces a re-embedding.
+  for (NodeId u = 0; u < f.guest.num_nodes(); ++u) {
+    f.embedding.push_back(u % f.host.num_nodes());
+  }
+  return f;
+}
+
+TEST(FaultSim, EmptyPlanMatchesPlainUniversalSimulation) {
+  Fixture f = make_fixture();
+  const FaultPlan plan;
+  FaultTolerantSimulator sim{f.guest, f.host, plan, f.embedding};
+  FaultSimOptions options;
+  options.emit_protocol = true;
+  const FaultSimResult result = sim.run(3, options);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.configs_match);
+  EXPECT_EQ(result.fault_epochs, 0u);
+  EXPECT_EQ(result.reembedded_guests, 0u);
+  EXPECT_EQ(result.retransmissions, 0u);
+  ASSERT_TRUE(result.protocol.has_value());
+  EXPECT_TRUE(validate_protocol(*result.protocol, f.guest, f.host).ok);
+}
+
+TEST(FaultSim, StepZeroNodeFaultsHealAndValidateAgainstSurvivors) {
+  Fixture f = make_fixture();
+  FaultPlan plan;
+  plan.add_node_fault(NodeFault{0, 0});
+  plan.add_node_fault(NodeFault{7, 0});
+  ASSERT_TRUE(assess_degradation(f.host, plan).connected);
+
+  FaultTolerantSimulator sim{f.guest, f.host, plan, f.embedding};
+  FaultSimOptions options;
+  options.emit_protocol = true;
+  const FaultSimResult result = sim.run(3, options);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.configs_match);
+  EXPECT_EQ(result.fault_epochs, 1u);
+  EXPECT_GT(result.reembedded_guests, 0u);
+
+  // The guests that lived on the dead hosts moved to survivors.
+  for (const NodeId q : sim.embedding()) {
+    EXPECT_NE(q, 0u);
+    EXPECT_NE(q, 7u);
+  }
+
+  // The acceptance property: the emitted protocol is a legal Section 3.1
+  // simulation on the original host AND on the surviving hardware.
+  ASSERT_TRUE(result.protocol.has_value());
+  EXPECT_TRUE(validate_protocol(*result.protocol, f.guest, f.host).ok);
+  const Graph survivors = surviving_edges_graph(f.host, plan);
+  const ValidationResult check = validate_protocol(*result.protocol, f.guest, survivors);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(FaultSim, StepZeroFaultsCostSlowdown) {
+  Fixture f = make_fixture();
+  const FaultPlan none;
+  FaultPlan plan;
+  plan.add_node_fault(NodeFault{0, 0});
+  plan.add_node_fault(NodeFault{7, 0});
+  const FaultSimResult clean = FaultTolerantSimulator{f.guest, f.host, none, f.embedding}.run(3);
+  const FaultSimResult hurt = FaultTolerantSimulator{f.guest, f.host, plan, f.embedding}.run(3);
+  ASSERT_TRUE(clean.completed);
+  ASSERT_TRUE(hurt.completed);
+  EXPECT_GE(hurt.host_steps, clean.host_steps);
+  EXPECT_GE(hurt.slowdown, clean.slowdown);
+}
+
+TEST(FaultSim, MidRunNodeFaultTriggersReplayAndStaysValid) {
+  Fixture f = make_fixture();
+  FaultPlan plan;
+  plan.add_node_fault(NodeFault{3, 4});  // dies a few host steps in
+  FaultTolerantSimulator sim{f.guest, f.host, plan, f.embedding};
+  FaultSimOptions options;
+  options.emit_protocol = true;
+  const FaultSimResult result = sim.run(4, options);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.configs_match);
+  EXPECT_EQ(result.fault_epochs, 1u);
+  EXPECT_GT(result.reembedded_guests, 0u);
+  EXPECT_GT(result.replay_steps, 0u);
+  for (const NodeId q : sim.embedding()) EXPECT_NE(q, 3u);
+  // Mid-run faults keep the protocol legal on the ORIGINAL host (the dead
+  // processor acted while it was still alive).
+  ASSERT_TRUE(result.protocol.has_value());
+  const ValidationResult check = validate_protocol(*result.protocol, f.guest, f.host);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(FaultSim, TransientDropsRetransmitAndStayCorrect) {
+  Fixture f = make_fixture();
+  const FaultPlan plan = make_uniform_drops(f.host, 0.25, 99);
+  FaultTolerantSimulator sim{f.guest, f.host, plan, f.embedding};
+  FaultSimOptions options;
+  options.emit_protocol = true;
+  const FaultSimResult result = sim.run(3, options);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.configs_match);
+  EXPECT_GT(result.retransmissions, 0u);
+  // Drops surface as SENDs without the mirrored RECEIVE -- still legal.
+  ASSERT_TRUE(result.protocol.has_value());
+  const ValidationResult check = validate_protocol(*result.protocol, f.guest, f.host);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(FaultSim, TotalLossReportsIncompleteInsteadOfThrowing) {
+  Fixture f = make_fixture();
+  const FaultPlan plan = make_uniform_node_faults(f.host, 1.0, 1);
+  FaultTolerantSimulator sim{f.guest, f.host, plan, f.embedding};
+  const FaultSimResult result = sim.run(3);
+  EXPECT_FALSE(result.completed);
+  EXPECT_FALSE(result.configs_match);
+}
+
+TEST(FaultSim, DeterministicAcrossRuns) {
+  Fixture f = make_fixture();
+  const FaultPlan plan = merge_plans(make_uniform_node_faults(f.host, 0.1, 21),
+                                     make_uniform_drops(f.host, 0.1, 21));
+  const FaultSimResult a = FaultTolerantSimulator{f.guest, f.host, plan, f.embedding}.run(3);
+  const FaultSimResult b = FaultTolerantSimulator{f.guest, f.host, plan, f.embedding}.run(3);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.host_steps, b.host_steps);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.reroutes, b.reroutes);
+  EXPECT_EQ(a.packets_routed, b.packets_routed);
+}
+
+TEST(FaultSim, AgreesWithUniversalSimulatorWhenFaultFree) {
+  Fixture f = make_fixture();
+  UniversalSimulator plain{f.guest, f.host, f.embedding};
+  const UniversalSimResult reference = plain.run(3);
+  const FaultPlan plan;
+  const FaultSimResult faulty = FaultTolerantSimulator{f.guest, f.host, plan, f.embedding}.run(3);
+  EXPECT_TRUE(reference.configs_match);
+  EXPECT_TRUE(faulty.configs_match);
+}
+
+TEST(FaultSim, RejectsBadEmbedding) {
+  Fixture f = make_fixture();
+  const FaultPlan plan;
+  std::vector<NodeId> short_embedding(f.guest.num_nodes() - 1, 0);
+  EXPECT_THROW((FaultTolerantSimulator{f.guest, f.host, plan, short_embedding}),
+               std::invalid_argument);
+  std::vector<NodeId> out_of_range(f.guest.num_nodes(), f.host.num_nodes());
+  EXPECT_THROW((FaultTolerantSimulator{f.guest, f.host, plan, out_of_range}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace upn

@@ -1,0 +1,120 @@
+// Hostile-input hardening of read_protocol: a malformed corpus that must be
+// rejected with a line-numbered error, plus seeded random mutations of a
+// valid protocol that must either parse or throw -- never crash, hang, or
+// allocate unboundedly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/pebble/io.hpp"
+#include "src/util/rng.hpp"
+
+namespace upn {
+namespace {
+
+std::string valid_text() {
+  Protocol protocol{3, 4, 2};
+  protocol.begin_step();
+  protocol.add(Op{OpKind::kGenerate, 0, PebbleType{0, 1}, 0});
+  protocol.add(Op{OpKind::kSend, 1, PebbleType{2, 0}, 2});
+  protocol.add(Op{OpKind::kReceive, 2, PebbleType{2, 0}, 1});
+  protocol.begin_step();
+  protocol.add(Op{OpKind::kGenerate, 1, PebbleType{1, 1}, 0});
+  std::ostringstream out;
+  write_protocol(out, protocol);
+  return out.str();
+}
+
+void expect_rejected(const std::string& text) {
+  std::stringstream buffer{text};
+  try {
+    (void)read_protocol(buffer);
+    FAIL() << "accepted malformed input:\n" << text;
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("line "), std::string::npos)
+        << "error lacks a line number: " << e.what();
+  }
+}
+
+TEST(PebbleIoFuzz, MalformedCorpusIsRejectedWithLineNumbers) {
+  const std::string corpus[] = {
+      "",                                              // empty input
+      "\n",                                            // blank header
+      "upn-protocol\n",                                // truncated header
+      "upn-protocol 1 3 4\n",                          // missing T
+      "upn-protocol 1 3 4 2 9\n",                      // extra header field
+      "upn-protocol 2 3 4 2\n",                        // unknown version
+      "mystery 1 3 4 2\n",                             // wrong magic
+      "upn-protocol 1 -3 4 2\n",                       // negative guest count
+      "upn-protocol 1 3 4 -1\n",                       // negative step count
+      "upn-protocol 1 3 4 2x\n",                       // trailing junk in number
+      "upn-protocol 1 3 4294967296 2\n",               // overflows uint32_t
+      "upn-protocol 1 3 99999999999999999999 2\n",     // overflows harder
+      "upn-protocol 1 3 67108865 2\n",                 // above dimension cap
+      "upn-protocol 1 3 4 2\nG 0 0 1\n",               // op before first step
+      "upn-protocol 1 3 4 2\nstep extra\n",            // garbage after step
+      "upn-protocol 1 3 4 2\nstep\nG 0 0\n",           // generate missing fields
+      "upn-protocol 1 3 4 2\nstep\nS 0 0 0\n",         // send missing partner
+      "upn-protocol 1 3 4 2\nstep\nR 0 0 0\n",         // receive missing partner
+      "upn-protocol 1 3 4 2\nstep\nG 0 0 1 7\n",       // generate with partner
+      "upn-protocol 1 3 4 2\nstep\nS 0 0 0 1 9\n",     // send with extra field
+      "upn-protocol 1 3 4 2\nstep\nQ 0 0 1\n",         // unknown op kind
+      "upn-protocol 1 3 4 2\nstep\nGG 0 0 1\n",        // overlong op kind
+      "upn-protocol 1 3 4 2\nstep\nG -1 0 1\n",        // negative processor
+      "upn-protocol 1 3 4 2\nstep\nG 0 0 1.5\n",       // fractional time
+      "upn-protocol 1 3 4 2\nstep\nS 0 0 0 4\n",       // partner out of range
+      "upn-protocol 1 3 4 2\nstep\nG 9 0 1\n",         // processor out of range
+      "upn-protocol 1 3 4 2\nstep\nG 0 7 1\n",         // pebble node out of range
+      "upn-protocol 1 3 4 2\nstep\nG 0 0 3\n",         // pebble time out of range
+      "upn-protocol 1 3 4 2\nstep\nG 0 0 1\nG 0 1 1\n",  // proc acts twice
+      "upn-protocol 1 3 4 2\nstep\nS 1 2 0 2\nS 1 2 0 2\n",  // duplicate send
+  };
+  for (const std::string& text : corpus) expect_rejected(text);
+}
+
+TEST(PebbleIoFuzz, OverlongTokenAndLineAreRejected) {
+  expect_rejected("upn-protocol 1 3 4 " + std::string(64, '2') + "\n");
+  expect_rejected("upn-protocol 1 3 4 2\nstep\nG 0 0 " + std::string(5000, '1') + "\n");
+}
+
+TEST(PebbleIoFuzz, HugeHeaderDoesNotAllocate) {
+  // 4294967295 hosts would be a 16 GiB proc_used_step_ vector if the parser
+  // trusted the header.
+  expect_rejected("upn-protocol 1 4294967295 4294967295 4294967295\n");
+}
+
+TEST(PebbleIoFuzz, TruncationsOfValidInputNeverCrash) {
+  const std::string text = valid_text();
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    std::stringstream buffer{text.substr(0, len)};
+    try {
+      (void)read_protocol(buffer);
+    } catch (const std::runtime_error&) {
+      // Rejection is fine; crashing or accepting garbage is not.
+    }
+  }
+}
+
+TEST(PebbleIoFuzz, RandomByteMutationsNeverCrash) {
+  const std::string text = valid_text();
+  const char alphabet[] = "0123456789GSR step\n-x";
+  Rng rng{0xf022};
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string mutated = text;
+    const std::size_t edits = 1 + rng.below(4);
+    for (std::size_t e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.below(mutated.size());
+      mutated[pos] = alphabet[rng.below(sizeof(alphabet) - 1)];
+    }
+    std::stringstream buffer{mutated};
+    try {
+      (void)read_protocol(buffer);
+    } catch (const std::runtime_error&) {
+      // Expected for most mutations.
+    }
+  }
+}
+
+}  // namespace
+}  // namespace upn

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include "src/core/embedding.hpp"
+#include "src/core/fault_tolerant_sim.hpp"
 #include "src/core/universal_sim.hpp"
+#include "src/fault/fault_plan.hpp"
+#include "src/fault/surgery.hpp"
 #include "src/pebble/validator.hpp"
 #include "src/topology/butterfly.hpp"
 #include "src/topology/random_regular.hpp"
@@ -33,6 +36,8 @@ Fixture make_fixture() {
 }
 
 /// Rebuilds the protocol applying `mutate` to each op (by flat index).
+/// A mutation returning false removes the op -- the fault-injection
+/// mutations below use this to model operations lost to hardware failure.
 Protocol rebuild_with(const Protocol& original,
                       const std::function<bool(std::size_t, Op&)>& mutate) {
   Protocol out{original.num_guests(), original.num_hosts(), original.guest_steps()};
@@ -40,8 +45,7 @@ Protocol rebuild_with(const Protocol& original,
   for (const auto& step : original.steps()) {
     out.begin_step();
     for (Op op : step) {
-      mutate(index++, op);
-      out.add(op);
+      if (mutate(index++, op)) out.add(op);
     }
   }
   return out;
@@ -157,6 +161,110 @@ TEST_F(MutationTest, DroppingFinalGenerateIsRejected) {
 TEST_F(MutationTest, UnmutatedCopyStaysValid) {
   const Protocol copy = rebuild_with(fx_.protocol, [](std::size_t, Op&) { return true; });
   EXPECT_TRUE(validate_protocol(copy, fx_.guest, fx_.host).ok);
+}
+
+// ---- Fault-flavored mutations ---------------------------------------------
+//
+// The fixture is a self-healing simulation on a host whose processor 0 died
+// at step 0, so the valid protocol avoids the dead hardware entirely and
+// validates against the surviving host graph.  Each mutation re-introduces a
+// fault symptom the healing layer must have repaired -- the validator has to
+// catch all of them.
+
+class FaultMutationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng{4242};
+    guest_ = make_random_regular(16, 3, rng);
+    host_ = make_butterfly(2);
+    plan_.add_node_fault(NodeFault{0, 0});
+    std::vector<NodeId> embedding;
+    for (NodeId u = 0; u < guest_.num_nodes(); ++u) {
+      embedding.push_back(u % host_.num_nodes());
+    }
+    FaultTolerantSimulator sim{guest_, host_, plan_, embedding};
+    FaultSimOptions options;
+    options.emit_protocol = true;
+    FaultSimResult result = sim.run(3, options);
+    ASSERT_TRUE(result.completed);
+    protocol_ = std::move(*result.protocol);
+    survivors_ = surviving_edges_graph(host_, plan_);
+    ASSERT_TRUE(validate_protocol(protocol_, guest_, host_).ok);
+    ASSERT_TRUE(validate_protocol(protocol_, guest_, survivors_).ok);
+  }
+
+  Graph guest_;
+  Graph host_;
+  FaultPlan plan_;
+  Graph survivors_{};
+  Protocol protocol_{1, 1, 1};
+};
+
+TEST_F(FaultMutationTest, LostReceiveIsRejected) {
+  // Drop receives of generated pebbles, as if the packet died in flight
+  // WITHOUT the sender retransmitting.  The receiver no longer holds the
+  // pebble, so a later forward or generate must fail.  Not every receive is
+  // load-bearing, but at least one must be -- and every rejection must name
+  // the missing holding.
+  std::vector<std::size_t> receive_indices;
+  std::size_t index = 0;
+  for (const auto& step : protocol_.steps()) {
+    for (const Op& op : step) {
+      if (op.kind == OpKind::kReceive && op.pebble.time >= 1) {
+        receive_indices.push_back(index);
+      }
+      ++index;
+    }
+  }
+  ASSERT_FALSE(receive_indices.empty());
+  std::size_t rejected = 0;
+  for (const std::size_t target : receive_indices) {
+    const Protocol mutated = rebuild_with(
+        protocol_, [&](std::size_t i, Op&) { return i != target; });
+    const ValidationResult result = validate_protocol(mutated, guest_, host_);
+    if (result.ok) continue;
+    ++rejected;
+    const bool named = result.error.find("does not hold the pebble") != std::string::npos ||
+                       result.error.find("missing") != std::string::npos;
+    EXPECT_TRUE(named) << result.error;
+  }
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST_F(FaultMutationTest, GenerateOnFailedHostIsRejected) {
+  // Relocate a generate to the dead processor.  Processor 0 never received
+  // anything, so it only holds initial pebbles and cannot have the time >= 2
+  // predecessors the generate rule demands.
+  const std::size_t target = find_op(protocol_, [](const Op& op) {
+    return op.kind == OpKind::kGenerate && op.pebble.time >= 2;
+  });
+  ASSERT_NE(target, static_cast<std::size_t>(-1));
+  const Protocol mutated = rebuild_with(protocol_, [&](std::size_t i, Op& op) {
+    if (i == target) op.proc = 0;
+    return true;
+  });
+  const ValidationResult result = validate_protocol(mutated, guest_, host_);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("missing own predecessor"), std::string::npos)
+      << result.error;
+}
+
+TEST_F(FaultMutationTest, OpOnRemovedEdgeIsRejected) {
+  // Rewire a send across an edge that died with processor 0.  On the
+  // original host the link exists; on the surviving host it does not, and
+  // the neighbor check must fire.
+  const std::size_t target = find_op(protocol_, [&](const Op& op) {
+    return op.kind == OpKind::kSend && host_.has_edge(op.proc, 0);
+  });
+  ASSERT_NE(target, static_cast<std::size_t>(-1));
+  const Protocol mutated = rebuild_with(protocol_, [&](std::size_t i, Op& op) {
+    if (i == target) op.partner = 0;
+    return true;
+  });
+  const ValidationResult result = validate_protocol(mutated, guest_, survivors_);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("partner is not a host neighbor"), std::string::npos)
+      << result.error;
 }
 
 }  // namespace
