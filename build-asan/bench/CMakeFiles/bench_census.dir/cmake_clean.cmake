@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_census.dir/bench_census.cpp.o"
+  "CMakeFiles/bench_census.dir/bench_census.cpp.o.d"
+  "bench_census"
+  "bench_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_complete.dir/bench_complete.cpp.o"
+  "CMakeFiles/bench_complete.dir/bench_complete.cpp.o.d"
+  "bench_complete"
+  "bench_complete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dependency_tree.dir/bench_dependency_tree.cpp.o"
+  "CMakeFiles/bench_dependency_tree.dir/bench_dependency_tree.cpp.o.d"
+  "bench_dependency_tree"
+  "bench_dependency_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dependency_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

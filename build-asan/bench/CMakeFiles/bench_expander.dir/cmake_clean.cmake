@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_expander.dir/bench_expander.cpp.o"
+  "CMakeFiles/bench_expander.dir/bench_expander.cpp.o.d"
+  "bench_expander"
+  "bench_expander.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expander.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma312.dir/bench_lemma312.cpp.o"
+  "CMakeFiles/bench_lemma312.dir/bench_lemma312.cpp.o.d"
+  "bench_lemma312"
+  "bench_lemma312.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma312.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pebble.dir/bench_pebble.cpp.o"
+  "CMakeFiles/bench_pebble.dir/bench_pebble.cpp.o.d"
+  "bench_pebble"
+  "bench_pebble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pebble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

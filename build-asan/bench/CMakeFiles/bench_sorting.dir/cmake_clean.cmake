@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sorting.dir/bench_sorting.cpp.o"
+  "CMakeFiles/bench_sorting.dir/bench_sorting.cpp.o.d"
+  "bench_sorting"
+  "bench_sorting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

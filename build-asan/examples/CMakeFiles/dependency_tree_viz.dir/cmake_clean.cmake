@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependency_tree_viz.dir/dependency_tree_viz.cpp.o"
+  "CMakeFiles/dependency_tree_viz.dir/dependency_tree_viz.cpp.o.d"
+  "dependency_tree_viz"
+  "dependency_tree_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependency_tree_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

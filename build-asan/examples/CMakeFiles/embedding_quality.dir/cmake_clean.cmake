@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_quality.dir/embedding_quality.cpp.o"
+  "CMakeFiles/embedding_quality.dir/embedding_quality.cpp.o.d"
+  "embedding_quality"
+  "embedding_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

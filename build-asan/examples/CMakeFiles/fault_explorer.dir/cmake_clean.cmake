@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_explorer.dir/fault_explorer.cpp.o"
+  "CMakeFiles/fault_explorer.dir/fault_explorer.cpp.o.d"
+  "fault_explorer"
+  "fault_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lower_bound_calculator.dir/lower_bound_calculator.cpp.o"
+  "CMakeFiles/lower_bound_calculator.dir/lower_bound_calculator.cpp.o.d"
+  "lower_bound_calculator"
+  "lower_bound_calculator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lower_bound_calculator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

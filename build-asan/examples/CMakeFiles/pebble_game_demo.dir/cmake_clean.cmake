@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebble_game_demo.dir/pebble_game_demo.cpp.o"
+  "CMakeFiles/pebble_game_demo.dir/pebble_game_demo.cpp.o.d"
+  "pebble_game_demo"
+  "pebble_game_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebble_game_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

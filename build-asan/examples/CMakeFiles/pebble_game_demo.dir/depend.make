@@ -1,0 +1,2 @@
+# Empty dependencies file for pebble_game_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_tools.dir/protocol_tools.cpp.o"
+  "CMakeFiles/protocol_tools.dir/protocol_tools.cpp.o.d"
+  "protocol_tools"
+  "protocol_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

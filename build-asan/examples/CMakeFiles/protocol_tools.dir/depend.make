@@ -1,0 +1,2 @@
+# Empty dependencies file for protocol_tools.
+# This may be replaced when dependencies are built.

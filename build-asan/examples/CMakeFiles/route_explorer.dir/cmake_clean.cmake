@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_explorer.dir/route_explorer.cpp.o"
+  "CMakeFiles/route_explorer.dir/route_explorer.cpp.o.d"
+  "route_explorer"
+  "route_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

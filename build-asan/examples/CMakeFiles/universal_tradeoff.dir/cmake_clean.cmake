@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universal_tradeoff.dir/universal_tradeoff.cpp.o"
+  "CMakeFiles/universal_tradeoff.dir/universal_tradeoff.cpp.o.d"
+  "universal_tradeoff"
+  "universal_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universal_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-asan/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-asan/examples/quickstart" "--n" "96" "--steps" "2")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_universal_tradeoff "/root/repo/build-asan/examples/universal_tradeoff" "--n" "192" "--steps" "2")
+set_tests_properties(example_universal_tradeoff PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dependency_tree_viz "/root/repo/build-asan/examples/dependency_tree_viz" "--a" "2")
+set_tests_properties(example_dependency_tree_viz PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pebble_game_demo "/root/repo/build-asan/examples/pebble_game_demo")
+set_tests_properties(example_pebble_game_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lower_bound_calculator "/root/repo/build-asan/examples/lower_bound_calculator")
+set_tests_properties(example_lower_bound_calculator PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_embedding_quality "/root/repo/build-asan/examples/embedding_quality" "--n" "96")
+set_tests_properties(example_embedding_quality PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_full_pipeline "/root/repo/build-asan/examples/full_pipeline" "--steps" "12")
+set_tests_properties(example_full_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_route_explorer "/root/repo/build-asan/examples/route_explorer" "--host" "torus:6x6" "--h" "2")
+set_tests_properties(example_route_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_protocol_tools "/root/repo/build-asan/examples/protocol_tools" "--mode" "generate" "--guest" "random:48:8:3" "--host" "butterfly:2" "--steps" "2" "--out" "protocol_tools_test.upnp")
+set_tests_properties(example_protocol_tools PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fault_explorer_plan "/root/repo/build-asan/examples/fault_explorer" "--mode" "plan" "--host" "butterfly:2" "--kind" "link" "--rate" "0.1" "--out" "fault_explorer_test.upnf")
+set_tests_properties(example_fault_explorer_plan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fault_explorer_run "/root/repo/build-asan/examples/fault_explorer" "--mode" "run" "--guest" "random:24:3:5" "--host" "butterfly:2" "--kind" "node" "--rate" "0.1" "--steps" "2")
+set_tests_properties(example_fault_explorer_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;35;add_test;/root/repo/examples/CMakeLists.txt;0;")

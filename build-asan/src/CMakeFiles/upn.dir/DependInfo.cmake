@@ -1,0 +1,89 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compute/machine.cpp" "src/CMakeFiles/upn.dir/compute/machine.cpp.o" "gcc" "src/CMakeFiles/upn.dir/compute/machine.cpp.o.d"
+  "/root/repo/src/compute/trace.cpp" "src/CMakeFiles/upn.dir/compute/trace.cpp.o" "gcc" "src/CMakeFiles/upn.dir/compute/trace.cpp.o.d"
+  "/root/repo/src/core/complete_sim.cpp" "src/CMakeFiles/upn.dir/core/complete_sim.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/complete_sim.cpp.o.d"
+  "/root/repo/src/core/embedding.cpp" "src/CMakeFiles/upn.dir/core/embedding.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/embedding.cpp.o.d"
+  "/root/repo/src/core/embedding_metrics.cpp" "src/CMakeFiles/upn.dir/core/embedding_metrics.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/embedding_metrics.cpp.o.d"
+  "/root/repo/src/core/fault_tolerant_sim.cpp" "src/CMakeFiles/upn.dir/core/fault_tolerant_sim.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/fault_tolerant_sim.cpp.o.d"
+  "/root/repo/src/core/galil_paul.cpp" "src/CMakeFiles/upn.dir/core/galil_paul.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/galil_paul.cpp.o.d"
+  "/root/repo/src/core/offline_universal.cpp" "src/CMakeFiles/upn.dir/core/offline_universal.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/offline_universal.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/upn.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/schedule_protocol.cpp" "src/CMakeFiles/upn.dir/core/schedule_protocol.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/schedule_protocol.cpp.o.d"
+  "/root/repo/src/core/scheduled_universal.cpp" "src/CMakeFiles/upn.dir/core/scheduled_universal.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/scheduled_universal.cpp.o.d"
+  "/root/repo/src/core/slowdown.cpp" "src/CMakeFiles/upn.dir/core/slowdown.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/slowdown.cpp.o.d"
+  "/root/repo/src/core/universal_sim.cpp" "src/CMakeFiles/upn.dir/core/universal_sim.cpp.o" "gcc" "src/CMakeFiles/upn.dir/core/universal_sim.cpp.o.d"
+  "/root/repo/src/fault/fault_plan.cpp" "src/CMakeFiles/upn.dir/fault/fault_plan.cpp.o" "gcc" "src/CMakeFiles/upn.dir/fault/fault_plan.cpp.o.d"
+  "/root/repo/src/fault/surgery.cpp" "src/CMakeFiles/upn.dir/fault/surgery.cpp.o" "gcc" "src/CMakeFiles/upn.dir/fault/surgery.cpp.o.d"
+  "/root/repo/src/lowerbound/bandwidth.cpp" "src/CMakeFiles/upn.dir/lowerbound/bandwidth.cpp.o" "gcc" "src/CMakeFiles/upn.dir/lowerbound/bandwidth.cpp.o.d"
+  "/root/repo/src/lowerbound/counting.cpp" "src/CMakeFiles/upn.dir/lowerbound/counting.cpp.o" "gcc" "src/CMakeFiles/upn.dir/lowerbound/counting.cpp.o.d"
+  "/root/repo/src/lowerbound/dependency_graph.cpp" "src/CMakeFiles/upn.dir/lowerbound/dependency_graph.cpp.o" "gcc" "src/CMakeFiles/upn.dir/lowerbound/dependency_graph.cpp.o.d"
+  "/root/repo/src/lowerbound/dependency_tree.cpp" "src/CMakeFiles/upn.dir/lowerbound/dependency_tree.cpp.o" "gcc" "src/CMakeFiles/upn.dir/lowerbound/dependency_tree.cpp.o.d"
+  "/root/repo/src/lowerbound/expansion.cpp" "src/CMakeFiles/upn.dir/lowerbound/expansion.cpp.o" "gcc" "src/CMakeFiles/upn.dir/lowerbound/expansion.cpp.o.d"
+  "/root/repo/src/lowerbound/fragment_census.cpp" "src/CMakeFiles/upn.dir/lowerbound/fragment_census.cpp.o" "gcc" "src/CMakeFiles/upn.dir/lowerbound/fragment_census.cpp.o.d"
+  "/root/repo/src/lowerbound/lemma_verify.cpp" "src/CMakeFiles/upn.dir/lowerbound/lemma_verify.cpp.o" "gcc" "src/CMakeFiles/upn.dir/lowerbound/lemma_verify.cpp.o.d"
+  "/root/repo/src/lowerbound/main_lemma.cpp" "src/CMakeFiles/upn.dir/lowerbound/main_lemma.cpp.o" "gcc" "src/CMakeFiles/upn.dir/lowerbound/main_lemma.cpp.o.d"
+  "/root/repo/src/lowerbound/spreading.cpp" "src/CMakeFiles/upn.dir/lowerbound/spreading.cpp.o" "gcc" "src/CMakeFiles/upn.dir/lowerbound/spreading.cpp.o.d"
+  "/root/repo/src/lowerbound/tradeoff.cpp" "src/CMakeFiles/upn.dir/lowerbound/tradeoff.cpp.o" "gcc" "src/CMakeFiles/upn.dir/lowerbound/tradeoff.cpp.o.d"
+  "/root/repo/src/pebble/fragment.cpp" "src/CMakeFiles/upn.dir/pebble/fragment.cpp.o" "gcc" "src/CMakeFiles/upn.dir/pebble/fragment.cpp.o.d"
+  "/root/repo/src/pebble/io.cpp" "src/CMakeFiles/upn.dir/pebble/io.cpp.o" "gcc" "src/CMakeFiles/upn.dir/pebble/io.cpp.o.d"
+  "/root/repo/src/pebble/metrics.cpp" "src/CMakeFiles/upn.dir/pebble/metrics.cpp.o" "gcc" "src/CMakeFiles/upn.dir/pebble/metrics.cpp.o.d"
+  "/root/repo/src/pebble/protocol.cpp" "src/CMakeFiles/upn.dir/pebble/protocol.cpp.o" "gcc" "src/CMakeFiles/upn.dir/pebble/protocol.cpp.o.d"
+  "/root/repo/src/pebble/stats.cpp" "src/CMakeFiles/upn.dir/pebble/stats.cpp.o" "gcc" "src/CMakeFiles/upn.dir/pebble/stats.cpp.o.d"
+  "/root/repo/src/pebble/validator.cpp" "src/CMakeFiles/upn.dir/pebble/validator.cpp.o" "gcc" "src/CMakeFiles/upn.dir/pebble/validator.cpp.o.d"
+  "/root/repo/src/routing/adversarial.cpp" "src/CMakeFiles/upn.dir/routing/adversarial.cpp.o" "gcc" "src/CMakeFiles/upn.dir/routing/adversarial.cpp.o.d"
+  "/root/repo/src/routing/benes.cpp" "src/CMakeFiles/upn.dir/routing/benes.cpp.o" "gcc" "src/CMakeFiles/upn.dir/routing/benes.cpp.o.d"
+  "/root/repo/src/routing/bitfix.cpp" "src/CMakeFiles/upn.dir/routing/bitfix.cpp.o" "gcc" "src/CMakeFiles/upn.dir/routing/bitfix.cpp.o.d"
+  "/root/repo/src/routing/decompose.cpp" "src/CMakeFiles/upn.dir/routing/decompose.cpp.o" "gcc" "src/CMakeFiles/upn.dir/routing/decompose.cpp.o.d"
+  "/root/repo/src/routing/hh_problem.cpp" "src/CMakeFiles/upn.dir/routing/hh_problem.cpp.o" "gcc" "src/CMakeFiles/upn.dir/routing/hh_problem.cpp.o.d"
+  "/root/repo/src/routing/matching.cpp" "src/CMakeFiles/upn.dir/routing/matching.cpp.o" "gcc" "src/CMakeFiles/upn.dir/routing/matching.cpp.o.d"
+  "/root/repo/src/routing/offline_butterfly.cpp" "src/CMakeFiles/upn.dir/routing/offline_butterfly.cpp.o" "gcc" "src/CMakeFiles/upn.dir/routing/offline_butterfly.cpp.o.d"
+  "/root/repo/src/routing/path_schedule.cpp" "src/CMakeFiles/upn.dir/routing/path_schedule.cpp.o" "gcc" "src/CMakeFiles/upn.dir/routing/path_schedule.cpp.o.d"
+  "/root/repo/src/routing/policies.cpp" "src/CMakeFiles/upn.dir/routing/policies.cpp.o" "gcc" "src/CMakeFiles/upn.dir/routing/policies.cpp.o.d"
+  "/root/repo/src/routing/router.cpp" "src/CMakeFiles/upn.dir/routing/router.cpp.o" "gcc" "src/CMakeFiles/upn.dir/routing/router.cpp.o.d"
+  "/root/repo/src/sorting/bitonic.cpp" "src/CMakeFiles/upn.dir/sorting/bitonic.cpp.o" "gcc" "src/CMakeFiles/upn.dir/sorting/bitonic.cpp.o.d"
+  "/root/repo/src/sorting/columnsort.cpp" "src/CMakeFiles/upn.dir/sorting/columnsort.cpp.o" "gcc" "src/CMakeFiles/upn.dir/sorting/columnsort.cpp.o.d"
+  "/root/repo/src/sorting/comparator_network.cpp" "src/CMakeFiles/upn.dir/sorting/comparator_network.cpp.o" "gcc" "src/CMakeFiles/upn.dir/sorting/comparator_network.cpp.o.d"
+  "/root/repo/src/sorting/odd_even_merge.cpp" "src/CMakeFiles/upn.dir/sorting/odd_even_merge.cpp.o" "gcc" "src/CMakeFiles/upn.dir/sorting/odd_even_merge.cpp.o.d"
+  "/root/repo/src/sorting/oets.cpp" "src/CMakeFiles/upn.dir/sorting/oets.cpp.o" "gcc" "src/CMakeFiles/upn.dir/sorting/oets.cpp.o.d"
+  "/root/repo/src/sorting/sort_route.cpp" "src/CMakeFiles/upn.dir/sorting/sort_route.cpp.o" "gcc" "src/CMakeFiles/upn.dir/sorting/sort_route.cpp.o.d"
+  "/root/repo/src/topology/builders.cpp" "src/CMakeFiles/upn.dir/topology/builders.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/builders.cpp.o.d"
+  "/root/repo/src/topology/butterfly.cpp" "src/CMakeFiles/upn.dir/topology/butterfly.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/butterfly.cpp.o.d"
+  "/root/repo/src/topology/ccc.cpp" "src/CMakeFiles/upn.dir/topology/ccc.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/ccc.cpp.o.d"
+  "/root/repo/src/topology/debruijn.cpp" "src/CMakeFiles/upn.dir/topology/debruijn.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/debruijn.cpp.o.d"
+  "/root/repo/src/topology/dot.cpp" "src/CMakeFiles/upn.dir/topology/dot.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/dot.cpp.o.d"
+  "/root/repo/src/topology/eulerian.cpp" "src/CMakeFiles/upn.dir/topology/eulerian.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/eulerian.cpp.o.d"
+  "/root/repo/src/topology/expander.cpp" "src/CMakeFiles/upn.dir/topology/expander.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/expander.cpp.o.d"
+  "/root/repo/src/topology/g0.cpp" "src/CMakeFiles/upn.dir/topology/g0.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/g0.cpp.o.d"
+  "/root/repo/src/topology/graph.cpp" "src/CMakeFiles/upn.dir/topology/graph.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/graph.cpp.o.d"
+  "/root/repo/src/topology/hypercube.cpp" "src/CMakeFiles/upn.dir/topology/hypercube.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/hypercube.cpp.o.d"
+  "/root/repo/src/topology/kautz.cpp" "src/CMakeFiles/upn.dir/topology/kautz.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/kautz.cpp.o.d"
+  "/root/repo/src/topology/mesh.cpp" "src/CMakeFiles/upn.dir/topology/mesh.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/mesh.cpp.o.d"
+  "/root/repo/src/topology/mesh_of_trees.cpp" "src/CMakeFiles/upn.dir/topology/mesh_of_trees.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/mesh_of_trees.cpp.o.d"
+  "/root/repo/src/topology/multitorus.cpp" "src/CMakeFiles/upn.dir/topology/multitorus.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/multitorus.cpp.o.d"
+  "/root/repo/src/topology/parse.cpp" "src/CMakeFiles/upn.dir/topology/parse.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/parse.cpp.o.d"
+  "/root/repo/src/topology/properties.cpp" "src/CMakeFiles/upn.dir/topology/properties.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/properties.cpp.o.d"
+  "/root/repo/src/topology/random_regular.cpp" "src/CMakeFiles/upn.dir/topology/random_regular.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/random_regular.cpp.o.d"
+  "/root/repo/src/topology/shuffle_exchange.cpp" "src/CMakeFiles/upn.dir/topology/shuffle_exchange.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/shuffle_exchange.cpp.o.d"
+  "/root/repo/src/topology/torus.cpp" "src/CMakeFiles/upn.dir/topology/torus.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/torus.cpp.o.d"
+  "/root/repo/src/topology/torus3d.cpp" "src/CMakeFiles/upn.dir/topology/torus3d.cpp.o" "gcc" "src/CMakeFiles/upn.dir/topology/torus3d.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/upn.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/upn.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/math.cpp" "src/CMakeFiles/upn.dir/util/math.cpp.o" "gcc" "src/CMakeFiles/upn.dir/util/math.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/upn.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/upn.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/upn.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/upn.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for upn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for upn.
+# This may be replaced when dependencies are built.

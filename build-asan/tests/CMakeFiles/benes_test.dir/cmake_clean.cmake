@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benes_test.dir/benes_test.cpp.o"
+  "CMakeFiles/benes_test.dir/benes_test.cpp.o.d"
+  "benes_test"
+  "benes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

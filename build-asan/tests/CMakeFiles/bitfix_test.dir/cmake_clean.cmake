@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitfix_test.dir/bitfix_test.cpp.o"
+  "CMakeFiles/bitfix_test.dir/bitfix_test.cpp.o.d"
+  "bitfix_test"
+  "bitfix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitfix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complete_sim_test.dir/complete_sim_test.cpp.o"
+  "CMakeFiles/complete_sim_test.dir/complete_sim_test.cpp.o.d"
+  "complete_sim_test"
+  "complete_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complete_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

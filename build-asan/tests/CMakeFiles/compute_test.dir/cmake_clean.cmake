@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_test.dir/compute_test.cpp.o"
+  "CMakeFiles/compute_test.dir/compute_test.cpp.o.d"
+  "compute_test"
+  "compute_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

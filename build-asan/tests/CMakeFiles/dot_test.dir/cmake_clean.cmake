@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_test.dir/dot_test.cpp.o"
+  "CMakeFiles/dot_test.dir/dot_test.cpp.o.d"
+  "dot_test"
+  "dot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

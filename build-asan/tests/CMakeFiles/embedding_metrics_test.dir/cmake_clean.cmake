@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_metrics_test.dir/embedding_metrics_test.cpp.o"
+  "CMakeFiles/embedding_metrics_test.dir/embedding_metrics_test.cpp.o.d"
+  "embedding_metrics_test"
+  "embedding_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_router_test.dir/fault_router_test.cpp.o"
+  "CMakeFiles/fault_router_test.dir/fault_router_test.cpp.o.d"
+  "fault_router_test"
+  "fault_router_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragment_census_test.dir/fragment_census_test.cpp.o"
+  "CMakeFiles/fragment_census_test.dir/fragment_census_test.cpp.o.d"
+  "fragment_census_test"
+  "fragment_census_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragment_census_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

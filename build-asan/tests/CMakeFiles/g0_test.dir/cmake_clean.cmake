@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g0_test.dir/g0_test.cpp.o"
+  "CMakeFiles/g0_test.dir/g0_test.cpp.o.d"
+  "g0_test"
+  "g0_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g0_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

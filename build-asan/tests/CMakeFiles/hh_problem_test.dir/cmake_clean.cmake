@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_problem_test.dir/hh_problem_test.cpp.o"
+  "CMakeFiles/hh_problem_test.dir/hh_problem_test.cpp.o.d"
+  "hh_problem_test"
+  "hh_problem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_problem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_family_test.dir/host_family_test.cpp.o"
+  "CMakeFiles/host_family_test.dir/host_family_test.cpp.o.d"
+  "host_family_test"
+  "host_family_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_family_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kautz_stats_test.dir/kautz_stats_test.cpp.o"
+  "CMakeFiles/kautz_stats_test.dir/kautz_stats_test.cpp.o.d"
+  "kautz_stats_test"
+  "kautz_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kautz_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

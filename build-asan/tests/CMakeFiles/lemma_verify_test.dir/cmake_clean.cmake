@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma_verify_test.dir/lemma_verify_test.cpp.o"
+  "CMakeFiles/lemma_verify_test.dir/lemma_verify_test.cpp.o.d"
+  "lemma_verify_test"
+  "lemma_verify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma_verify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

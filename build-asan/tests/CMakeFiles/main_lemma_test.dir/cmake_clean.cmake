@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/main_lemma_test.dir/main_lemma_test.cpp.o"
+  "CMakeFiles/main_lemma_test.dir/main_lemma_test.cpp.o.d"
+  "main_lemma_test"
+  "main_lemma_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/main_lemma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_of_trees_test.dir/mesh_of_trees_test.cpp.o"
+  "CMakeFiles/mesh_of_trees_test.dir/mesh_of_trees_test.cpp.o.d"
+  "mesh_of_trees_test"
+  "mesh_of_trees_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_of_trees_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_butterfly_test.dir/offline_butterfly_test.cpp.o"
+  "CMakeFiles/offline_butterfly_test.dir/offline_butterfly_test.cpp.o.d"
+  "offline_butterfly_test"
+  "offline_butterfly_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_butterfly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

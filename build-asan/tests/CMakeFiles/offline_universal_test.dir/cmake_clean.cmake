@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_universal_test.dir/offline_universal_test.cpp.o"
+  "CMakeFiles/offline_universal_test.dir/offline_universal_test.cpp.o.d"
+  "offline_universal_test"
+  "offline_universal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_universal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_schedule_test.dir/path_schedule_test.cpp.o"
+  "CMakeFiles/path_schedule_test.dir/path_schedule_test.cpp.o.d"
+  "path_schedule_test"
+  "path_schedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

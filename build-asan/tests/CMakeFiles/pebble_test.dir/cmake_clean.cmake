@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebble_test.dir/pebble_test.cpp.o"
+  "CMakeFiles/pebble_test.dir/pebble_test.cpp.o.d"
+  "pebble_test"
+  "pebble_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebble_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_stats_test.dir/protocol_stats_test.cpp.o"
+  "CMakeFiles/protocol_stats_test.dir/protocol_stats_test.cpp.o.d"
+  "protocol_stats_test"
+  "protocol_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

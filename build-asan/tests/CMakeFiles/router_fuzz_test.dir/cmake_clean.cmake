@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_fuzz_test.dir/router_fuzz_test.cpp.o"
+  "CMakeFiles/router_fuzz_test.dir/router_fuzz_test.cpp.o.d"
+  "router_fuzz_test"
+  "router_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

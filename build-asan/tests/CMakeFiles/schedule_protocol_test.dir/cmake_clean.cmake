@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_protocol_test.dir/schedule_protocol_test.cpp.o"
+  "CMakeFiles/schedule_protocol_test.dir/schedule_protocol_test.cpp.o.d"
+  "schedule_protocol_test"
+  "schedule_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

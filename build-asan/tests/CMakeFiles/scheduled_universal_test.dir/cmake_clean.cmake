@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduled_universal_test.dir/scheduled_universal_test.cpp.o"
+  "CMakeFiles/scheduled_universal_test.dir/scheduled_universal_test.cpp.o.d"
+  "scheduled_universal_test"
+  "scheduled_universal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduled_universal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

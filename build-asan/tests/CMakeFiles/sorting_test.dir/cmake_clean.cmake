@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorting_test.dir/sorting_test.cpp.o"
+  "CMakeFiles/sorting_test.dir/sorting_test.cpp.o.d"
+  "sorting_test"
+  "sorting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spreading_test.dir/spreading_test.cpp.o"
+  "CMakeFiles/spreading_test.dir/spreading_test.cpp.o.d"
+  "spreading_test"
+  "spreading_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spreading_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torus3d_test.dir/torus3d_test.cpp.o"
+  "CMakeFiles/torus3d_test.dir/torus3d_test.cpp.o.d"
+  "torus3d_test"
+  "torus3d_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torus3d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

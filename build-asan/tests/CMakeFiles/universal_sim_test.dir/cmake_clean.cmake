@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universal_sim_test.dir/universal_sim_test.cpp.o"
+  "CMakeFiles/universal_sim_test.dir/universal_sim_test.cpp.o.d"
+  "universal_sim_test"
+  "universal_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universal_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

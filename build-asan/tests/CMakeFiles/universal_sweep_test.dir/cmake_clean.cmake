@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universal_sweep_test.dir/universal_sweep_test.cpp.o"
+  "CMakeFiles/universal_sweep_test.dir/universal_sweep_test.cpp.o.d"
+  "universal_sweep_test"
+  "universal_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universal_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

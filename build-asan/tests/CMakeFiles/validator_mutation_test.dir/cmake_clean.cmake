@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validator_mutation_test.dir/validator_mutation_test.cpp.o"
+  "CMakeFiles/validator_mutation_test.dir/validator_mutation_test.cpp.o.d"
+  "validator_mutation_test"
+  "validator_mutation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validator_mutation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
