@@ -1,0 +1,81 @@
+#include "src/core/embedding_io.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "src/core/embedding.hpp"
+#include "src/util/contracts.hpp"
+
+namespace upn {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error{"read_embedding: line " + std::to_string(line) + ": " + what};
+}
+
+std::uint32_t parse_u32(const std::string& token, std::size_t line_no, const char* what) {
+  if (token.empty() || token.size() > 10) fail(line_no, std::string{what} + ": bad field");
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') {
+      fail(line_no, std::string{what} + ": not a non-negative integer ('" + token + "')");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (value > std::numeric_limits<std::uint32_t>::max()) {
+    fail(line_no, std::string{what} + ": overflows uint32_t");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace
+
+void write_embedding(std::ostream& os, const std::vector<NodeId>& embedding,
+                     std::uint32_t num_hosts) {
+  const std::uint32_t load = embedding_load(embedding, num_hosts);
+  os << "upn-embedding 1 " << embedding.size() << ' ' << num_hosts << ' ' << load << '\n';
+  for (const NodeId q : embedding) os << q << '\n';
+}
+
+StoredEmbedding read_embedding(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+  if (!std::getline(is, line)) fail(1, "empty input");
+  ++line_no;
+  std::istringstream header{line};
+  std::string magic, version, n_tok, m_tok, load_tok, extra;
+  if (!(header >> magic >> version >> n_tok >> m_tok >> load_tok) || (header >> extra) ||
+      magic != "upn-embedding" || version != "1") {
+    fail(line_no, "bad header (expected 'upn-embedding 1 <n> <m> <load>')");
+  }
+  const std::uint32_t n = parse_u32(n_tok, line_no, "guest count");
+  StoredEmbedding stored;
+  stored.num_hosts = parse_u32(m_tok, line_no, "host count");
+  stored.declared_load = parse_u32(load_tok, line_no, "declared load");
+  if (n > kMaxEmbeddingDimension || stored.num_hosts > kMaxEmbeddingDimension) {
+    fail(line_no, "header count exceeds limit");
+  }
+  if (stored.num_hosts == 0 && n > 0) fail(line_no, "n > 0 requires m > 0");
+  stored.map.reserve(n);
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream fields{line};
+    std::string token;
+    while (fields >> token) {
+      if (stored.map.size() == n) fail(line_no, "more rows than the declared n");
+      const std::uint32_t q = parse_u32(token, line_no, "host id");
+      if (q >= stored.num_hosts) fail(line_no, "host id out of range");
+      stored.map.push_back(q);
+    }
+  }
+  if (stored.map.size() != n) fail(line_no + 1, "fewer rows than the declared n");
+  UPN_ENSURE(stored.map.size() == n, "parsed embedding must match its header");
+  return stored;
+}
+
+}  // namespace upn

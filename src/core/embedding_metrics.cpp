@@ -1,7 +1,7 @@
 #include "src/core/embedding_metrics.hpp"
 
+#include <map>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "src/core/embedding.hpp"
 #include "src/routing/policies.hpp"
@@ -17,8 +17,9 @@ EmbeddingMetrics analyze_embedding(const Graph& guest, const Graph& host,
   metrics.load = embedding_load(embedding, host.num_nodes());
 
   DistanceOracle oracle{host};
-  // Edge congestion accumulated over canonical directed-edge keys.
-  std::unordered_map<std::uint64_t, std::uint32_t> edge_load;
+  // Edge congestion accumulated over canonical directed-edge keys.  Ordered
+  // map so any future per-edge emission iterates deterministically.
+  std::map<std::uint64_t, std::uint32_t> edge_load;
   auto edge_key = [](NodeId a, NodeId b) {
     if (a > b) std::swap(a, b);
     return (static_cast<std::uint64_t>(a) << 32) | b;

@@ -5,6 +5,7 @@
 
 #include "src/core/embedding.hpp"
 #include "src/routing/policies.hpp"
+#include "src/util/contracts.hpp"
 
 namespace upn {
 
@@ -16,6 +17,10 @@ UniversalSimulator::UniversalSimulator(const Graph& guest, const Graph& host,
   }
   guests_of_ = invert_embedding(embedding_, host.num_nodes());
   load_ = embedding_load(embedding_, host.num_nodes());
+  // Theorem 2.1's starting point: every host gets at most ceil(n/m) guests,
+  // so load * m must cover the guest set.
+  UPN_ENSURE(static_cast<std::uint64_t>(load_) * host.num_nodes() >= guest.num_nodes(),
+             "embedding load must cover all guests");
 }
 
 UniversalSimResult UniversalSimulator::run(std::uint32_t guest_steps,
@@ -76,6 +81,8 @@ UniversalSimResult UniversalSimulator::run(std::uint32_t guest_steps,
       const bool log_transfers = options.emit_protocol;
       const RouteResult routed = router.route(std::move(packets), *policy, log_transfers);
       comm_steps_t = routed.steps;
+      UPN_INVARIANT(routed.packets_lost == 0,
+                    "fault-free routing must deliver every packet");
       for (const Packet& p : routed.packets) {
         received[p.tag2].emplace(p.tag, p.payload);
       }
@@ -109,9 +116,9 @@ UniversalSimResult UniversalSimulator::run(std::uint32_t guest_steps,
           neighbor_configs.push_back(configs[w]);  // local guest, no packet
         } else {
           const auto it = received[v].find(w);
-          if (it == received[v].end()) {
-            throw std::logic_error{"UniversalSimulator: missing routed configuration"};
-          }
+          UPN_INVARIANT(it != received[v].end(),
+                        "UniversalSimulator: missing routed configuration");
+          if (it == received[v].end()) continue;  // log-and-continue: skip the neighbor
           neighbor_configs.push_back(it->second);
         }
       }
@@ -132,6 +139,14 @@ UniversalSimResult UniversalSimulator::run(std::uint32_t guest_steps,
     }
   }
 
+  if (options.emit_protocol) {
+    // Every router step and every computation round became exactly one
+    // pebble-protocol step, so the protocol's T' is the simulated T'.
+    UPN_ENSURE(result.protocol->host_steps() == result.comm_steps + result.compute_steps,
+               "emitted protocol must account for every host step");
+    UPN_ENSURE(result.protocol->guest_steps() == guest_steps,
+               "emitted protocol must cover the requested guest horizon");
+  }
   result.host_steps = result.comm_steps + result.compute_steps;
   result.slowdown =
       guest_steps == 0 ? 0.0 : static_cast<double>(result.host_steps) / guest_steps;

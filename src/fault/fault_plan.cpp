@@ -10,6 +10,7 @@
 #include <string>
 
 #include "src/topology/properties.hpp"
+#include "src/util/contracts.hpp"
 #include "src/util/rng.hpp"
 
 namespace upn {
@@ -112,6 +113,11 @@ FaultPlan FaultPlan::revealed_at(std::uint32_t step) const {
     if (f.step <= step) revealed.add_node_fault(NodeFault{f.node, 0});
   }
   for (const DropWindow& w : drop_windows_) revealed.add_drop_window(w);
+  UPN_ENSURE(revealed.link_faults().size() <= link_faults_.size() &&
+                 revealed.node_faults().size() <= node_faults_.size(),
+             "revealing cannot invent permanent faults");
+  UPN_ENSURE(revealed.drop_windows().size() == drop_windows_.size(),
+             "drop windows are revealed verbatim");
   return revealed;
 }
 
@@ -159,6 +165,8 @@ bool FaultClock::link_alive(NodeId u, NodeId v) const noexcept {
 
 FaultPlan make_uniform_link_faults(const Graph& host, double rate, std::uint64_t seed,
                                    std::uint32_t step) {
+  UPN_REQUIRE(rate >= 0.0 && rate <= 1.0,
+              "make_uniform_link_faults: rate is a probability");
   FaultPlan plan{seed};
   for (const auto& [u, v] : host.edge_list()) {
     if (hash_uniform(seed ^ 0x11bcULL, link_key(u, v)) < rate) {
@@ -170,6 +178,8 @@ FaultPlan make_uniform_link_faults(const Graph& host, double rate, std::uint64_t
 
 FaultPlan make_uniform_node_faults(const Graph& host, double rate, std::uint64_t seed,
                                    std::uint32_t step) {
+  UPN_REQUIRE(rate >= 0.0 && rate <= 1.0,
+              "make_uniform_node_faults: rate is a probability");
   FaultPlan plan{seed};
   for (NodeId v = 0; v < host.num_nodes(); ++v) {
     if (hash_uniform(seed ^ 0x23cdULL, v) < rate) {
@@ -188,6 +198,7 @@ FaultPlan make_targeted_cut(const std::vector<std::pair<NodeId, NodeId>>& links,
 
 FaultPlan make_region_fault(const Graph& host, NodeId center, std::uint32_t radius,
                             std::uint32_t step, std::uint64_t seed) {
+  UPN_REQUIRE(center < host.num_nodes(), "make_region_fault: center must be a host node");
   FaultPlan plan{seed};
   const std::vector<std::uint32_t> dist = bfs_distances(host, center);
   for (NodeId v = 0; v < host.num_nodes(); ++v) {

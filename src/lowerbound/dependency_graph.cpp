@@ -3,40 +3,53 @@
 #include <algorithm>
 
 #include "src/topology/properties.hpp"
+#include "src/util/contracts.hpp"
 
 namespace upn {
 
 std::vector<NodeId> dependency_predecessors(const Graph& guest, NodeId node) {
+  UPN_REQUIRE(node < guest.num_nodes(), "dependency_predecessors: node out of range");
   std::vector<NodeId> preds;
   preds.reserve(guest.degree(node) + 1);
   preds.push_back(node);
   for (const NodeId u : guest.neighbors(node)) preds.push_back(u);
   std::sort(preds.begin(), preds.end());
+  UPN_ENSURE(preds.size() == guest.degree(node) + 1u,
+             "(P, t-1) plus one predecessor per guest neighbor");
   return preds;
 }
 
 bool dependency_reaches(const Graph& guest, NodeId from, NodeId to, std::uint32_t steps) {
+  UPN_REQUIRE(from < guest.num_nodes() && to < guest.num_nodes(),
+              "dependency_reaches: endpoints out of range");
   const auto dist = bfs_distances(guest, from);
   return dist[to] != kUnreachable && dist[to] <= steps;
 }
 
 std::vector<NodeId> dependency_ball(const Graph& guest, NodeId center, std::uint32_t steps) {
+  UPN_REQUIRE(center < guest.num_nodes(), "dependency_ball: center out of range");
   const auto dist = bfs_distances(guest, center);
   std::vector<NodeId> ball;
   for (NodeId v = 0; v < guest.num_nodes(); ++v) {
     if (dist[v] != kUnreachable && dist[v] <= steps) ball.push_back(v);
   }
+  UPN_ENSURE(!ball.empty() && std::binary_search(ball.begin(), ball.end(), center),
+             "a dependency ball always contains its center");
   return ball;
 }
 
 std::vector<std::uint32_t> spreading_profile(const Graph& guest, NodeId center,
                                              std::uint32_t max_steps) {
+  UPN_REQUIRE(center < guest.num_nodes(), "spreading_profile: center out of range");
   const auto dist = bfs_distances(guest, center);
   std::vector<std::uint32_t> profile(max_steps + 1, 0);
   for (NodeId v = 0; v < guest.num_nodes(); ++v) {
     if (dist[v] == kUnreachable) continue;
     for (std::uint32_t i = dist[v]; i <= max_steps; ++i) ++profile[i];
   }
+  UPN_ENSURE(std::is_sorted(profile.begin(), profile.end()),
+             "dependency balls are nested, so the spreading profile is monotone");
+  UPN_ENSURE(profile[0] >= 1, "(P, t) depends at least on itself");
   return profile;
 }
 

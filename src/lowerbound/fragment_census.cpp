@@ -5,6 +5,7 @@
 
 #include "src/core/embedding.hpp"
 #include "src/core/universal_sim.hpp"
+#include "src/util/contracts.hpp"
 #include "src/pebble/metrics.hpp"
 #include "src/topology/butterfly.hpp"
 #include "src/topology/random_regular.hpp"
@@ -26,9 +27,11 @@ std::uint64_t fragment_hash(const Fragment& fragment) {
 FragmentCensus run_fragment_census(const G0& g0, std::uint32_t butterfly_dimension,
                                    std::uint32_t num_guests, std::uint32_t T, Rng& rng,
                                    const CountingConstants& constants) {
+  UPN_REQUIRE(T >= 1, "run_fragment_census: need at least one guest step to cut at T/2");
   const Graph host = make_butterfly(butterfly_dimension);
   const std::uint32_t n = g0.num_nodes();
   const std::uint32_t m = host.num_nodes();
+  UPN_REQUIRE(n > 0 && m > 0, "run_fragment_census: empty guest or host");
 
   FragmentCensus census;
   census.guests = num_guests;
@@ -60,7 +63,10 @@ FragmentCensus run_fragment_census(const G0& g0, std::uint32_t butterfly_dimensi
     seen.insert(row.fragment_hash);
     k_sum += result.inefficiency;
   }
+  UPN_ENSURE(census.rows.size() == num_guests, "one census row per sampled guest");
   census.distinct_fragments = static_cast<std::uint32_t>(seen.size());
+  UPN_ENSURE(census.distinct_fragments <= num_guests,
+             "cannot see more distinct fragments than guests");
   census.mean_inefficiency = num_guests == 0 ? 0.0 : k_sum / num_guests;
   census.log2_a_bound = log2_a_count(n, census.mean_inefficiency, constants);
   census.log2_guest_space = log2_guest_count_lower(n, constants);

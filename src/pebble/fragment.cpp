@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/util/contracts.hpp"
 #include "src/util/math.hpp"
 
 namespace upn {
@@ -55,10 +56,22 @@ Fragment extract_fragment(const ProtocolMetrics& metrics, std::uint32_t t0) {
   for (NodeId i = 0; i < n; ++i) {
     fragment.D.push_back(held_by[fragment.b[i]]);
   }
+  UPN_ENSURE(fragment.B.size() == n && fragment.b.size() == n && fragment.D.size() == n,
+             "a fragment has one (B_i, b_i, D_i) triple per guest");
+  for (NodeId i = 0; i < n; ++i) {
+    // Definition 3.2: b_i generated (P_i, t0+1), so b_i holds (P_i, t0) and
+    // therefore appears in B_i -- hence i itself is in D_i.
+    UPN_INVARIANT(std::binary_search(fragment.D[i].begin(), fragment.D[i].end(), i),
+                  "D_i must contain i (b_i holds P_i's own t0-configuration)");
+  }
   return fragment;
 }
 
 double log2_multiplicity_bound(const Fragment& fragment, std::uint32_t c) {
+  UPN_REQUIRE(c >= 2 && c % 2 == 0,
+              "Lemma 3.3 counts C(|D_i|, c/2) for even guest degree c >= 2");
+  UPN_REQUIRE(fragment.D.size() == fragment.b.size(),
+              "fragment must be fully populated before bounding multiplicity");
   double total = 0.0;
   for (const auto& d : fragment.D) {
     total += log2_binomial(static_cast<double>(d.size()), static_cast<double>(c) / 2.0);

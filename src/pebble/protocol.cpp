@@ -1,5 +1,7 @@
 #include "src/pebble/protocol.hpp"
 
+#include "src/util/contracts.hpp"
+
 namespace upn {
 
 Protocol::Protocol(std::uint32_t num_guests, std::uint32_t num_hosts,
@@ -12,9 +14,8 @@ Protocol::Protocol(std::uint32_t num_guests, std::uint32_t num_hosts,
 void Protocol::begin_step() { steps_.emplace_back(); }
 
 void Protocol::add(const Op& op) {
-  if (steps_.empty()) {
-    throw std::logic_error{"Protocol::add: begin_step() first"};
-  }
+  UPN_REQUIRE(!steps_.empty(), "Protocol::add: begin_step() first");
+  if (steps_.empty()) return;  // log-and-continue mode: drop the op instead of UB
   if (op.proc >= num_hosts_) {
     throw std::out_of_range{"Protocol::add: host processor out of range"};
   }
@@ -25,9 +26,9 @@ void Protocol::add(const Op& op) {
     throw std::out_of_range{"Protocol::add: partner out of range"};
   }
   const auto current = static_cast<std::uint32_t>(steps_.size());
-  if (proc_used_step_[op.proc] == current) {
-    throw std::logic_error{"Protocol::add: processor already acted this step"};
-  }
+  UPN_REQUIRE(proc_used_step_[op.proc] != current,
+              "Protocol::add: processor already acted this step (pebble-game legality: "
+              "at most one operation per processor per host step)");
   proc_used_step_[op.proc] = current;
   steps_.back().push_back(op);
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/routing/policies.hpp"
+#include "src/util/contracts.hpp"
 
 namespace upn {
 
@@ -17,6 +18,10 @@ std::uint64_t link_key(NodeId from, NodeId to) noexcept {
 }  // namespace
 
 PathSchedule schedule_paths(const Graph& host, const HhProblem& problem) {
+  for (const Demand& demand : problem.demands()) {
+    UPN_REQUIRE(demand.src < host.num_nodes() && demand.dst < host.num_nodes(),
+                "schedule_paths: demand endpoints must be host nodes");
+  }
   DistanceOracle oracle{host};
   PathSchedule schedule;
 
@@ -73,10 +78,17 @@ PathSchedule schedule_paths(const Graph& host, const HhProblem& problem) {
     }
     schedule.moves.push_back(std::move(step_moves));
     ++schedule.makespan;
-    if (schedule.makespan > (schedule.congestion + 1u) * (schedule.dilation + 1u) + 8u) {
-      throw std::logic_error{"schedule_paths: exceeded the C*D safety bound"};
-    }
+    // Trivial scheduling achieves C*D; the greedy must never do worse (the
+    // slack absorbs rounding on degenerate one-packet instances).
+    UPN_INVARIANT(schedule.makespan <= (schedule.congestion + 1u) * (schedule.dilation + 1u) + 8u,
+                  "schedule_paths: exceeded the C*D safety bound");
   }
+  UPN_ENSURE(schedule.makespan >= schedule.dilation,
+             "a packet moves at most one hop per step, so makespan >= dilation");
+  UPN_ENSURE(schedule.makespan >= schedule.congestion,
+             "a link carries one packet per step, so makespan >= congestion");
+  UPN_ENSURE(schedule.moves.size() == schedule.makespan,
+             "one move list per schedule step");
   return schedule;
 }
 

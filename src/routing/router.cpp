@@ -9,6 +9,7 @@
 
 #include "src/fault/fault_plan.hpp"
 #include "src/routing/hh_problem.hpp"
+#include "src/util/contracts.hpp"
 #include "src/util/rng.hpp"
 
 namespace upn {
@@ -132,6 +133,10 @@ RouteResult SyncRouter::route_impl(std::vector<Packet> packets, RoutingPolicy* p
                                    std::uint32_t max_steps) {
   const Graph& g = *graph_;
   const std::uint32_t n = g.num_nodes();
+  for (const Packet& p : packets) {
+    UPN_REQUIRE(p.src < n && p.dst < n, "SyncRouter: packet endpoints must be host nodes");
+    UPN_REQUIRE(p.via < n, "SyncRouter: Valiant via must be a host node");
+  }
   if (policy != nullptr) policy->prepare(g, packets);
 
   RouteResult result;
@@ -399,6 +404,15 @@ RouteResult SyncRouter::route_impl(std::vector<Packet> packets, RoutingPolicy* p
 
   result.steps = step;
   result.packets = std::move(packets);
+  UPN_ENSURE(result.steps <= max_steps, "router must respect its step budget");
+  std::uint64_t delivered = 0;
+  for (const Packet& p : result.packets) {
+    if (p.delivered_at >= 0) ++delivered;
+  }
+  UPN_ENSURE(delivered + result.packets_lost == result.packets.size(),
+             "every packet is delivered or accounted lost");
+  UPN_ENSURE(faults != nullptr || result.packets_lost == 0,
+             "fault-free routing cannot lose packets");
   return result;
 }
 

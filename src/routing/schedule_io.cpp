@@ -1,0 +1,105 @@
+#include "src/routing/schedule_io.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "src/util/contracts.hpp"
+
+namespace upn {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error{"read_path_schedule: line " + std::to_string(line) + ": " + what};
+}
+
+std::uint32_t parse_u32(const std::string& token, std::size_t line_no, const char* what) {
+  if (token.empty() || token.size() > 10) fail(line_no, std::string{what} + ": bad field");
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') {
+      fail(line_no, std::string{what} + ": not a non-negative integer ('" + token + "')");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (value > std::numeric_limits<std::uint32_t>::max()) {
+    fail(line_no, std::string{what} + ": overflows uint32_t");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace
+
+void write_path_schedule(std::ostream& os, const PathSchedule& schedule,
+                         std::uint32_t num_packets) {
+  os << "upn-schedule 1 " << num_packets << ' ' << schedule.congestion << ' '
+     << schedule.dilation << ' ' << schedule.makespan << '\n';
+  for (const auto& step : schedule.moves) {
+    os << "step\n";
+    for (const auto& [packet, from, to] : step) {
+      os << "M " << packet << ' ' << from << ' ' << to << '\n';
+    }
+  }
+}
+
+StoredPathSchedule read_path_schedule(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+  if (!std::getline(is, line)) fail(1, "empty input");
+  ++line_no;
+  std::istringstream header{line};
+  std::string magic, version, p_tok, c_tok, d_tok, mk_tok, extra;
+  if (!(header >> magic >> version >> p_tok >> c_tok >> d_tok >> mk_tok) ||
+      (header >> extra) || magic != "upn-schedule" || version != "1") {
+    fail(line_no, "bad header (expected 'upn-schedule 1 <packets> <C> <D> <makespan>')");
+  }
+  StoredPathSchedule stored;
+  stored.num_packets = parse_u32(p_tok, line_no, "packet count");
+  stored.schedule.congestion = parse_u32(c_tok, line_no, "congestion");
+  stored.schedule.dilation = parse_u32(d_tok, line_no, "dilation");
+  stored.schedule.makespan = parse_u32(mk_tok, line_no, "makespan");
+  if (stored.num_packets > kMaxScheduleDimension ||
+      stored.schedule.makespan > kMaxScheduleDimension) {
+    fail(line_no, "header count exceeds limit");
+  }
+  bool in_step = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields{line};
+    std::string kind;
+    fields >> kind;
+    if (kind == "step") {
+      std::string trailing;
+      if (fields >> trailing) fail(line_no, "trailing garbage after 'step'");
+      stored.schedule.moves.emplace_back();
+      in_step = true;
+      continue;
+    }
+    if (kind != "M") fail(line_no, "unknown record kind '" + kind + "'");
+    if (!in_step) fail(line_no, "move before first 'step'");
+    std::string pk, from, to, trailing;
+    if (!(fields >> pk >> from >> to)) fail(line_no, "malformed move");
+    if (fields >> trailing) fail(line_no, "trailing garbage");
+    std::array<std::uint32_t, 3> move{};
+    move[0] = parse_u32(pk, line_no, "packet");
+    move[1] = parse_u32(from, line_no, "from");
+    move[2] = parse_u32(to, line_no, "to");
+    if (move[0] >= stored.num_packets) fail(line_no, "packet id out of range");
+    if (move[1] == move[2]) fail(line_no, "move must cross a link (from != to)");
+    stored.schedule.moves.back().push_back(move);
+    ++stored.schedule.total_moves;
+  }
+  if (stored.schedule.moves.size() != stored.schedule.makespan) {
+    fail(line_no + 1, "step count does not match the declared makespan");
+  }
+  UPN_ENSURE(stored.schedule.moves.size() == stored.schedule.makespan,
+             "parsed schedule must match its header");
+  return stored;
+}
+
+}  // namespace upn

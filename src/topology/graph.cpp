@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/util/contracts.hpp"
+
 namespace upn {
 
 std::uint32_t Graph::max_degree() const noexcept {
@@ -67,6 +69,11 @@ Graph GraphBuilder::build() && {
     std::sort(graph.adjacency_.begin() + graph.offsets_[v],
               graph.adjacency_.begin() + graph.offsets_[v + 1]);
   }
+  UPN_ENSURE(graph.offsets_.back() == graph.adjacency_.size(),
+             "CSR offsets must cover the adjacency array");
+  UPN_ENSURE(graph.num_edges() == edges_.size(), "every deduplicated edge must be stored");
+  UPN_ENSURE(std::is_sorted(graph.offsets_.begin(), graph.offsets_.end()),
+             "CSR offsets must be monotone");
   return graph;
 }
 
@@ -77,7 +84,10 @@ Graph graph_union(const Graph& a, const Graph& b, std::string name) {
   GraphBuilder builder{a.num_nodes(), std::move(name)};
   for (const auto& [u, v] : a.edge_list()) builder.add_edge(u, v);
   for (const auto& [u, v] : b.edge_list()) builder.add_edge(u, v);
-  return std::move(builder).build();
+  Graph result = std::move(builder).build();
+  UPN_ENSURE(result.num_edges() >= a.num_edges() && result.num_edges() >= b.num_edges(),
+             "a union contains both edge sets");
+  return result;
 }
 
 Graph graph_difference(const Graph& a, const Graph& b, std::string name) {
@@ -88,7 +98,9 @@ Graph graph_difference(const Graph& a, const Graph& b, std::string name) {
   for (const auto& [u, v] : a.edge_list()) {
     if (!b.has_edge(u, v)) builder.add_edge(u, v);
   }
-  return std::move(builder).build();
+  Graph result = std::move(builder).build();
+  UPN_ENSURE(result.num_edges() <= a.num_edges(), "a difference cannot gain edges");
+  return result;
 }
 
 }  // namespace upn

@@ -1,0 +1,81 @@
+#include "src/util/contracts.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace upn {
+
+namespace {
+
+ContractMode initial_mode() noexcept {
+  const char* env = std::getenv("UPN_CONTRACT_MODE");
+  if (env == nullptr) return ContractMode::kThrow;
+  if (std::strcmp(env, "abort") == 0) return ContractMode::kAbort;
+  if (std::strcmp(env, "log") == 0) return ContractMode::kLog;
+  return ContractMode::kThrow;
+}
+
+std::atomic<ContractMode>& mode_slot() noexcept {
+  static std::atomic<ContractMode> mode{initial_mode()};
+  return mode;
+}
+
+std::atomic<std::uint64_t>& violation_slot() noexcept {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+const char* kind_name(ContractKind kind) noexcept {
+  switch (kind) {
+    case ContractKind::kRequire:
+      return "UPN_REQUIRE";
+    case ContractKind::kEnsure:
+      return "UPN_ENSURE";
+    case ContractKind::kInvariant:
+      return "UPN_INVARIANT";
+  }
+  return "UPN_CONTRACT";
+}
+
+}  // namespace
+
+ContractMode contract_mode() noexcept { return mode_slot().load(std::memory_order_relaxed); }
+
+void set_contract_mode(ContractMode mode) noexcept {
+  mode_slot().store(mode, std::memory_order_relaxed);
+}
+
+std::uint64_t contract_violation_count() noexcept {
+  return violation_slot().load(std::memory_order_relaxed);
+}
+
+void reset_contract_violation_count() noexcept {
+  violation_slot().store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void contract_failed(ContractKind kind, const char* condition, const char* file, int line,
+                     const std::string& message) {
+  std::string what = std::string{kind_name(kind)} + " failed: " + condition + " at " + file +
+                     ":" + std::to_string(line);
+  if (!message.empty()) what += ": " + message;
+  switch (contract_mode()) {
+    case ContractMode::kThrow:
+      throw ContractViolation{kind, what};
+    case ContractMode::kAbort:
+      std::fputs(what.c_str(), stderr);
+      std::fputc('\n', stderr);
+      std::abort();
+    case ContractMode::kLog:
+      violation_slot().fetch_add(1, std::memory_order_relaxed);
+      std::fputs(what.c_str(), stderr);
+      std::fputc('\n', stderr);
+      break;
+  }
+}
+
+}  // namespace detail
+}  // namespace upn

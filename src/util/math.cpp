@@ -21,7 +21,8 @@ double log2_binomial(double n, double k) noexcept {
 }
 
 double log2_pow(double a, double b) noexcept {
-  if (b == 0.0) return 0.0;
+  // a^0 = 1 exactly, for every a; the sentinel compare is intentional.
+  if (b == 0.0) return 0.0;  // upn-lint-allow(float-equality)
   if (a <= 0.0) return -std::numeric_limits<double>::infinity();
   return b * std::log2(a);
 }

@@ -1,0 +1,202 @@
+// Tests for the UPN_REQUIRE / UPN_ENSURE / UPN_INVARIANT contract layer:
+// the three failure modes of the macros themselves, and one throw-mode
+// violation per instrumented module, so every contract surface is known to
+// actually fire (not just compile).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/embedding.hpp"
+#include "src/fault/fault_plan.hpp"
+#include "src/lowerbound/counting.hpp"
+#include "src/lowerbound/dependency_graph.hpp"
+#include "src/lowerbound/fragment_census.hpp"
+#include "src/pebble/fragment.hpp"
+#include "src/pebble/protocol.hpp"
+#include "src/routing/hh_problem.hpp"
+#include "src/routing/path_schedule.hpp"
+#include "src/routing/policies.hpp"
+#include "src/routing/router.hpp"
+#include "src/topology/builders.hpp"
+#include "src/topology/g0.hpp"
+#include "src/util/contracts.hpp"
+#include "src/util/rng.hpp"
+
+namespace upn {
+namespace {
+
+// ---- the macros themselves ------------------------------------------------
+
+void require_fails() { UPN_REQUIRE(1 + 1 == 3, "arithmetic is broken"); }
+void ensure_fails() { UPN_ENSURE(false, "postcondition"); }
+void invariant_fails() { UPN_INVARIANT(false); }  // message is optional
+
+TEST(Contracts, ThrowModeCarriesKindAndLocation) {
+  ScopedContractMode scoped{ContractMode::kThrow};
+  try {
+    require_fails();
+    FAIL() << "UPN_REQUIRE did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(e.kind(), ContractKind::kRequire);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("UPN_REQUIRE failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("contracts_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("arithmetic is broken"), std::string::npos) << what;
+  }
+  try {
+    ensure_fails();
+    FAIL() << "UPN_ENSURE did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(e.kind(), ContractKind::kEnsure);
+  }
+  try {
+    invariant_fails();
+    FAIL() << "UPN_INVARIANT did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(e.kind(), ContractKind::kInvariant);
+  }
+}
+
+TEST(Contracts, ViolationIsALogicError) {
+  ScopedContractMode scoped{ContractMode::kThrow};
+  EXPECT_THROW(require_fails(), std::logic_error);
+}
+
+TEST(Contracts, PassingContractIsSilentInEveryMode) {
+  for (const ContractMode mode :
+       {ContractMode::kThrow, ContractMode::kLog, ContractMode::kAbort}) {
+    ScopedContractMode scoped{mode};
+    reset_contract_violation_count();
+    UPN_REQUIRE(true, "never evaluated");
+    UPN_ENSURE(2 + 2 == 4);
+    UPN_INVARIANT(true);
+    EXPECT_EQ(contract_violation_count(), 0u);
+  }
+}
+
+TEST(Contracts, LogModeCountsAndContinues) {
+  ScopedContractMode scoped{ContractMode::kLog};
+  reset_contract_violation_count();
+  EXPECT_NO_THROW(require_fails());
+  EXPECT_NO_THROW(ensure_fails());
+  EXPECT_NO_THROW(invariant_fails());
+  EXPECT_EQ(contract_violation_count(), 3u);
+  reset_contract_violation_count();
+  EXPECT_EQ(contract_violation_count(), 0u);
+}
+
+TEST(Contracts, ScopedModeRestores) {
+  const ContractMode before = contract_mode();
+  {
+    ScopedContractMode scoped{ContractMode::kLog};
+    EXPECT_EQ(contract_mode(), ContractMode::kLog);
+    {
+      ScopedContractMode nested{ContractMode::kThrow};
+      EXPECT_EQ(contract_mode(), ContractMode::kThrow);
+    }
+    EXPECT_EQ(contract_mode(), ContractMode::kLog);
+  }
+  EXPECT_EQ(contract_mode(), before);
+}
+
+using ContractsDeathTest = ::testing::Test;
+
+TEST(ContractsDeathTest, AbortModeDies) {
+  ScopedContractMode scoped{ContractMode::kAbort};
+  EXPECT_DEATH(require_fails(), "UPN_REQUIRE failed");
+}
+
+// ---- one triggered violation per instrumented module ----------------------
+
+TEST(ContractAdoption, EmbeddingLoadRejectsZeroHosts) {
+  ScopedContractMode scoped{ContractMode::kThrow};
+  EXPECT_THROW((void)embedding_load({0, 0, 1}, 0), ContractViolation);
+  EXPECT_EQ(embedding_load({}, 0), 0u);  // empty embedding is the one legal m == 0 case
+}
+
+TEST(ContractAdoption, ProtocolAddBeforeBeginStep) {
+  ScopedContractMode scoped{ContractMode::kThrow};
+  Protocol protocol{2, 2, 1};
+  EXPECT_THROW(protocol.add({OpKind::kGenerate, 0, {0, 1}, 0}), ContractViolation);
+}
+
+TEST(ContractAdoption, ProtocolOneOpPerProcessorPerStep) {
+  ScopedContractMode scoped{ContractMode::kThrow};
+  Protocol protocol{2, 2, 1};
+  protocol.begin_step();
+  protocol.add({OpKind::kGenerate, 0, {0, 1}, 0});
+  EXPECT_THROW(protocol.add({OpKind::kGenerate, 0, {1, 1}, 0}), ContractViolation);
+}
+
+TEST(ContractAdoption, ProtocolLogModeDropsTheIllegalOp) {
+  ScopedContractMode scoped{ContractMode::kLog};
+  reset_contract_violation_count();
+  Protocol protocol{2, 2, 1};
+  protocol.add({OpKind::kGenerate, 0, {0, 1}, 0});  // no begin_step(): dropped
+  EXPECT_EQ(protocol.num_ops(), 0u);
+  EXPECT_EQ(protocol.host_steps(), 0u);
+  EXPECT_EQ(contract_violation_count(), 1u);
+  reset_contract_violation_count();
+}
+
+TEST(ContractAdoption, RouterRejectsForeignPacketEndpoints) {
+  ScopedContractMode scoped{ContractMode::kThrow};
+  const Graph host = make_cycle(4);
+  SyncRouter router{host, PortModel::kSinglePort};
+  GreedyPolicy policy{host};
+  Packet packet;
+  packet.src = 0;
+  packet.dst = 9;  // not a host node
+  packet.via = 0;
+  EXPECT_THROW((void)router.route({packet}, policy), ContractViolation);
+}
+
+TEST(ContractAdoption, PathScheduleRejectsForeignDemand) {
+  ScopedContractMode scoped{ContractMode::kThrow};
+  const Graph host = make_cycle(4);
+  HhProblem problem{8};
+  problem.add(6, 7);  // valid for the problem, out of range for this host
+  EXPECT_THROW((void)schedule_paths(host, problem), ContractViolation);
+}
+
+TEST(ContractAdoption, DependencyGraphRejectsForeignNodes) {
+  ScopedContractMode scoped{ContractMode::kThrow};
+  const Graph guest = make_cycle(4);
+  EXPECT_THROW((void)dependency_predecessors(guest, 4), ContractViolation);
+  EXPECT_THROW((void)dependency_ball(guest, 99, 1), ContractViolation);
+  EXPECT_THROW((void)dependency_reaches(guest, 0, 17, 1), ContractViolation);
+  EXPECT_THROW((void)spreading_profile(guest, 4, 2), ContractViolation);
+}
+
+TEST(ContractAdoption, FragmentMultiplicityNeedsEvenDegree) {
+  ScopedContractMode scoped{ContractMode::kThrow};
+  Fragment fragment;
+  fragment.B = {{0}};
+  fragment.b = {1};
+  fragment.D = {{0}};
+  EXPECT_THROW((void)log2_multiplicity_bound(fragment, 3), ContractViolation);
+  EXPECT_THROW((void)log2_multiplicity_bound(fragment, 0), ContractViolation);
+  Fragment ragged = fragment;
+  ragged.b.push_back(1);  // |b| != |D|
+  EXPECT_THROW((void)log2_multiplicity_bound(ragged, 2), ContractViolation);
+}
+
+TEST(ContractAdoption, FragmentCensusNeedsAGuestStep) {
+  ScopedContractMode scoped{ContractMode::kThrow};
+  Rng rng{1};
+  const G0 g0 = make_g0(16, 8, rng);
+  EXPECT_THROW((void)run_fragment_census(g0, 2, 4, 0, rng, CountingConstants{}),
+               ContractViolation);
+}
+
+TEST(ContractAdoption, FaultPlanGeneratorsValidateInputs) {
+  ScopedContractMode scoped{ContractMode::kThrow};
+  const Graph host = make_cycle(4);
+  EXPECT_THROW((void)make_uniform_link_faults(host, 1.5, 1), ContractViolation);
+  EXPECT_THROW((void)make_uniform_node_faults(host, -0.1, 1), ContractViolation);
+  EXPECT_THROW((void)make_region_fault(host, 4, 1, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace upn

@@ -1,0 +1,98 @@
+// Determinism regression tests: the protocol / schedule / fault-plan
+// emitters must be bit-reproducible run to run.  Each test executes the
+// producer twice from identical inputs and compares the SERIALIZED bytes,
+// which is exactly what upn_lint and the committed fixtures depend on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/core/embedding.hpp"
+#include "src/core/embedding_io.hpp"
+#include "src/core/embedding_metrics.hpp"
+#include "src/core/universal_sim.hpp"
+#include "src/fault/fault_plan.hpp"
+#include "src/pebble/io.hpp"
+#include "src/routing/hh_problem.hpp"
+#include "src/routing/path_schedule.hpp"
+#include "src/routing/schedule_io.hpp"
+#include "src/topology/builders.hpp"
+#include "src/topology/butterfly.hpp"
+#include "src/topology/random_regular.hpp"
+#include "src/util/rng.hpp"
+
+namespace upn {
+namespace {
+
+std::string emitted_protocol() {
+  Rng guest_rng{99};
+  const Graph guest = make_random_regular(16, 4, guest_rng);
+  const Graph host = make_butterfly(2);
+  UniversalSimulator sim{guest, host, make_block_embedding(16, host.num_nodes())};
+  UniversalSimOptions options;
+  options.emit_protocol = true;
+  const UniversalSimResult result = sim.run(4, options);
+  std::ostringstream os;
+  write_protocol(os, *result.protocol);
+  return os.str();
+}
+
+TEST(Determinism, PipelineEmitsByteIdenticalProtocols) {
+  const std::string first = emitted_protocol();
+  const std::string second = emitted_protocol();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+std::string emitted_schedule() {
+  const Graph host = make_cycle(16);
+  Rng rng{0xfeed};
+  const HhProblem problem = random_permutation_problem(16, rng);
+  const PathSchedule schedule = schedule_paths(host, problem);
+  std::ostringstream os;
+  write_path_schedule(os, schedule, static_cast<std::uint32_t>(problem.size()));
+  return os.str();
+}
+
+TEST(Determinism, GreedySchedulerEmitsByteIdenticalSchedules) {
+  EXPECT_EQ(emitted_schedule(), emitted_schedule());
+}
+
+TEST(Determinism, FaultPlanGeneratorsAreSeedStable) {
+  const Graph host = make_cycle(32);
+  const auto emit = [&] {
+    const FaultPlan plan =
+        merge_plans(make_uniform_link_faults(host, 0.2, 0xabcd, 3),
+                    make_uniform_drops(host, 0.1, 0xabcd, 0, 16));
+    std::ostringstream os;
+    write_fault_plan(os, plan);
+    return os.str();
+  };
+  EXPECT_EQ(emit(), emit());
+}
+
+TEST(Determinism, EmbeddingMetricsStableAcrossRuns) {
+  Rng guest_rng{7};
+  const Graph guest = make_random_regular(24, 4, guest_rng);
+  const Graph host = make_cycle(8);
+  const auto embedding = make_block_embedding(24, 8);
+  const EmbeddingMetrics a = analyze_embedding(guest, host, embedding);
+  const EmbeddingMetrics b = analyze_embedding(guest, host, embedding);
+  EXPECT_EQ(a.congestion, b.congestion);
+  EXPECT_EQ(a.dilation, b.dilation);
+  EXPECT_EQ(a.total_path_length, b.total_path_length);
+}
+
+TEST(Determinism, EmbeddingSerializationRoundTripsBytes) {
+  const auto embedding = make_block_embedding(12, 5);
+  std::ostringstream first;
+  write_embedding(first, embedding, 5);
+  std::istringstream is{first.str()};
+  const StoredEmbedding stored = read_embedding(is);
+  std::ostringstream second;
+  write_embedding(second, stored.map, stored.num_hosts);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+}  // namespace
+}  // namespace upn

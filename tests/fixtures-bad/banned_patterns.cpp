@@ -1,0 +1,16 @@
+// NOT compiled: a lint fixture seeded with every banned source pattern.
+// Each line below must produce exactly one upn_lint diagnostic.
+#include <cstdlib>
+#include <iostream>
+#include <random>
+#include <unordered_map>
+
+void bad(std::unordered_map<int, int> counts) {
+  std::mt19937 gen;                       // no-unseeded-rng
+  int r = rand();                         // no-std-rand
+  for (const auto& [k, v] : counts) {     // unordered-iteration
+    std::cout << k << v << r << std::endl;  // no-endl
+  }
+  double x = 0.1;
+  if (x == 0.3) std::cout << "never\n";   // float-equality
+}

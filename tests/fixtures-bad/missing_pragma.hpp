@@ -1,0 +1,5 @@
+// NOT compiled: a lint fixture for the pragma-once rule -- this header
+// deliberately lacks the include guard.
+namespace upn_fixture {
+inline int answer() { return 42; }
+}  // namespace upn_fixture

@@ -1,0 +1,262 @@
+// Engine-level tests for upn_lint: every source rule fires on a seeded
+// string and stays quiet on the idiomatic spelling, suppressions work, and
+// the artifact checks accept the committed clean fixtures while rejecting
+// every corrupted one with a file:line diagnostic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace upn::lint {
+namespace {
+
+std::vector<std::string> rules_of(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> rules;
+  rules.reserve(diags.size());
+  for (const auto& d : diags) rules.push_back(d.rule);
+  return rules;
+}
+
+bool has_rule(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// ---- diagnostics ----------------------------------------------------------
+
+TEST(LintDiagnostic, FormatIsFileLineRuleMessage) {
+  const Diagnostic d{"a/b.cpp", 12, "no-endl", "use '\\n'"};
+  EXPECT_EQ(d.format(), "a/b.cpp:12: [no-endl] use '\\n'");
+}
+
+TEST(LintPaths, ExtensionClassification) {
+  EXPECT_TRUE(is_source_path("src/util/math.cpp"));
+  EXPECT_TRUE(is_source_path("src/util/math.hpp"));
+  EXPECT_FALSE(is_source_path("notes.md"));
+  EXPECT_TRUE(is_artifact_path("p.upnp"));
+  EXPECT_TRUE(is_artifact_path("e.upne"));
+  EXPECT_TRUE(is_artifact_path("s.upns"));
+  EXPECT_TRUE(is_artifact_path("f.upnf"));
+  EXPECT_FALSE(is_artifact_path("p.txt"));
+}
+
+// ---- source rules ---------------------------------------------------------
+
+TEST(LintSource, FlagsRandAndUnseededRngs) {
+  const auto diags = lint_source("x.cpp",
+                                 "int a = rand();\n"
+                                 "int b = std::rand();\n"
+                                 "std::mt19937 gen;\n"
+                                 "upn::Rng rng{42};\n");
+  EXPECT_EQ(rules_of(diags),
+            (std::vector<std::string>{"no-std-rand", "no-std-rand", "no-unseeded-rng"}));
+  EXPECT_EQ(diags[0].line, 1u);
+  EXPECT_EQ(diags[2].line, 3u);
+}
+
+TEST(LintSource, RandInCommentsStringsAndIdentifiersIsFine) {
+  const auto diags = lint_source("x.cpp",
+                                 "// never call rand() here\n"
+                                 "const char* s = \"rand()\";\n"
+                                 "int mirand = my_rand(); (void)operand;\n"
+                                 "/* std::endl in a block\n"
+                                 "   comment */ int x = 0;\n");
+  EXPECT_TRUE(diags.empty()) << diags.front().format();
+}
+
+TEST(LintSource, FlagsEndl) {
+  const auto diags = lint_source("x.cpp", "os << value << std::endl;\n");
+  EXPECT_EQ(rules_of(diags), std::vector<std::string>{"no-endl"});
+}
+
+TEST(LintSource, FlagsFloatLiteralComparison) {
+  EXPECT_TRUE(has_rule(lint_source("x.cpp", "if (x == 1.0) return;\n"), "float-equality"));
+  EXPECT_TRUE(has_rule(lint_source("x.cpp", "if (x != 0.5f) return;\n"), "float-equality"));
+  EXPECT_TRUE(has_rule(lint_source("x.cpp", "bool b = 2e9 == y;\n"), "float-equality"));
+  EXPECT_FALSE(has_rule(lint_source("x.cpp", "if (k == 0 || k == n) return;\n"),
+                        "float-equality"));
+  EXPECT_FALSE(has_rule(lint_source("x.cpp", "if (x <= 1.0) return;\n"), "float-equality"));
+  EXPECT_FALSE(has_rule(lint_source("x.cpp", "double y = 1.0;\n"), "float-equality"));
+}
+
+TEST(LintSource, FlagsUnorderedIterationButNotNestedOrOrdered) {
+  const std::string flagged =
+      "std::unordered_map<int, int> counts;\n"
+      "for (const auto& [k, v] : counts) {}\n";
+  EXPECT_TRUE(has_rule(lint_source("x.cpp", flagged), "unordered-iteration"));
+
+  // The unordered container nested INSIDE a vector: iterating the vector
+  // is deterministic, so this must stay quiet.
+  const std::string nested =
+      "std::vector<std::unordered_map<int, int>> buckets;\n"
+      "for (const auto& bucket : buckets) {}\n";
+  EXPECT_FALSE(has_rule(lint_source("x.cpp", nested), "unordered-iteration"));
+
+  const std::string ordered =
+      "std::map<int, int> counts;\n"
+      "for (const auto& [k, v] : counts) {}\n";
+  EXPECT_FALSE(has_rule(lint_source("x.cpp", ordered), "unordered-iteration"));
+}
+
+TEST(LintSource, PragmaOnceRequiredInHeadersOnly) {
+  const std::string body = "namespace x {}\n";
+  EXPECT_TRUE(has_rule(lint_source("a.hpp", body), "pragma-once"));
+  EXPECT_FALSE(has_rule(lint_source("a.cpp", body), "pragma-once"));
+  EXPECT_FALSE(has_rule(lint_source("a.hpp", "#pragma once\n" + body), "pragma-once"));
+}
+
+TEST(LintSource, SuppressionCommentSilencesTheRule) {
+  const auto suppressed = lint_source(
+      "x.cpp", "if (b == 0.0) return;  // upn-lint-allow(float-equality)\n");
+  EXPECT_TRUE(suppressed.empty());
+  // The wrong rule name does not suppress.
+  const auto still_flagged =
+      lint_source("x.cpp", "if (b == 0.0) return;  // upn-lint-allow(no-endl)\n");
+  EXPECT_TRUE(has_rule(still_flagged, "float-equality"));
+}
+
+// ---- artifact checks ------------------------------------------------------
+
+TEST(LintArtifact, CleanProtocolPasses) {
+  const std::string protocol =
+      "upn-protocol 1 2 2 1\n"
+      "step\n"
+      "G 0 0 1\n"
+      "G 1 1 1\n"
+      "step\n"
+      "S 0 0 1 1\n"
+      "R 1 0 1 0\n";
+  EXPECT_TRUE(lint_artifact("p.upnp", protocol).empty());
+}
+
+TEST(LintArtifact, MalformedProtocolIsRejectedWithDiagnostic) {
+  const auto diags = lint_artifact("p.upnp", "upn-protocol 9 junk\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "artifact-malformed");
+  EXPECT_NE(diags[0].message.find("line 1"), std::string::npos) << diags[0].message;
+}
+
+TEST(LintArtifact, UnmatchedReceiveIsFlaggedWithItsLine) {
+  const std::string protocol =
+      "upn-protocol 1 2 2 1\n"
+      "step\n"
+      "G 0 0 1\n"
+      "G 1 1 1\n"
+      "step\n"
+      "R 1 0 1 0\n";
+  const auto diags = lint_artifact("p.upnp", protocol);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "protocol-unmatched-receive");
+  EXPECT_EQ(diags[0].line, 6u);
+}
+
+TEST(LintArtifact, MissingFinalPebbleIsFlagged) {
+  const auto diags = lint_artifact("p.upnp",
+                                   "upn-protocol 1 2 2 1\n"
+                                   "step\n"
+                                   "G 0 0 1\n");
+  EXPECT_TRUE(has_rule(diags, "protocol-final-coverage"));
+}
+
+TEST(LintArtifact, EmbeddingLoadCheckedAgainstDeclaration) {
+  EXPECT_TRUE(lint_artifact("e.upne", "upn-embedding 1 4 4 1\n0\n1\n2\n3\n").empty());
+  const auto diags = lint_artifact("e.upne", "upn-embedding 1 4 4 1\n0\n0\n1\n2\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "embedding-load-exceeds-declaration");
+}
+
+TEST(LintArtifact, ScheduleBoundsCheckedAgainstDeclaration) {
+  const std::string ok =
+      "upn-schedule 1 2 1 1 1\n"
+      "step\n"
+      "M 0 0 1\n"
+      "M 1 2 3\n";
+  EXPECT_TRUE(lint_artifact("s.upns", ok).empty());
+
+  const std::string over =
+      "upn-schedule 1 2 1 1 2\n"
+      "step\n"
+      "M 0 0 1\n"
+      "step\n"
+      "M 0 1 2\n"
+      "M 1 0 1\n";
+  const auto diags = lint_artifact("s.upns", over);
+  EXPECT_TRUE(has_rule(diags, "schedule-congestion-exceeds-declaration"));
+  EXPECT_TRUE(has_rule(diags, "schedule-dilation-exceeds-declaration"));
+}
+
+TEST(LintArtifact, ScheduleConflictAndBrokenPath) {
+  const auto conflict = lint_artifact("s.upns",
+                                      "upn-schedule 1 2 2 1 1\n"
+                                      "step\n"
+                                      "M 0 0 1\n"
+                                      "M 1 0 1\n");
+  EXPECT_TRUE(has_rule(conflict, "schedule-link-conflict"));
+
+  const auto broken = lint_artifact("s.upns",
+                                    "upn-schedule 1 1 1 2 2\n"
+                                    "step\n"
+                                    "M 0 0 1\n"
+                                    "step\n"
+                                    "M 0 3 4\n");
+  EXPECT_TRUE(has_rule(broken, "schedule-broken-path"));
+}
+
+TEST(LintArtifact, FaultPlanDuplicatesFlagged) {
+  const auto diags = lint_artifact("f.upnf",
+                                   "upn-faultplan 1 0 2 0 0\n"
+                                   "L 0 1 0\n"
+                                   "L 1 0 5\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "faultplan-duplicate-fault");
+  EXPECT_EQ(diags[0].line, 3u);
+}
+
+// ---- the committed fixtures -----------------------------------------------
+
+TEST(LintFixtures, CleanFixturesAllPass) {
+  std::size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator{UPN_FIXTURES_DIR}) {
+    if (!is_artifact_path(entry.path().string())) continue;
+    const auto diags = lint_artifact(entry.path().string(), slurp(entry.path()));
+    EXPECT_TRUE(diags.empty()) << diags.front().format();
+    ++checked;
+  }
+  EXPECT_GE(checked, 4u) << "expected one clean fixture per artifact format";
+}
+
+TEST(LintFixtures, EveryBadFixtureIsRejected) {
+  std::size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator{UPN_FIXTURES_BAD_DIR}) {
+    const std::string path = entry.path().string();
+    std::vector<Diagnostic> diags;
+    if (is_artifact_path(path)) {
+      diags = lint_artifact(path, slurp(entry.path()));
+    } else if (is_source_path(path)) {
+      diags = lint_source(path, slurp(entry.path()));
+    } else {
+      continue;
+    }
+    EXPECT_FALSE(diags.empty()) << path << " was expected to be flagged";
+    ++checked;
+  }
+  EXPECT_GE(checked, 10u);
+}
+
+}  // namespace
+}  // namespace upn::lint

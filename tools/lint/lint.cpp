@@ -1,0 +1,586 @@
+#include "tools/lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/core/embedding_io.hpp"
+#include "src/fault/fault_plan.hpp"
+#include "src/pebble/io.hpp"
+#include "src/routing/schedule_io.hpp"
+
+namespace upn::lint {
+
+std::string Diagnostic::format() const {
+  return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+namespace {
+
+// ---- shared helpers -------------------------------------------------------
+
+std::vector<std::string> split_lines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string::size_type start = 0;
+  while (start <= content.size()) {
+    const auto end = content.find('\n', start);
+    if (end == std::string::npos) {
+      if (start < content.size()) lines.push_back(content.substr(start));
+      break;
+    }
+    lines.push_back(content.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool suppressed(const std::string& raw_line, const std::string& rule) {
+  return raw_line.find("upn-lint-allow(" + rule + ")") != std::string::npos;
+}
+
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// ---- source linting -------------------------------------------------------
+
+/// Returns the lines of `content` with comments and string/char literals
+/// blanked out (lengths preserved so columns still line up).  Keeps lint
+/// rules from firing on prose like "never call rand() here".
+std::vector<std::string> code_view(const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  bool in_block = false;
+  for (const std::string& line : lines) {
+    std::string code = line;
+    char quote = 0;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (in_block) {
+        if (code[i] == '*' && i + 1 < code.size() && code[i + 1] == '/') {
+          code[i] = code[i + 1] = ' ';
+          ++i;
+          in_block = false;
+        } else {
+          code[i] = ' ';
+        }
+        continue;
+      }
+      if (quote != 0) {
+        if (code[i] == '\\' && i + 1 < code.size()) {
+          code[i] = code[i + 1] = ' ';
+          ++i;
+        } else if (code[i] == quote) {
+          quote = 0;
+          code[i] = ' ';
+        } else {
+          code[i] = ' ';
+        }
+        continue;
+      }
+      if (code[i] == '"' || code[i] == '\'') {
+        quote = code[i];
+        code[i] = ' ';
+      } else if (code[i] == '/' && i + 1 < code.size() && code[i + 1] == '/') {
+        code.resize(i);
+        break;
+      } else if (code[i] == '/' && i + 1 < code.size() && code[i + 1] == '*') {
+        code[i] = code[i + 1] = ' ';
+        ++i;
+        in_block = true;
+      }
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+bool word_at(const std::string& code, std::size_t pos, const std::string& word) {
+  if (code.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && ident_char(code[pos - 1])) return false;
+  if (pos > 0 && code[pos - 1] == ':') {
+    // `std::word` still counts; `othernamespace::word` is a different entity.
+    if (pos < 5 || code.compare(pos - 5, 5, "std::") != 0) return false;
+  }
+  const std::size_t end = pos + word.size();
+  return end >= code.size() || !ident_char(code[end]);
+}
+
+bool contains_word(const std::string& code, const std::string& word) {
+  for (std::size_t pos = code.find(word); pos != std::string::npos;
+       pos = code.find(word, pos + 1)) {
+    if (word_at(code, pos, word)) return true;
+  }
+  return false;
+}
+
+/// A token that parses as a floating-point literal (1.0, .5f, 2e9, 0x1p-53).
+bool is_float_literal(const std::string& token) {
+  if (token.empty()) return false;
+  bool digit = false, point_or_exp = false;
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    const char c = token[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c == '.') {
+      point_or_exp = true;
+    } else if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') && digit) {
+      point_or_exp = true;
+    } else if ((c == '+' || c == '-') && i > 0 &&
+               (token[i - 1] == 'e' || token[i - 1] == 'E' || token[i - 1] == 'p' ||
+                token[i - 1] == 'P')) {
+      // exponent sign
+    } else if ((c == 'f' || c == 'F' || c == 'l' || c == 'L') && i + 1 == token.size()) {
+      // suffix
+    } else if ((c == 'x' || c == 'X') && i == 1 && token[0] == '0') {
+      // hex float prefix
+    } else if (std::isxdigit(static_cast<unsigned char>(c)) && token.size() > 1 &&
+               token[0] == '0' && (token[1] == 'x' || token[1] == 'X')) {
+      digit = true;
+    } else {
+      return false;
+    }
+  }
+  return digit && point_or_exp;
+}
+
+std::string token_before(const std::string& code, std::size_t pos) {
+  std::size_t end = pos;
+  while (end > 0 && code[end - 1] == ' ') --end;
+  std::size_t start = end;
+  while (start > 0 && (ident_char(code[start - 1]) || code[start - 1] == '.' ||
+                       code[start - 1] == '+' || code[start - 1] == '-')) {
+    --start;
+  }
+  // Trim a leading sign that belongs to the expression, not the literal.
+  while (start < end && (code[start] == '+' || code[start] == '-')) ++start;
+  return code.substr(start, end - start);
+}
+
+std::string token_after(const std::string& code, std::size_t pos) {
+  std::size_t start = pos;
+  while (start < code.size() && code[start] == ' ') ++start;
+  if (start < code.size() && (code[start] == '+' || code[start] == '-')) ++start;
+  std::size_t end = start;
+  while (end < code.size() && (ident_char(code[end]) || code[end] == '.' ||
+                               ((code[end] == '+' || code[end] == '-') && end > start &&
+                                (code[end - 1] == 'e' || code[end - 1] == 'E' ||
+                                 code[end - 1] == 'p' || code[end - 1] == 'P')))) {
+    ++end;
+  }
+  return code.substr(start, end - start);
+}
+
+/// Variable names declared in this file with an OUTERMOST unordered
+/// container type (nested uses like vector<unordered_map<...>> are fine:
+/// iterating the vector is deterministic).
+std::vector<std::string> unordered_decls(const std::vector<std::string>& code) {
+  std::vector<std::string> names;
+  for (const std::string& line : code) {
+    for (const char* type : {"unordered_map", "unordered_set"}) {
+      for (std::size_t pos = line.find(type); pos != std::string::npos;
+           pos = line.find(type, pos + 1)) {
+        if (!word_at(line, pos, type)) continue;
+        // Skip "std::" to find where the full type expression starts.
+        std::size_t type_start = pos;
+        if (type_start >= 5 && line.compare(type_start - 5, 5, "std::") == 0) {
+          type_start -= 5;
+        }
+        // Nested inside another template argument list? Then the iterated
+        // object is the outer container.
+        std::size_t before = type_start;
+        while (before > 0 && line[before - 1] == ' ') --before;
+        if (before > 0 && (line[before - 1] == '<' || line[before - 1] == ',')) continue;
+        // Walk the template argument list to its closing '>'.
+        std::size_t cursor = line.find('<', pos);
+        if (cursor == std::string::npos) continue;
+        int depth = 0;
+        while (cursor < line.size()) {
+          if (line[cursor] == '<') ++depth;
+          if (line[cursor] == '>') {
+            --depth;
+            if (depth == 0) break;
+          }
+          ++cursor;
+        }
+        if (cursor >= line.size()) continue;  // multi-line declaration: give up
+        // The declared name follows (skipping refs and whitespace).
+        std::size_t name_start = cursor + 1;
+        while (name_start < line.size() &&
+               (line[name_start] == ' ' || line[name_start] == '&' || line[name_start] == '*')) {
+          ++name_start;
+        }
+        std::size_t name_end = name_start;
+        while (name_end < line.size() && ident_char(line[name_end])) ++name_end;
+        if (name_end > name_start) {
+          names.push_back(line.substr(name_start, name_end - name_start));
+        }
+      }
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+/// The identifier a range-for iterates, or "" if the line has none.
+std::string range_for_target(const std::string& code) {
+  for (std::size_t pos = code.find("for"); pos != std::string::npos;
+       pos = code.find("for", pos + 1)) {
+    if (!word_at(code, pos, "for")) continue;
+    const std::size_t open = code.find('(', pos);
+    if (open == std::string::npos) return "";
+    int depth = 0;
+    std::size_t colon = std::string::npos;
+    std::size_t close = std::string::npos;
+    for (std::size_t i = open; i < code.size(); ++i) {
+      if (code[i] == '(') ++depth;
+      if (code[i] == ')') {
+        --depth;
+        if (depth == 0) {
+          close = i;
+          break;
+        }
+      }
+      if (code[i] == ':' && depth == 1 && colon == std::string::npos) {
+        // Skip '::' scope operators.
+        if ((i + 1 < code.size() && code[i + 1] == ':') || (i > 0 && code[i - 1] == ':')) {
+          continue;
+        }
+        colon = i;
+      }
+    }
+    if (colon == std::string::npos || close == std::string::npos) continue;
+    std::string expr = code.substr(colon + 1, close - colon - 1);
+    // Strip whitespace and take the leading identifier of the range.
+    std::size_t start = 0;
+    while (start < expr.size() && expr[start] == ' ') ++start;
+    std::size_t end = start;
+    while (end < expr.size() && ident_char(expr[end])) ++end;
+    // `obj.member()` / `obj->x` ranges iterate what the call returns; only a
+    // bare identifier (possibly the whole expr) maps back to a declaration.
+    std::string rest = expr.substr(end);
+    rest.erase(std::remove(rest.begin(), rest.end(), ' '), rest.end());
+    if (!rest.empty()) continue;
+    return expr.substr(start, end - start);
+  }
+  return "";
+}
+
+std::vector<Diagnostic> run_source_rules(const std::string& path,
+                                         const std::vector<std::string>& raw,
+                                         const std::vector<std::string>& code) {
+  std::vector<Diagnostic> out;
+  auto emit = [&](std::size_t line_no, const char* rule, std::string message) {
+    if (line_no >= 1 && line_no <= raw.size() && suppressed(raw[line_no - 1], rule)) return;
+    out.push_back(Diagnostic{path, line_no, rule, std::move(message)});
+  };
+
+  if (has_suffix(path, ".hpp")) {
+    bool found = false;
+    for (const std::string& line : raw) {
+      if (line.find("#pragma once") != std::string::npos) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      emit(1, "pragma-once", "header is missing '#pragma once' (multiple inclusion hazard)");
+    }
+  }
+
+  const std::vector<std::string> unordered = unordered_decls(code);
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    const std::size_t line_no = i + 1;
+
+    if (contains_word(line, "rand") || contains_word(line, "srand")) {
+      emit(line_no, "no-std-rand",
+           "rand()/srand() are not reproducible across platforms; use upn::Rng");
+    }
+    for (const char* bad : {"std::random_device", "std::mt19937",
+                            "std::default_random_engine", "std::minstd_rand"}) {
+      if (line.find(bad) != std::string::npos) {
+        emit(line_no, "no-unseeded-rng",
+             std::string{bad} +
+                 " breaks seed-reproducibility; thread an explicit upn::Rng instead");
+        break;
+      }
+    }
+    if (line.find("std::endl") != std::string::npos) {
+      emit(line_no, "no-endl",
+           "std::endl flushes on every call (quadratic in emission loops); use '\\n'");
+    }
+    for (std::size_t pos = 0; pos + 1 < line.size(); ++pos) {
+      const bool eq = line[pos] == '=' && line[pos + 1] == '=';
+      const bool neq = line[pos] == '!' && line[pos + 1] == '=';
+      if (!eq && !neq) continue;
+      if (pos > 0 && (line[pos - 1] == '=' || line[pos - 1] == '!' ||
+                      line[pos - 1] == '<' || line[pos - 1] == '>')) {
+        continue;  // tail of <=, >=, ==, !=
+      }
+      if (pos + 2 < line.size() && line[pos + 2] == '=') {
+        ++pos;
+        continue;  // head of a wider operator
+      }
+      const std::string lhs = token_before(line, pos);
+      const std::string rhs = token_after(line, pos + 2);
+      if (is_float_literal(lhs) || is_float_literal(rhs)) {
+        emit(line_no, "float-equality",
+             "exact comparison against a floating-point literal; compare with a "
+             "tolerance or restructure");
+        break;
+      }
+    }
+    if (!unordered.empty()) {
+      const std::string target = range_for_target(line);
+      if (!target.empty() &&
+          std::binary_search(unordered.begin(), unordered.end(), target)) {
+        emit(line_no, "unordered-iteration",
+             "iteration order over std::unordered_{map,set} '" + target +
+                 "' is unspecified; protocol/schedule emission must be deterministic "
+                 "(sort first or use std::map)");
+      }
+    }
+  }
+  return out;
+}
+
+// ---- artifact linting -----------------------------------------------------
+
+struct OpLine {
+  char kind = 0;  ///< 'G', 'S', 'R'
+  std::uint32_t proc = 0, node = 0, time = 0, partner = 0;
+  std::size_t line_no = 0;
+};
+
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::istringstream stream{line};
+  std::vector<std::string> tokens;
+  std::string token;
+  while (stream >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+/// Protocol static checks beyond read_protocol's well-formedness: every
+/// receive pairs with a same-step send, and every final pebble (P_i, T) is
+/// generated somewhere.  No pebble-game replay happens here.
+std::vector<Diagnostic> check_protocol(const std::string& path, const std::string& content,
+                                       const Protocol& protocol) {
+  std::vector<Diagnostic> out;
+  const std::vector<std::string> lines = split_lines(content);
+  std::vector<std::vector<OpLine>> steps;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto tokens = tokens_of(lines[i]);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "step") {
+      steps.emplace_back();
+      continue;
+    }
+    OpLine op;
+    op.kind = tokens[0][0];
+    op.proc = static_cast<std::uint32_t>(std::stoul(tokens[1]));
+    op.node = static_cast<std::uint32_t>(std::stoul(tokens[2]));
+    op.time = static_cast<std::uint32_t>(std::stoul(tokens[3]));
+    if (tokens.size() > 4) op.partner = static_cast<std::uint32_t>(std::stoul(tokens[4]));
+    op.line_no = i + 1;
+    steps.back().push_back(op);
+  }
+
+  for (const auto& step : steps) {
+    for (const OpLine& op : step) {
+      if (op.kind != 'R') continue;
+      const bool matched =
+          std::any_of(step.begin(), step.end(), [&](const OpLine& other) {
+            return other.kind == 'S' && other.proc == op.partner &&
+                   other.partner == op.proc && other.node == op.node &&
+                   other.time == op.time;
+          });
+      if (!matched) {
+        out.push_back(Diagnostic{
+            path, op.line_no, "protocol-unmatched-receive",
+            "receive of (P" + std::to_string(op.node) + "," + std::to_string(op.time) +
+                ") at proc " + std::to_string(op.proc) + " has no matching send from proc " +
+                std::to_string(op.partner) + " in the same step"});
+      }
+    }
+  }
+
+  if (protocol.guest_steps() > 0) {
+    std::vector<char> generated(protocol.num_guests(), 0);
+    for (const auto& step : steps) {
+      for (const OpLine& op : step) {
+        if (op.kind == 'G' && op.time == protocol.guest_steps() &&
+            op.node < generated.size()) {
+          generated[op.node] = 1;
+        }
+      }
+    }
+    for (std::uint32_t i = 0; i < generated.size(); ++i) {
+      if (!generated[i]) {
+        out.push_back(Diagnostic{
+            path, 1, "protocol-final-coverage",
+            "final pebble (P" + std::to_string(i) + "," +
+                std::to_string(protocol.guest_steps()) +
+                ") is never generated; the protocol does not finish the simulation"});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> check_embedding(const std::string& path,
+                                        const StoredEmbedding& stored) {
+  std::vector<Diagnostic> out;
+  std::vector<std::uint32_t> load(stored.num_hosts, 0);
+  std::uint32_t actual = 0;
+  for (const NodeId q : stored.map) actual = std::max(actual, ++load[q]);
+  if (actual > stored.declared_load) {
+    out.push_back(Diagnostic{
+        path, 1, "embedding-load-exceeds-declaration",
+        "actual load " + std::to_string(actual) + " exceeds the declared bound " +
+            std::to_string(stored.declared_load)});
+  }
+  return out;
+}
+
+std::vector<Diagnostic> check_schedule(const std::string& path, const std::string& content,
+                                       const StoredPathSchedule& stored) {
+  std::vector<Diagnostic> out;
+  const std::vector<std::string> lines = split_lines(content);
+
+  std::map<std::uint64_t, std::uint32_t> link_total;          // directed link -> uses
+  std::map<std::uint64_t, std::size_t> link_in_step;          // link -> line of use
+  std::vector<std::uint32_t> hops(stored.num_packets, 0);
+  std::vector<std::pair<bool, std::uint32_t>> at(stored.num_packets, {false, 0});
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto tokens = tokens_of(lines[i]);
+    if (tokens.empty()) continue;
+    const std::size_t line_no = i + 1;
+    if (tokens[0] == "step") {
+      link_in_step.clear();
+      continue;
+    }
+    const auto packet = static_cast<std::uint32_t>(std::stoul(tokens[1]));
+    const auto from = static_cast<std::uint32_t>(std::stoul(tokens[2]));
+    const auto to = static_cast<std::uint32_t>(std::stoul(tokens[3]));
+    const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+
+    const auto [prev_seen, prev_at] = at[packet];
+    if (prev_seen && prev_at != from) {
+      out.push_back(Diagnostic{path, line_no, "schedule-broken-path",
+                               "packet " + std::to_string(packet) + " moves from " +
+                                   std::to_string(from) + " but last arrived at " +
+                                   std::to_string(prev_at)});
+    }
+    at[packet] = {true, to};
+
+    const auto in_step = link_in_step.find(key);
+    if (in_step != link_in_step.end()) {
+      out.push_back(Diagnostic{path, line_no, "schedule-link-conflict",
+                               "directed link " + std::to_string(from) + "->" +
+                                   std::to_string(to) + " already used this step (line " +
+                                   std::to_string(in_step->second) + ")"});
+    } else {
+      link_in_step.emplace(key, line_no);
+    }
+
+    if (++link_total[key] == stored.schedule.congestion + 1) {
+      out.push_back(Diagnostic{path, line_no, "schedule-congestion-exceeds-declaration",
+                               "directed link " + std::to_string(from) + "->" +
+                                   std::to_string(to) + " exceeds the declared congestion " +
+                                   std::to_string(stored.schedule.congestion)});
+    }
+    if (++hops[packet] == stored.schedule.dilation + 1) {
+      out.push_back(Diagnostic{path, line_no, "schedule-dilation-exceeds-declaration",
+                               "packet " + std::to_string(packet) +
+                                   " exceeds the declared dilation " +
+                                   std::to_string(stored.schedule.dilation)});
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> check_fault_plan(const std::string& path, const std::string& content,
+                                         const FaultPlan& plan) {
+  std::vector<Diagnostic> out;
+  (void)plan;  // well-formedness is fully enforced by read_fault_plan
+  const std::vector<std::string> lines = split_lines(content);
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> seen_links;
+  std::map<std::uint32_t, std::size_t> seen_nodes;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto tokens = tokens_of(lines[i]);
+    if (tokens.empty()) continue;
+    const std::size_t line_no = i + 1;
+    if (tokens[0] == "L" && tokens.size() >= 3) {
+      auto u = static_cast<std::uint32_t>(std::stoul(tokens[1]));
+      auto v = static_cast<std::uint32_t>(std::stoul(tokens[2]));
+      if (u > v) std::swap(u, v);
+      const auto [it, fresh] = seen_links.emplace(std::make_pair(u, v), line_no);
+      if (!fresh) {
+        out.push_back(Diagnostic{path, line_no, "faultplan-duplicate-fault",
+                                 "link {" + tokens[1] + "," + tokens[2] +
+                                     "} already has a permanent fault (line " +
+                                     std::to_string(it->second) + ")"});
+      }
+    } else if (tokens[0] == "N" && tokens.size() >= 2) {
+      const auto v = static_cast<std::uint32_t>(std::stoul(tokens[1]));
+      const auto [it, fresh] = seen_nodes.emplace(v, line_no);
+      if (!fresh) {
+        out.push_back(Diagnostic{path, line_no, "faultplan-duplicate-fault",
+                                 "node " + tokens[1] +
+                                     " already has a permanent fault (line " +
+                                     std::to_string(it->second) + ")"});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> lint_source(const std::string& path, const std::string& content) {
+  const std::vector<std::string> raw = split_lines(content);
+  return run_source_rules(path, raw, code_view(raw));
+}
+
+std::vector<Diagnostic> lint_artifact(const std::string& path, const std::string& content) {
+  std::vector<Diagnostic> out;
+  std::istringstream stream{content};
+  try {
+    if (has_suffix(path, ".upnp")) {
+      const Protocol protocol = read_protocol(stream);
+      out = check_protocol(path, content, protocol);
+    } else if (has_suffix(path, ".upne")) {
+      const StoredEmbedding stored = read_embedding(stream);
+      out = check_embedding(path, stored);
+    } else if (has_suffix(path, ".upns")) {
+      const StoredPathSchedule stored = read_path_schedule(stream);
+      out = check_schedule(path, content, stored);
+    } else if (has_suffix(path, ".upnf")) {
+      const FaultPlan plan = read_fault_plan(stream);
+      out = check_fault_plan(path, content, plan);
+    }
+  } catch (const std::exception& e) {
+    out.push_back(Diagnostic{path, 0, "artifact-malformed", e.what()});
+  }
+  return out;
+}
+
+bool is_artifact_path(const std::string& path) {
+  return has_suffix(path, ".upnp") || has_suffix(path, ".upne") ||
+         has_suffix(path, ".upns") || has_suffix(path, ".upnf");
+}
+
+bool is_source_path(const std::string& path) {
+  return has_suffix(path, ".cpp") || has_suffix(path, ".hpp");
+}
+
+}  // namespace upn::lint

@@ -1,0 +1,56 @@
+// upn_lint: the project-specific static analysis engine.
+//
+// Two layers, both purely static (nothing is executed or replayed):
+//
+//  * SOURCE rules ban patterns that have bitten this codebase or would
+//    silently break its determinism guarantees: unseeded std:: RNGs,
+//    rand(), std::endl, missing #pragma once, float ==, and -- the
+//    determinism hazard singled out by DESIGN §1 -- range-for iteration
+//    over std::unordered_{map,set}, whose order is unspecified and varies
+//    across libstdc++ versions, on code that emits protocols/schedules.
+//
+//  * ARTIFACT checks verify on-disk protocols (.upnp), embeddings (.upne),
+//    path schedules (.upns), and fault plans (.upnf): well-formed per their
+//    parsers, and -- for declared-bound formats -- contents within the
+//    congestion / dilation / load bounds the header claims.
+//
+// A finding can be suppressed on its line with a comment containing
+// `upn-lint-allow(<rule>)`; suppressions are deliberate and reviewable.
+//
+// The engine works on (name, content) pairs so tests can lint in-memory
+// strings; main.cpp adds directory walking and diagnostics printing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace upn::lint {
+
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;   ///< 1-based; 0 when the finding is file-scoped
+  std::string rule;       ///< stable rule id, e.g. "no-endl"
+  std::string message;
+
+  /// "file:line: [rule] message" -- the format CI greps for.
+  [[nodiscard]] std::string format() const;
+};
+
+/// Lints one C++ source or header.  `path` is used for diagnostics and to
+/// decide header-only rules (#pragma once applies to .hpp).
+[[nodiscard]] std::vector<Diagnostic> lint_source(const std::string& path,
+                                                  const std::string& content);
+
+/// Lints one artifact by extension (.upnp, .upne, .upns, .upnf).  Files
+/// with other extensions yield no diagnostics.
+[[nodiscard]] std::vector<Diagnostic> lint_artifact(const std::string& path,
+                                                    const std::string& content);
+
+/// True iff the path has an artifact extension lint_artifact understands.
+[[nodiscard]] bool is_artifact_path(const std::string& path);
+
+/// True iff the path names a C++ source or header (.cpp / .hpp).
+[[nodiscard]] bool is_source_path(const std::string& path);
+
+}  // namespace upn::lint

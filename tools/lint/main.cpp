@@ -1,0 +1,116 @@
+// upn_lint CLI: walks directories, lints sources and artifacts, prints
+// file:line diagnostics, and exits nonzero iff anything was found.
+//
+// Usage:
+//   upn_lint [--src DIR]... [--artifacts DIR]... [FILE]...
+//
+// Exit codes: 0 clean, 1 findings, 2 usage / IO error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: upn_lint [--src DIR]... [--artifacts DIR]... [FILE]...\n"
+               "  --src DIR        lint every .cpp/.hpp under DIR (recursive)\n"
+               "  --artifacts DIR  lint every .upnp/.upne/.upns/.upnf under DIR\n"
+               "  FILE             lint one file, kind decided by extension\n";
+  return 2;
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+/// Collects matching files under `dir`, sorted so diagnostics are stable.
+std::vector<fs::path> collect(const fs::path& dir, bool (*match)(const std::string&),
+                              bool& ok) {
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it{dir, ec}, end; it != end; it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file()) continue;
+    if (match(it->path().string())) files.push_back(it->path());
+  }
+  if (ec) {
+    std::cerr << "upn_lint: cannot walk " << dir.string() << ": " << ec.message() << "\n";
+    ok = false;
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> sources;
+  std::vector<fs::path> artifacts;
+  bool ok = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage();
+    if (arg == "--src" || arg == "--artifacts") {
+      if (i + 1 >= argc) return usage();
+      const fs::path dir = argv[++i];
+      if (!fs::is_directory(dir)) {
+        std::cerr << "upn_lint: not a directory: " << dir.string() << "\n";
+        return 2;
+      }
+      auto& into = arg == "--src" ? sources : artifacts;
+      auto matcher = arg == "--src" ? upn::lint::is_source_path : upn::lint::is_artifact_path;
+      for (fs::path& p : collect(dir, matcher, ok)) into.push_back(std::move(p));
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (upn::lint::is_source_path(arg)) {
+      sources.emplace_back(arg);
+    } else if (upn::lint::is_artifact_path(arg)) {
+      artifacts.emplace_back(arg);
+    } else {
+      std::cerr << "upn_lint: unknown file kind: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (!ok) return 2;
+  if (sources.empty() && artifacts.empty()) return usage();
+
+  std::size_t findings = 0;
+  auto lint_all = [&](const std::vector<fs::path>& files, bool source) {
+    for (const fs::path& path : files) {
+      std::string content;
+      if (!read_file(path, content)) {
+        std::cerr << "upn_lint: cannot read " << path.string() << "\n";
+        ok = false;
+        continue;
+      }
+      const auto diags = source ? upn::lint::lint_source(path.string(), content)
+                                : upn::lint::lint_artifact(path.string(), content);
+      for (const auto& d : diags) std::cout << d.format() << "\n";
+      findings += diags.size();
+    }
+  };
+  lint_all(sources, /*source=*/true);
+  lint_all(artifacts, /*source=*/false);
+
+  if (!ok) return 2;
+  if (findings > 0) {
+    std::cout << "upn_lint: " << findings << " finding" << (findings == 1 ? "" : "s")
+              << "\n";
+    return 1;
+  }
+  return 0;
+}

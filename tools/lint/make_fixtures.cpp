@@ -1,0 +1,77 @@
+// Regenerates the CLEAN artifact fixtures under tests/fixtures/.  All four
+// formats are produced deterministically (fixed seeds, library generators),
+// so a rerun after a format change yields reviewable diffs.  The corrupted
+// fixtures under tests/fixtures-bad/ are hand-written and NOT regenerated
+// here: each encodes one specific violation upn_lint must catch.
+//
+// Usage: make_fixtures <output-dir>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "src/core/embedding.hpp"
+#include "src/core/embedding_io.hpp"
+#include "src/fault/fault_plan.hpp"
+#include "src/pebble/io.hpp"
+#include "src/pebble/protocol.hpp"
+#include "src/routing/hh_problem.hpp"
+#include "src/routing/path_schedule.hpp"
+#include "src/routing/schedule_io.hpp"
+#include "src/topology/builders.hpp"
+#include "src/util/rng.hpp"
+
+namespace fs = std::filesystem;
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: make_fixtures <output-dir>\n";
+    return 2;
+  }
+  const fs::path out{argv[1]};
+  fs::create_directories(out);
+
+  // Protocol: 2 guests on 2 hosts, T = 1.  Step 1 generates both final
+  // pebbles; step 2 exchanges (P0, 1) so both hosts hold it.
+  {
+    upn::Protocol protocol{2, 2, 1};
+    protocol.begin_step();
+    protocol.add({upn::OpKind::kGenerate, 0, {0, 1}, 0});
+    protocol.add({upn::OpKind::kGenerate, 1, {1, 1}, 0});
+    protocol.begin_step();
+    protocol.add({upn::OpKind::kSend, 0, {0, 1}, 1});
+    protocol.add({upn::OpKind::kReceive, 1, {0, 1}, 0});
+    std::ofstream os{out / "exchange.upnp"};
+    upn::write_protocol(os, protocol);
+  }
+
+  // Embedding: 8 guests block-embedded on 4 hosts (load 2).
+  {
+    const auto embedding = upn::make_block_embedding(8, 4);
+    std::ofstream os{out / "block_8_on_4.upne"};
+    upn::write_embedding(os, embedding, 4);
+  }
+
+  // Schedule: a fixed permutation on an 8-cycle through the greedy
+  // farthest-to-go scheduler; header bounds are the derived C and D.
+  {
+    const upn::Graph host = upn::make_cycle(8);
+    upn::HhProblem problem{8};
+    for (upn::NodeId v = 0; v < 8; ++v) problem.add(v, (v + 3) % 8);
+    const upn::PathSchedule schedule = upn::schedule_paths(host, problem);
+    std::ofstream os{out / "cycle_shift.upns"};
+    upn::write_path_schedule(os, schedule, static_cast<std::uint32_t>(problem.size()));
+  }
+
+  // Fault plan: one permanent link cut, one node loss, one drop window.
+  {
+    upn::FaultPlan plan{7};
+    plan.add_link_fault({0, 1, 2});
+    plan.add_node_fault({3, 4});
+    plan.add_drop_window({0, 1, 0, 8, 0.25});
+    std::ofstream os{out / "mixed.upnf"};
+    upn::write_fault_plan(os, plan);
+  }
+
+  std::cout << "fixtures written to " << out.string() << "\n";
+  return 0;
+}
