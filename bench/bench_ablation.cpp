@@ -3,10 +3,10 @@
 //   2. port model: single-port (pebble-exact) vs multiport,
 //   3. embedding: deterministic block vs random balanced,
 //   4. routing policy: greedy vs Valiant two-phase.
-#include <benchmark/benchmark.h>
-
 #include <iostream>
+#include <string>
 
+#include "bench/harness.hpp"
 #include "src/core/embedding.hpp"
 #include "src/core/embedding_metrics.hpp"
 #include "src/core/offline_universal.hpp"
@@ -134,42 +134,38 @@ void print_policy_table() {
   std::cout << "\n";
 }
 
-void BM_AnalyzeEmbedding(benchmark::State& state) {
-  Rng rng{5};
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  const Graph guest = make_random_regular(n, kGuestDegree, rng);
-  const Graph host = make_butterfly(3);
-  const auto embedding = make_random_embedding(n, host.num_nodes(), rng);
-  for (auto _ : state) {
-    const EmbeddingMetrics metrics = analyze_embedding(guest, host, embedding);
-    benchmark::DoNotOptimize(metrics.congestion);
-  }
-}
-BENCHMARK(BM_AnalyzeEmbedding)->Arg(128)->Arg(512);
-
-void BM_OfflineUniversalStep(benchmark::State& state) {
-  Rng rng{6};
-  const auto d = static_cast<std::uint32_t>(state.range(0));
-  const ButterflyLayout layout{d, false};
-  const std::uint32_t n = 4 * layout.num_nodes();
-  const Graph guest = make_random_regular(n, kGuestDegree, rng);
-  const auto embedding = make_random_embedding(n, layout.num_nodes(), rng);
-  for (auto _ : state) {
-    const OfflineUniversalResult result = run_offline_universal(guest, d, embedding, 1);
-    benchmark::DoNotOptimize(result.host_steps);
-  }
-  state.counters["m"] = layout.num_nodes();
-}
-BENCHMARK(BM_OfflineUniversalStep)->Arg(3)->Arg(4);
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_routing_regime_table();
-  print_offline_family_table();
-  print_embedding_table();
-  print_policy_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  upn::bench::Harness harness{"ablation", argc, argv};
+
+  harness.once("routing_regime_table", [] { print_routing_regime_table(); });
+  harness.once("offline_family_table", [] { print_offline_family_table(); });
+  harness.once("embedding_table", [] { print_embedding_table(); });
+  harness.once("policy_table", [] { print_policy_table(); });
+
+  for (const std::uint32_t n : {128u, 512u}) {
+    Rng rng{5};
+    const Graph guest = make_random_regular(n, kGuestDegree, rng);
+    const Graph host = make_butterfly(3);
+    const auto embedding = make_random_embedding(n, host.num_nodes(), rng);
+    harness.measure("analyze_embedding/n=" + std::to_string(n), [&] {
+      const EmbeddingMetrics metrics = analyze_embedding(guest, host, embedding);
+      upn::bench::keep(metrics.congestion);
+    });
+  }
+
+  for (const std::uint32_t d : {3u, 4u}) {
+    Rng rng{6};
+    const ButterflyLayout layout{d, false};
+    const std::uint32_t n = 4 * layout.num_nodes();
+    const Graph guest = make_random_regular(n, kGuestDegree, rng);
+    const auto embedding = make_random_embedding(n, layout.num_nodes(), rng);
+    harness.measure("offline_universal_step/d=" + std::to_string(d), [&] {
+      const OfflineUniversalResult result = run_offline_universal(guest, d, embedding, 1);
+      upn::bench::keep(result.host_steps);
+    });
+  }
+
+  return harness.finish();
 }

@@ -5,11 +5,14 @@
 // extracts one fragment each and tabulates: distinct fragments vs guests
 // (empirical footprint of the set A), per-fragment multiplicity bounds, and
 // the Main-Lemma quantities (sum |B_i|, #small D_i).
-#include <benchmark/benchmark.h>
-
+//
+// The census runs one pool task per sampled guest (--threads=N); rows and
+// aggregates are byte-identical for every N.
 #include <iostream>
 #include <sstream>
+#include <string>
 
+#include "bench/harness.hpp"
 #include "src/lowerbound/fragment_census.hpp"
 #include "src/util/table.hpp"
 
@@ -17,17 +20,19 @@ namespace {
 
 using namespace upn;
 
-void print_experiment_table() {
-  Rng rng{31415};
+constexpr std::uint64_t kCensusSeed = 31415;
+
+void print_experiment_table(ThreadPool& pool) {
+  Rng rng{kCensusSeed};
   const std::uint32_t m = 12;  // butterfly(2)
   const std::uint32_t a = g0_block_parameter(m);
   const std::uint32_t n = g0_round_guest_size(60, a);
   const G0 g0 = make_g0(n, m, rng);
   const std::uint32_t guests = 12, T = 8;
-  const FragmentCensus census = run_fragment_census(g0, 2, guests, T, rng);
+  const FragmentCensus census = run_fragment_census_par(g0, 2, guests, T, kCensusSeed, pool);
 
   std::cout << "=== CENSUS: fragments across " << guests << " guests from U[G_0] (n = "
-            << n << ", m = " << m << ", T = " << T << ") ===\n";
+            << n << ", m = " << m << ", T = " << T << ", pool-swept) ===\n";
   std::cout << "distinct fragments: " << census.distinct_fragments << " / " << guests
             << "   mean k = " << census.mean_inefficiency << "\n";
   std::cout << "log2 |A| bound (Lemma 3.13, r n k): " << census.log2_a_bound
@@ -47,25 +52,27 @@ void print_experiment_table() {
             << " total guests)\n\n";
 }
 
-void BM_FragmentCensus(benchmark::State& state) {
-  Rng rng{999};
-  const std::uint32_t m = 12;
-  const std::uint32_t a = g0_block_parameter(m);
-  const std::uint32_t n = g0_round_guest_size(60, a);
-  const G0 g0 = make_g0(n, m, rng);
-  for (auto _ : state) {
-    const FragmentCensus census =
-        run_fragment_census(g0, 2, static_cast<std::uint32_t>(state.range(0)), 6, rng);
-    benchmark::DoNotOptimize(census.distinct_fragments);
-  }
-}
-BENCHMARK(BM_FragmentCensus)->Arg(2)->Arg(4);
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_experiment_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  upn::bench::Harness harness{"census", argc, argv};
+
+  harness.once("census_table", [&] { print_experiment_table(harness.pool()); });
+
+  {
+    Rng rng{999};
+    const std::uint32_t m = 12;
+    const std::uint32_t a = g0_block_parameter(m);
+    const std::uint32_t n = g0_round_guest_size(60, a);
+    const G0 g0 = make_g0(n, m, rng);
+    for (const std::uint32_t guests : {2u, 4u, 8u}) {
+      harness.measure("fragment_census/guests=" + std::to_string(guests), [&] {
+        const FragmentCensus census =
+            run_fragment_census_par(g0, 2, guests, 6, 999, harness.pool());
+        upn::bench::keep(census.distinct_fragments);
+      });
+    }
+  }
+
+  return harness.finish();
 }

@@ -7,11 +7,11 @@
 // [14] proves s = Omega(log n) independent of m for the non-oblivious case,
 // and even here the per-step routing latency keeps s above log-type bounds
 // when n/m is small.
-#include <benchmark/benchmark.h>
-
 #include <cmath>
 #include <iostream>
+#include <string>
 
+#include "bench/harness.hpp"
 #include "src/core/complete_sim.hpp"
 #include "src/core/embedding.hpp"
 #include "src/routing/policies.hpp"
@@ -48,27 +48,25 @@ void print_experiment_table() {
                "online routing here.\n\n";
 }
 
-void BM_CompleteStep(benchmark::State& state) {
-  const auto d = static_cast<std::uint32_t>(state.range(0));
-  Rng rng{7};
-  const Graph host = make_butterfly(d);
-  const std::uint32_t n = 4 * host.num_nodes();
-  const auto embedding = make_random_embedding(n, host.num_nodes(), rng);
-  GreedyPolicy policy{host};
-  for (auto _ : state) {
-    const CompleteSimResult result =
-        run_complete_simulation(n, host, embedding, 1, policy);
-    benchmark::DoNotOptimize(result.host_steps);
-  }
-  state.counters["n"] = n;
-}
-BENCHMARK(BM_CompleteStep)->Arg(2)->Arg(3)->Arg(4);
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_experiment_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  upn::bench::Harness harness{"complete", argc, argv};
+
+  harness.once("complete_table", [] { print_experiment_table(); });
+
+  for (const std::uint32_t d : {2u, 3u, 4u}) {
+    Rng rng{7};
+    const Graph host = make_butterfly(d);
+    const std::uint32_t n = 4 * host.num_nodes();
+    const auto embedding = make_random_embedding(n, host.num_nodes(), rng);
+    GreedyPolicy policy{host};
+    harness.measure("complete_step/d=" + std::to_string(d), [&] {
+      const CompleteSimResult result =
+          run_complete_simulation(n, host, embedding, 1, policy);
+      upn::bench::keep(result.host_steps);
+    });
+  }
+
+  return harness.finish();
 }

@@ -6,10 +6,14 @@
 // (size / a^2) and depth constant (depth / a) over all roots of a block --
 // our construction lands at depth ~2a (an L x L torus has diameter L; the
 // paper's "diameter a" undercounts by 2x), which downstream lemmas absorb.
-#include <benchmark/benchmark.h>
-
+//
+// The per-root census runs one pool task per root (--threads=N); the
+// worst-case reduction is ordered, so the table is byte-identical for
+// every N.
 #include <iostream>
+#include <string>
 
+#include "bench/harness.hpp"
 #include "src/lowerbound/dependency_tree.hpp"
 #include "src/topology/multitorus.hpp"
 #include "src/util/table.hpp"
@@ -18,8 +22,15 @@ namespace {
 
 using namespace upn;
 
-void print_experiment_table() {
-  std::cout << "=== L3.10/FIG1: dependency-tree size and depth vs a (worst root) ===\n";
+struct RootCensus {
+  std::size_t size = 0;
+  std::uint32_t depth = 0;
+  bool valid = false;
+};
+
+void print_experiment_table(ThreadPool& pool) {
+  std::cout << "=== L3.10/FIG1: dependency-tree size and depth vs a (worst root, "
+               "pool-swept) ===\n";
   Table table{{"a", "block 4a^2", "max size", "48a^2", "size/a^2", "depth", "depth/a",
                "all valid"}};
   for (const std::uint32_t a : {1u, 2u, 3u, 4u, 6u, 8u}) {
@@ -28,14 +39,19 @@ void print_experiment_table() {
     const MultitorusLayout layout = multitorus_layout(n, side);
     const Graph mt = make_multitorus(n, side);
     const auto block = layout.block_nodes(0);
+    const std::vector<RootCensus> censuses =
+        pool.parallel_map<RootCensus>(block.size(), [&](std::size_t i) {
+          const DependencyTree tree = build_block_dependency_tree(layout, 0, block[i]);
+          return RootCensus{tree.size(), tree.depth,
+                            validate_dependency_tree(tree, mt, block)};
+        });
     std::size_t max_size = 0;
     std::uint32_t depth = 0;
     bool all_valid = true;
-    for (const NodeId root : block) {
-      const DependencyTree tree = build_block_dependency_tree(layout, 0, root);
-      max_size = std::max(max_size, tree.size());
-      depth = std::max(depth, tree.depth);
-      all_valid = all_valid && validate_dependency_tree(tree, mt, block);
+    for (const RootCensus& census : censuses) {
+      max_size = std::max(max_size, census.size);
+      depth = std::max(depth, census.depth);
+      all_valid = all_valid && census.valid;
     }
     table.add_row({std::uint64_t{a}, std::uint64_t{block.size()}, std::uint64_t{max_size},
                    std::uint64_t{48 * a * a},
@@ -46,38 +62,34 @@ void print_experiment_table() {
   std::cout << "\n";
 }
 
-void BM_BuildTree(benchmark::State& state) {
-  const auto a = static_cast<std::uint32_t>(state.range(0));
-  const std::uint32_t side = 2 * a;
-  const std::uint32_t n = 4 * side * side;
-  const MultitorusLayout layout = multitorus_layout(n, side);
-  for (auto _ : state) {
-    const DependencyTree tree = build_block_dependency_tree(layout, 0, 0);
-    benchmark::DoNotOptimize(tree.size());
-  }
-  state.counters["a"] = a;
-}
-BENCHMARK(BM_BuildTree)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
-
-void BM_ValidateTree(benchmark::State& state) {
-  const auto a = static_cast<std::uint32_t>(state.range(0));
-  const std::uint32_t side = 2 * a;
-  const std::uint32_t n = 4 * side * side;
-  const MultitorusLayout layout = multitorus_layout(n, side);
-  const Graph mt = make_multitorus(n, side);
-  const auto block = layout.block_nodes(0);
-  const DependencyTree tree = build_block_dependency_tree(layout, 0, 0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(validate_dependency_tree(tree, mt, block));
-  }
-}
-BENCHMARK(BM_ValidateTree)->Arg(2)->Arg(4)->Arg(8);
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_experiment_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  upn::bench::Harness harness{"dependency_tree", argc, argv};
+
+  harness.once("tree_census_table", [&] { print_experiment_table(harness.pool()); });
+
+  for (const std::uint32_t a : {2u, 4u, 8u, 16u}) {
+    const std::uint32_t side = 2 * a;
+    const std::uint32_t n = 4 * side * side;
+    const MultitorusLayout layout = multitorus_layout(n, side);
+    harness.measure("build_tree/a=" + std::to_string(a), [&] {
+      const DependencyTree tree = build_block_dependency_tree(layout, 0, 0);
+      upn::bench::keep(tree.size());
+    });
+  }
+
+  for (const std::uint32_t a : {2u, 4u, 8u}) {
+    const std::uint32_t side = 2 * a;
+    const std::uint32_t n = 4 * side * side;
+    const MultitorusLayout layout = multitorus_layout(n, side);
+    const Graph mt = make_multitorus(n, side);
+    const auto block = layout.block_nodes(0);
+    const DependencyTree tree = build_block_dependency_tree(layout, 0, 0);
+    harness.measure("validate_tree/a=" + std::to_string(a), [&] {
+      upn::bench::keep(validate_dependency_tree(tree, mt, block));
+    });
+  }
+
+  return harness.finish();
 }

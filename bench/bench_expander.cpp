@@ -4,10 +4,10 @@
 // paper assumes existence; we construct (random 4-regular and explicit
 // Margulis) and certify via the spectral gap + Tanner bound, and compare
 // against sampled expansion.
-#include <benchmark/benchmark.h>
-
 #include <iostream>
+#include <string>
 
+#include "bench/harness.hpp"
 #include "src/topology/expander.hpp"
 #include "src/topology/random_regular.hpp"
 #include "src/util/table.hpp"
@@ -46,32 +46,29 @@ void print_margulis_table() {
   std::cout << "\n";
 }
 
-void BM_SecondEigenvalue(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  Rng rng{n};
-  const Graph g = make_random_regular(n, 4, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(second_eigenvalue(g, 100));
-  }
-}
-BENCHMARK(BM_SecondEigenvalue)->Arg(128)->Arg(512)->Arg(2048);
-
-void BM_MakeRandomExpander(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  Rng rng{n + 1};
-  for (auto _ : state) {
-    const Graph g = make_random_expander(n, rng, 0.1);
-    benchmark::DoNotOptimize(g.num_edges());
-  }
-}
-BENCHMARK(BM_MakeRandomExpander)->Arg(128)->Arg(512);
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_random_table();
-  print_margulis_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  upn::bench::Harness harness{"expander", argc, argv};
+
+  harness.once("random_table", [] { print_random_table(); });
+  harness.once("margulis_table", [] { print_margulis_table(); });
+
+  for (const std::uint32_t n : {128u, 512u, 2048u}) {
+    Rng rng{n};
+    const Graph g = make_random_regular(n, 4, rng);
+    harness.measure("second_eigenvalue/n=" + std::to_string(n), [&] {
+      upn::bench::keep(second_eigenvalue(g, 100));
+    });
+  }
+
+  for (const std::uint32_t n : {128u, 512u}) {
+    Rng rng{n + 1};
+    harness.measure("make_random_expander/n=" + std::to_string(n), [&] {
+      const Graph g = make_random_expander(n, rng, 0.1);
+      upn::bench::keep(g.num_edges());
+    });
+  }
+
+  return harness.finish();
 }

@@ -5,10 +5,10 @@
 // alpha (1 - 1/beta) n new generating pebbles per phase; the phase gaps
 // tau_{t+1} - tau_t lower-bound the simulation time.  The table reports the
 // measured tau_t, frontiers and gaps on a real protocol.
-#include <benchmark/benchmark.h>
-
 #include <iostream>
+#include <string>
 
+#include "bench/harness.hpp"
 #include "src/core/embedding.hpp"
 #include "src/core/universal_sim.hpp"
 #include "src/lowerbound/expansion.hpp"
@@ -50,28 +50,28 @@ void print_experiment_table() {
             << "\nall Prop 3.17 caps hold: " << (report.all_ok ? "yes" : "NO") << "\n\n";
 }
 
-void BM_AnalyzeExpansion(benchmark::State& state) {
-  Rng rng{9};
-  const std::uint32_t n = 128;
-  const Graph guest = make_random_regular(n, kGuestDegree, rng);
-  const Graph host = make_butterfly(2);
-  UniversalSimulator sim{guest, host, make_random_embedding(n, host.num_nodes(), rng)};
-  UniversalSimOptions options;
-  options.emit_protocol = true;
-  const UniversalSimResult result = sim.run(8, options);
-  const ProtocolMetrics metrics{*result.protocol};
-  for (auto _ : state) {
-    const ExpansionReport report = analyze_expansion(metrics, 0.1, 1.2);
-    benchmark::DoNotOptimize(report.steps.size());
-  }
-}
-BENCHMARK(BM_AnalyzeExpansion);
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_experiment_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  upn::bench::Harness harness{"expansion", argc, argv};
+
+  harness.once("expansion_table", [] { print_experiment_table(); });
+
+  {
+    Rng rng{9};
+    const std::uint32_t n = 128;
+    const Graph guest = make_random_regular(n, kGuestDegree, rng);
+    const Graph host = make_butterfly(2);
+    UniversalSimulator sim{guest, host, make_random_embedding(n, host.num_nodes(), rng)};
+    UniversalSimOptions options;
+    options.emit_protocol = true;
+    const UniversalSimResult result = sim.run(8, options);
+    const ProtocolMetrics metrics{*result.protocol};
+    harness.measure("analyze_expansion/n=128", [&] {
+      const ExpansionReport report = analyze_expansion(metrics, 0.1, 1.2);
+      upn::bench::keep(report.steps.size());
+    });
+  }
+
+  return harness.finish();
 }

@@ -7,11 +7,10 @@
 // so each curve sweeps nested degradations of one machine: slowdown is
 // monotonically non-decreasing in the injected damage until the survivors
 // disconnect and the simulation reports failure.
-#include <benchmark/benchmark.h>
-
 #include <iostream>
 #include <string>
 
+#include "bench/harness.hpp"
 #include "src/core/fault_tolerant_sim.hpp"
 #include "src/fault/fault_plan.hpp"
 #include "src/fault/surgery.hpp"
@@ -138,28 +137,27 @@ void print_experiment_tables() {
                "machine, not independent samples.\n\n";
 }
 
-void BM_FaultSimStep(benchmark::State& state) {
-  const double rate = static_cast<double>(state.range(0)) / 100.0;
-  Rng rng{kSeed};
-  const Graph host = make_butterfly(3);
-  const std::uint32_t n = 2 * host.num_nodes();
-  const Graph guest = make_random_regular(n, 3, rng);
-  const FaultPlan plan = make_uniform_link_faults(host, rate, kSeed);
-  for (auto _ : state) {
-    FaultTolerantSimulator sim{guest, host, plan,
-                               round_robin_embedding(n, host.num_nodes())};
-    const FaultSimResult result = sim.run(1);
-    benchmark::DoNotOptimize(result.host_steps);
-  }
-  state.counters["rate"] = rate;
-}
-BENCHMARK(BM_FaultSimStep)->Arg(0)->Arg(10)->Arg(20);
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_experiment_tables();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  upn::bench::Harness harness{"fault", argc, argv};
+
+  harness.once("fault_tables", [] { print_experiment_tables(); });
+
+  for (const std::uint32_t pct : {0u, 10u, 20u}) {
+    const double rate = static_cast<double>(pct) / 100.0;
+    Rng rng{kSeed};
+    const Graph host = make_butterfly(3);
+    const std::uint32_t n = 2 * host.num_nodes();
+    const Graph guest = make_random_regular(n, 3, rng);
+    const FaultPlan plan = make_uniform_link_faults(host, rate, kSeed);
+    harness.measure("fault_sim_step/rate=" + std::to_string(pct), [&] {
+      FaultTolerantSimulator sim{guest, host, plan,
+                                 round_robin_embedding(n, host.num_nodes())};
+      const FaultSimResult result = sim.run(1);
+      upn::bench::keep(result.host_steps);
+    });
+  }
+
+  return harness.finish();
 }

@@ -5,10 +5,11 @@
 // cover at least a quarter of the usable guest steps, and for each t0 in
 // Z_S the chosen per-block roots satisfy inequalities (1) and (2).  Both the
 // exact Markov bounds (guaranteed) and the paper-constant forms are shown.
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
 #include <iostream>
+#include <string>
 
+#include "bench/harness.hpp"
 #include "src/core/embedding.hpp"
 #include "src/core/universal_sim.hpp"
 #include "src/lowerbound/lemma_verify.hpp"
@@ -104,23 +105,22 @@ void print_main_lemma_table() {
                "    asymptotic regime needs m >> 1]\n\n";
 }
 
-void BM_VerifyLemma312(benchmark::State& state) {
-  const Fixture fx = make_fixture(static_cast<std::uint32_t>(state.range(0)), 7);
-  const ProtocolMetrics metrics{fx.protocol};
-  for (auto _ : state) {
-    const Lemma312Report report = verify_lemma312(metrics, fx.g0);
-    benchmark::DoNotOptimize(report.z_set.size());
-  }
-  state.counters["T"] = static_cast<double>(state.range(0));
-}
-BENCHMARK(BM_VerifyLemma312)->Arg(14)->Arg(20);
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_experiment_table();
-  print_main_lemma_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  upn::bench::Harness harness{"lemma312", argc, argv};
+
+  harness.once("lemma312_table", [] { print_experiment_table(); });
+  harness.once("main_lemma_table", [] { print_main_lemma_table(); });
+
+  for (const std::uint32_t T : {14u, 20u}) {
+    const Fixture fx = make_fixture(T, 7);
+    const ProtocolMetrics metrics{fx.protocol};
+    harness.measure("verify_lemma312/T=" + std::to_string(T), [&] {
+      const Lemma312Report report = verify_lemma312(metrics, fx.g0);
+      upn::bench::keep(report.z_set.size());
+    });
+  }
+
+  return harness.finish();
 }

@@ -2,11 +2,14 @@
 //
 // The counting argument hinges on "the number of pebbles used is at most
 // T' * m = T * n * k".  The table confirms that accounting on emitted
-// protocols and reports validator/metrics throughput.
-#include <benchmark/benchmark.h>
-
+// protocols and reports validator/metrics throughput.  Validation of the
+// emitted protocols runs through the batch validator (one pool task per
+// protocol, --threads=N); verdicts are byte-identical for every N.
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "bench/harness.hpp"
 #include "src/core/embedding.hpp"
 #include "src/core/universal_sim.hpp"
 #include "src/pebble/metrics.hpp"
@@ -39,20 +42,33 @@ Emitted emit(std::uint32_t n, std::uint32_t d, std::uint32_t T, std::uint64_t se
   return e;
 }
 
-void print_experiment_table() {
-  std::cout << "=== PEBBLE: protocol accounting (ops <= T' m = T n k) ===\n";
+void print_experiment_table(ThreadPool& pool) {
+  std::cout << "=== PEBBLE: protocol accounting (ops <= T' m = T n k, batch-validated "
+               "on the pool) ===\n";
   Table table{{"n", "m", "T", "T'", "ops", "T'*m", "placements", "k", "valid"}};
+  std::vector<Emitted> emitted;
+  std::vector<std::uint32_t> steps;
   for (const auto& [n, d, T] :
        {std::tuple{64u, 2u, 6u}, std::tuple{128u, 2u, 6u}, std::tuple{256u, 3u, 4u}}) {
-    const Emitted e = emit(n, d, T, 42 + n);
-    const ValidationResult validation = validate_protocol(e.protocol, e.guest, e.host);
+    emitted.push_back(emit(n, d, T, 42 + n));
+    steps.push_back(T);
+  }
+  std::vector<ValidationJob> jobs;
+  jobs.reserve(emitted.size());
+  for (const Emitted& e : emitted) {
+    jobs.push_back(ValidationJob{&e.protocol, &e.guest, &e.host});
+  }
+  const std::vector<ValidationResult> verdicts = validate_protocols(jobs, pool);
+  for (std::size_t i = 0; i < emitted.size(); ++i) {
+    const Emitted& e = emitted[i];
     const ProtocolMetrics metrics{e.protocol};
-    table.add_row({std::uint64_t{n}, std::uint64_t{e.host.num_nodes()}, std::uint64_t{T},
-                   std::uint64_t{e.protocol.host_steps()}, e.protocol.num_ops(),
+    table.add_row({std::uint64_t{e.guest.num_nodes()}, std::uint64_t{e.host.num_nodes()},
+                   std::uint64_t{steps[i]}, std::uint64_t{e.protocol.host_steps()},
+                   e.protocol.num_ops(),
                    static_cast<std::uint64_t>(e.protocol.host_steps()) *
                        e.host.num_nodes(),
                    metrics.total_placements(), metrics.inefficiency(),
-                   std::string{validation.ok ? "yes" : "NO"}});
+                   std::string{verdicts[i].ok ? "yes" : "NO"}});
   }
   table.print(std::cout);
   std::cout << "\n";
@@ -73,47 +89,57 @@ void print_stats_table() {
   std::cout << "\n";
 }
 
-void BM_ValidateProtocol(benchmark::State& state) {
-  const Emitted e = emit(static_cast<std::uint32_t>(state.range(0)), 2, 4, 7);
-  for (auto _ : state) {
-    const ValidationResult result = validate_protocol(e.protocol, e.guest, e.host);
-    benchmark::DoNotOptimize(result.ok);
-    if (!result.ok) state.SkipWithError("invalid protocol");
-  }
-  state.counters["ops"] = static_cast<double>(e.protocol.num_ops());
-}
-BENCHMARK(BM_ValidateProtocol)->Arg(64)->Arg(128)->Arg(256);
-
-void BM_BuildMetrics(benchmark::State& state) {
-  const Emitted e = emit(static_cast<std::uint32_t>(state.range(0)), 2, 4, 8);
-  for (auto _ : state) {
-    const ProtocolMetrics metrics{e.protocol};
-    benchmark::DoNotOptimize(metrics.total_placements());
-  }
-}
-BENCHMARK(BM_BuildMetrics)->Arg(64)->Arg(256);
-
-void BM_EmitProtocol(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  Rng rng{3};
-  const Graph guest = make_random_regular(n, kGuestDegree, rng);
-  const Graph host = make_butterfly(2);
-  UniversalSimulator sim{guest, host, make_random_embedding(n, host.num_nodes(), rng)};
-  UniversalSimOptions options;
-  options.emit_protocol = true;
-  for (auto _ : state) {
-    const UniversalSimResult result = sim.run(2, options);
-    benchmark::DoNotOptimize(result.protocol->num_ops());
-  }
-}
-BENCHMARK(BM_EmitProtocol)->Arg(64)->Arg(128);
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_experiment_table();
-  print_stats_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  upn::bench::Harness harness{"pebble", argc, argv};
+
+  harness.once("accounting_table", [&] { print_experiment_table(harness.pool()); });
+  harness.once("stats_table", [] { print_stats_table(); });
+
+  for (const std::uint32_t n : {64u, 128u, 256u}) {
+    const Emitted e = emit(n, 2, 4, 7);
+    harness.measure("validate_protocol/n=" + std::to_string(n), [&] {
+      const ValidationResult result = validate_protocol(e.protocol, e.guest, e.host);
+      upn::bench::keep(result.ok);
+    });
+  }
+
+  {
+    // The batch path itself: one pool task per protocol.
+    std::vector<Emitted> emitted;
+    for (const std::uint32_t n : {64u, 128u, 256u}) emitted.push_back(emit(n, 2, 4, 7));
+    std::vector<ValidationJob> jobs;
+    for (const Emitted& e : emitted) {
+      jobs.push_back(ValidationJob{&e.protocol, &e.guest, &e.host});
+    }
+    harness.measure("validate_protocols_batch/jobs=3", [&] {
+      const std::vector<ValidationResult> verdicts =
+          validate_protocols(jobs, harness.pool());
+      upn::bench::keep(verdicts.size());
+    });
+  }
+
+  for (const std::uint32_t n : {64u, 256u}) {
+    const Emitted e = emit(n, 2, 4, 8);
+    harness.measure("build_metrics/n=" + std::to_string(n), [&] {
+      const ProtocolMetrics metrics{e.protocol};
+      upn::bench::keep(metrics.total_placements());
+    });
+  }
+
+  for (const std::uint32_t n : {64u, 128u}) {
+    Rng rng{3};
+    const Graph guest = make_random_regular(n, kGuestDegree, rng);
+    const Graph host = make_butterfly(2);
+    UniversalSimulator sim{guest, host, make_random_embedding(n, host.num_nodes(), rng)};
+    UniversalSimOptions options;
+    options.emit_protocol = true;
+    harness.measure("emit_protocol/n=" + std::to_string(n), [&] {
+      const UniversalSimResult result = sim.run(2, options);
+      upn::bench::keep(result.protocol->num_ops());
+    });
+  }
+
+  return harness.finish();
 }

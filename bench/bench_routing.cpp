@@ -5,10 +5,10 @@
 // the butterfly achieves O(h log m) both online (greedy/Valiant) and
 // off-line (gather + pipelined Benes batches + scatter).  The tables report
 // measured steps as h and m grow, for both methods.
-#include <benchmark/benchmark.h>
-
 #include <iostream>
+#include <string>
 
+#include "bench/harness.hpp"
 #include "src/routing/adversarial.hpp"
 #include "src/routing/bitfix.hpp"
 #include "src/routing/offline_butterfly.hpp"
@@ -144,52 +144,47 @@ void print_adversarial_table() {
                "Valiant's random intermediates flatten the queues.\n\n";
 }
 
-void BM_GreedyPermutation(benchmark::State& state) {
-  const auto d = static_cast<std::uint32_t>(state.range(0));
-  const Graph host = make_butterfly(d);
-  GreedyPolicy policy{host};
-  SyncRouter router{host, PortModel::kMultiPort};
-  Rng rng{5};
-  for (auto _ : state) {
-    const HhProblem problem = random_permutation_problem(host.num_nodes(), rng);
-    std::vector<Packet> packets;
-    for (const Demand& dm : problem.demands()) {
-      Packet p;
-      p.src = dm.src;
-      p.dst = dm.dst;
-      p.via = dm.dst;
-      packets.push_back(p);
-    }
-    const RouteResult result = router.route(std::move(packets), policy);
-    benchmark::DoNotOptimize(result.steps);
-  }
-  state.counters["m"] = host.num_nodes();
-}
-BENCHMARK(BM_GreedyPermutation)->Arg(4)->Arg(6)->Arg(8);
-
-void BM_OfflineButterflySchedule(benchmark::State& state) {
-  const auto d = static_cast<std::uint32_t>(state.range(0));
-  const ButterflyLayout layout{d, false};
-  Rng rng{6};
-  for (auto _ : state) {
-    HhProblem problem{layout.num_nodes()};
-    const auto perm = rng.permutation(layout.num_nodes());
-    for (std::uint32_t v = 0; v < layout.num_nodes(); ++v) problem.add(v, perm[v]);
-    const OfflineSchedule schedule = route_relation_offline(d, problem);
-    benchmark::DoNotOptimize(schedule.num_steps);
-  }
-  state.counters["m"] = layout.num_nodes();
-}
-BENCHMARK(BM_OfflineButterflySchedule)->Arg(4)->Arg(6)->Arg(8);
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_online_table();
-  print_offline_table();
-  print_path_schedule_table();
-  print_adversarial_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  upn::bench::Harness harness{"routing", argc, argv};
+
+  harness.once("online_table", [] { print_online_table(); });
+  harness.once("offline_table", [] { print_offline_table(); });
+  harness.once("path_schedule_table", [] { print_path_schedule_table(); });
+  harness.once("adversarial_table", [] { print_adversarial_table(); });
+
+  for (const std::uint32_t d : {4u, 6u, 8u}) {
+    const Graph host = make_butterfly(d);
+    GreedyPolicy policy{host};
+    SyncRouter router{host, PortModel::kMultiPort};
+    Rng rng{5};
+    harness.measure("greedy_permutation/d=" + std::to_string(d), [&] {
+      const HhProblem problem = random_permutation_problem(host.num_nodes(), rng);
+      std::vector<Packet> packets;
+      for (const Demand& dm : problem.demands()) {
+        Packet p;
+        p.src = dm.src;
+        p.dst = dm.dst;
+        p.via = dm.dst;
+        packets.push_back(p);
+      }
+      const RouteResult result = router.route(std::move(packets), policy);
+      upn::bench::keep(result.steps);
+    });
+  }
+
+  for (const std::uint32_t d : {4u, 6u, 8u}) {
+    const ButterflyLayout layout{d, false};
+    Rng rng{6};
+    harness.measure("offline_butterfly_schedule/d=" + std::to_string(d), [&] {
+      HhProblem problem{layout.num_nodes()};
+      const auto perm = rng.permutation(layout.num_nodes());
+      for (std::uint32_t v = 0; v < layout.num_nodes(); ++v) problem.add(v, perm[v]);
+      const OfflineSchedule schedule = route_relation_offline(d, problem);
+      upn::bench::keep(schedule.num_steps);
+    });
+  }
+
+  return harness.finish();
 }

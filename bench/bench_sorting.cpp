@@ -6,11 +6,11 @@
 // for Theorem 2.1's off-line routing.  The tables expose the log m gap, plus
 // Columnsort's size amplification (sort r*s keys with depth-O(D_r) column
 // sorters).
-#include <benchmark/benchmark.h>
-
-#include <cmath>
+#include <algorithm>
 #include <iostream>
+#include <string>
 
+#include "bench/harness.hpp"
 #include "src/core/galil_paul.hpp"
 #include "src/core/slowdown.hpp"
 #include "src/sorting/bitonic.hpp"
@@ -85,39 +85,36 @@ void print_columnsort_table() {
   std::cout << "\n";
 }
 
-void BM_BitonicApply(benchmark::State& state) {
-  const auto m = static_cast<std::uint32_t>(state.range(0));
-  const ComparatorNetwork net = make_bitonic_sorter(m);
-  Rng rng{3};
-  std::vector<std::uint64_t> values(m);
-  for (auto _ : state) {
-    for (auto& v : values) v = rng();
-    net.apply(values);
-    benchmark::DoNotOptimize(values.data());
-  }
-}
-BENCHMARK(BM_BitonicApply)->Arg(256)->Arg(1024)->Arg(4096);
-
-void BM_Columnsort(benchmark::State& state) {
-  const auto r = static_cast<std::uint32_t>(state.range(0));
-  const std::uint32_t s = 4;
-  Rng rng{4};
-  std::vector<std::uint64_t> values(static_cast<std::size_t>(r) * s);
-  for (auto _ : state) {
-    for (auto& v : values) v = rng();
-    columnsort(values, r, s);
-    benchmark::DoNotOptimize(values.data());
-  }
-}
-BENCHMARK(BM_Columnsort)->Arg(64)->Arg(256)->Arg(1024);
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_network_table();
-  print_gp_vs_direct_table();
-  print_columnsort_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  upn::bench::Harness harness{"sorting", argc, argv};
+
+  harness.once("network_table", [] { print_network_table(); });
+  harness.once("gp_vs_direct_table", [] { print_gp_vs_direct_table(); });
+  harness.once("columnsort_table", [] { print_columnsort_table(); });
+
+  for (const std::uint32_t m : {256u, 1024u, 4096u}) {
+    const ComparatorNetwork net = make_bitonic_sorter(m);
+    Rng rng{3};
+    std::vector<std::uint64_t> values(m);
+    harness.measure("bitonic_apply/m=" + std::to_string(m), [&] {
+      for (auto& v : values) v = rng();
+      net.apply(values);
+      upn::bench::keep(values.data());
+    });
+  }
+
+  for (const std::uint32_t r : {64u, 256u, 1024u}) {
+    const std::uint32_t s = 4;
+    Rng rng{4};
+    std::vector<std::uint64_t> values(static_cast<std::size_t>(r) * s);
+    harness.measure("columnsort/r=" + std::to_string(r), [&] {
+      for (auto& v : values) v = rng();
+      columnsort(values, r, s);
+      upn::bench::keep(values.data());
+    });
+  }
+
+  return harness.finish();
 }

@@ -7,11 +7,14 @@
 // between the load bound n/m and the lower/upper bound shapes -- the
 // paper's Section 4 conclusion ("the simulation cannot perform better than
 // a simple embedding on the butterfly") made visible.
-#include <benchmark/benchmark.h>
-
+//
+// The (n, m) sweep behind the sandwich table runs one pool task per host
+// dimension (--threads=N); the printed rows are byte-identical for every N.
 #include <cmath>
 #include <iostream>
+#include <string>
 
+#include "bench/harness.hpp"
 #include "src/core/slowdown.hpp"
 #include "src/lowerbound/counting.hpp"
 #include "src/lowerbound/tradeoff.hpp"
@@ -21,6 +24,15 @@
 namespace {
 
 using namespace upn;
+
+constexpr std::uint32_t kSweepGuestSize = 512;
+constexpr std::uint32_t kSweepGuestSteps = 3;
+constexpr std::uint64_t kSweepSeed = 31;
+
+Graph sweep_guest() {
+  Rng rng{kSweepSeed};
+  return make_random_regular(kSweepGuestSize, kGuestDegree, rng);
+}
 
 void print_counting_table() {
   std::cout << "=== THM3.1: minimal feasible inefficiency k from the counting chain "
@@ -40,15 +52,15 @@ void print_counting_table() {
   std::cout << "\n";
 }
 
-void print_sandwich_table() {
+void print_sandwich_table(ThreadPool& pool) {
   std::cout << "=== UB-vs-LB: measured slowdown vs load bound and (n/m) log2 m "
-               "(n = 512, T = 3) ===\n";
-  const std::uint32_t n = 512;
-  Rng rng{31};
-  const Graph guest = make_random_regular(n, kGuestDegree, rng);
+               "(n = " << kSweepGuestSize << ", T = " << kSweepGuestSteps
+            << ", pool-swept) ===\n";
+  const Graph guest = sweep_guest();
   Table table{{"m", "n/m (LB, load)", "s measured", "(n/m)log2m (UB shape)",
                "s/load", "s/shape"}};
-  for (const SlowdownRow& row : sweep_butterfly_hosts(guest, 3, n, rng)) {
+  for (const SlowdownRow& row : sweep_butterfly_hosts_par(
+           guest, kSweepGuestSteps, kSweepGuestSize, kSweepSeed, pool)) {
     table.add_row({std::uint64_t{row.m}, row.load_bound, row.slowdown, row.paper_bound,
                    row.slowdown / row.load_bound, row.normalized});
   }
@@ -70,22 +82,35 @@ void print_upper_tradeoff_table() {
   std::cout << "\n";
 }
 
-void BM_MinFeasibleInefficiency(benchmark::State& state) {
-  const CountingConstants constants;
-  const double m = std::pow(2.0, static_cast<double>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(min_feasible_inefficiency(1e12, m, constants));
-  }
-}
-BENCHMARK(BM_MinFeasibleInefficiency)->Arg(10)->Arg(20)->Arg(30);
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_counting_table();
-  print_sandwich_table();
-  print_upper_tradeoff_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  upn::bench::Harness harness{"tradeoff", argc, argv};
+
+  harness.once("counting_table", [] { print_counting_table(); });
+  harness.once("sandwich_table", [&] { print_sandwich_table(harness.pool()); });
+  harness.once("upper_tradeoff_table", [] { print_upper_tradeoff_table(); });
+
+  // The headline perf section: the standard slowdown sweep, repeated and
+  // timed.  Compare median_ms across --threads=1 / --threads=4 runs for the
+  // speedup curve; the resulting rows are identical either way.
+  {
+    const Graph guest = sweep_guest();
+    harness.measure("sweep_butterfly_hosts/n=512", [&] {
+      const auto rows = sweep_butterfly_hosts_par(guest, kSweepGuestSteps,
+                                                  kSweepGuestSize, kSweepSeed,
+                                                  harness.pool());
+      upn::bench::keep(rows.size());
+    });
+  }
+
+  const CountingConstants constants;
+  for (const int log2m : {10, 20, 30}) {
+    harness.measure("min_feasible_inefficiency/log2m=" + std::to_string(log2m), [&] {
+      const double m = std::pow(2.0, static_cast<double>(log2m));
+      upn::bench::keep(min_feasible_inefficiency(1e12, m, constants));
+    });
+  }
+
+  return harness.finish();
 }

@@ -5,10 +5,11 @@
 // butterfly hosts under a fixed random 16-regular guest and reports the
 // measured slowdown s next to the load bound n/m and the shape (n/m) log2 m;
 // the "normalized" column s / ((n/m) log2 m) should stay roughly constant.
-#include <benchmark/benchmark.h>
-
+// The sweep runs one pool task per host (--threads=N, byte-identical rows).
 #include <iostream>
+#include <string>
 
+#include "bench/harness.hpp"
 #include "src/core/embedding.hpp"
 #include "src/core/slowdown.hpp"
 #include "src/core/universal_sim.hpp"
@@ -20,7 +21,7 @@ namespace {
 
 using namespace upn;
 
-void print_experiment_table() {
+void print_experiment_table(ThreadPool& pool) {
   const std::uint32_t n = 512;
   const std::uint32_t steps = 3;
   Rng rng{2025};
@@ -28,7 +29,7 @@ void print_experiment_table() {
   std::cout << "=== THM2.1: slowdown of butterfly hosts, guest = " << guest.name()
             << ", T = " << steps << " ===\n";
   Table table{{"m", "load", "s", "n/m", "(n/m)log2(m)", "normalized", "k", "verified"}};
-  for (const SlowdownRow& row : sweep_butterfly_hosts(guest, steps, n, rng)) {
+  for (const SlowdownRow& row : sweep_butterfly_hosts_par(guest, steps, n, 2025, pool)) {
     table.add_row({std::uint64_t{row.m}, std::uint64_t{row.load}, row.slowdown,
                    row.load_bound, row.paper_bound, row.normalized, row.inefficiency,
                    std::string{row.verified ? "yes" : "NO"}});
@@ -37,30 +38,26 @@ void print_experiment_table() {
   std::cout << "\n";
 }
 
-void BM_UniversalStep(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  Rng rng{7};
-  const Graph guest = make_random_regular(n, kGuestDegree, rng);
-  const std::uint32_t d = butterfly_dimension_for_size(n);
-  const Graph host = make_butterfly(d);
-  UniversalSimulator sim{guest, host, make_random_embedding(n, host.num_nodes(), rng)};
-  UniversalSimOptions options;
-  options.seed = 11;
-  for (auto _ : state) {
-    const UniversalSimResult result = sim.run(1, options);
-    benchmark::DoNotOptimize(result.host_steps);
-    if (!result.configs_match) state.SkipWithError("simulation diverged");
-  }
-  state.counters["n"] = n;
-  state.counters["m"] = host.num_nodes();
-}
-BENCHMARK(BM_UniversalStep)->Arg(128)->Arg(256)->Arg(512);
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_experiment_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  upn::bench::Harness harness{"upper_bound", argc, argv};
+
+  harness.once("thm21_table", [&] { print_experiment_table(harness.pool()); });
+
+  for (const std::uint32_t n : {128u, 256u, 512u}) {
+    Rng rng{7};
+    const Graph guest = make_random_regular(n, kGuestDegree, rng);
+    const std::uint32_t d = butterfly_dimension_for_size(n);
+    const Graph host = make_butterfly(d);
+    UniversalSimulator sim{guest, host, make_random_embedding(n, host.num_nodes(), rng)};
+    UniversalSimOptions options;
+    options.seed = 11;
+    harness.measure("universal_step/n=" + std::to_string(n), [&] {
+      const UniversalSimResult result = sim.run(1, options);
+      upn::bench::keep(result.host_steps);
+    });
+  }
+
+  return harness.finish();
 }

@@ -30,16 +30,42 @@ SlowdownRow measure_slowdown(const Graph& guest, const Graph& host,
   return row;
 }
 
-std::vector<SlowdownRow> sweep_butterfly_hosts(const Graph& guest, std::uint32_t guest_steps,
-                                               std::uint32_t max_host_size, Rng& rng) {
-  std::vector<SlowdownRow> rows;
+namespace {
+
+std::vector<std::uint32_t> butterfly_sweep_dimensions(const Graph& guest,
+                                                      std::uint32_t max_host_size) {
+  std::vector<std::uint32_t> dimensions;
   for (std::uint32_t d = 2;; ++d) {
     const std::uint64_t size = static_cast<std::uint64_t>(d + 1) << d;
     if (size > max_host_size || size > guest.num_nodes()) break;
+    dimensions.push_back(d);
+  }
+  return dimensions;
+}
+
+}  // namespace
+
+std::vector<SlowdownRow> sweep_butterfly_hosts(const Graph& guest, std::uint32_t guest_steps,
+                                               std::uint32_t max_host_size, Rng& rng) {
+  std::vector<SlowdownRow> rows;
+  for (const std::uint32_t d : butterfly_sweep_dimensions(guest, max_host_size)) {
     const Graph host = make_butterfly(d);
     rows.push_back(measure_slowdown(guest, host, guest_steps, rng));
   }
   return rows;
+}
+
+std::vector<SlowdownRow> sweep_butterfly_hosts_par(const Graph& guest,
+                                                   std::uint32_t guest_steps,
+                                                   std::uint32_t max_host_size,
+                                                   std::uint64_t seed, ThreadPool& pool) {
+  const std::vector<std::uint32_t> dimensions =
+      butterfly_sweep_dimensions(guest, max_host_size);
+  return pool.parallel_map<SlowdownRow>(dimensions.size(), [&](std::size_t i) {
+    Rng rng = Rng::stream(seed, i);
+    const Graph host = make_butterfly(dimensions[i]);
+    return measure_slowdown(guest, host, guest_steps, rng);
+  });
 }
 
 }  // namespace upn

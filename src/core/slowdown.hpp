@@ -7,6 +7,7 @@
 
 #include "src/core/universal_sim.hpp"
 #include "src/topology/graph.hpp"
+#include "src/util/par.hpp"
 #include "src/util/rng.hpp"
 
 namespace upn {
@@ -36,5 +37,14 @@ struct SlowdownRow {
                                                              std::uint32_t guest_steps,
                                                              std::uint32_t max_host_size,
                                                              Rng& rng);
+
+/// The same sweep with one pool task per (guest, host) grid point.  Point i
+/// draws from its own Rng::stream(seed, i) and rows are collected by index,
+/// so the table is byte-identical for every pool size (including the serial
+/// size-1 pool); it differs numerically from the shared-rng serial sweep
+/// above only because the random streams are partitioned per point.
+[[nodiscard]] std::vector<SlowdownRow> sweep_butterfly_hosts_par(
+    const Graph& guest, std::uint32_t guest_steps, std::uint32_t max_host_size,
+    std::uint64_t seed, ThreadPool& pool);
 
 }  // namespace upn

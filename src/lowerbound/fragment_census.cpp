@@ -24,53 +24,99 @@ std::uint64_t fragment_hash(const Fragment& fragment) {
   return h;
 }
 
+namespace {
+
+struct GuestSample {
+  FragmentCensusRow row;
+  double inefficiency = 0;
+};
+
+/// Simulates one random guest drawn from `rng` and extracts its census row.
+GuestSample census_one_guest(const G0& g0, const Graph& host, std::uint32_t T,
+                             double small_d_threshold, Rng& rng) {
+  const std::uint32_t n = g0.num_nodes();
+  const std::uint32_t m = host.num_nodes();
+  const Graph guest = make_random_regular_with_subgraph(g0.graph, kGuestDegree, rng);
+  UniversalSimulator sim{guest, host, make_random_embedding(n, m, rng)};
+  UniversalSimOptions options;
+  options.emit_protocol = true;
+  options.seed = rng();
+  const UniversalSimResult result = sim.run(T, options);
+  if (!result.configs_match) {
+    throw std::logic_error{"run_fragment_census: simulation diverged"};
+  }
+  const ProtocolMetrics metrics{*result.protocol};
+  const Fragment fragment = extract_fragment(metrics, T / 2);
+
+  GuestSample sample;
+  sample.row.fragment_hash = fragment_hash(fragment);
+  sample.row.log2_multiplicity = log2_multiplicity_bound(fragment, kGuestDegree);
+  sample.row.sum_b = fragment.total_b_size();
+  sample.row.small_d = count_small_d(fragment, small_d_threshold);
+  sample.inefficiency = result.inefficiency;
+  return sample;
+}
+
+/// Ordered reduction of per-guest samples into the census aggregate; runs
+/// serially in guest order on both the serial and the parallel path.
+FragmentCensus finalize_census(std::vector<GuestSample> samples, std::uint32_t n,
+                               const CountingConstants& constants) {
+  FragmentCensus census;
+  census.guests = static_cast<std::uint32_t>(samples.size());
+  std::unordered_set<std::uint64_t> seen;
+  double k_sum = 0;
+  for (const GuestSample& sample : samples) {
+    census.rows.push_back(sample.row);
+    census.worst_log2_multiplicity =
+        std::max(census.worst_log2_multiplicity, sample.row.log2_multiplicity);
+    seen.insert(sample.row.fragment_hash);
+    k_sum += sample.inefficiency;
+  }
+  UPN_ENSURE(census.rows.size() == census.guests, "one census row per sampled guest");
+  census.distinct_fragments = static_cast<std::uint32_t>(seen.size());
+  UPN_ENSURE(census.distinct_fragments <= census.guests,
+             "cannot see more distinct fragments than guests");
+  census.mean_inefficiency = census.guests == 0 ? 0.0 : k_sum / census.guests;
+  census.log2_a_bound = log2_a_count(n, census.mean_inefficiency, constants);
+  census.log2_guest_space = log2_guest_count_lower(n, constants);
+  return census;
+}
+
+}  // namespace
+
 FragmentCensus run_fragment_census(const G0& g0, std::uint32_t butterfly_dimension,
                                    std::uint32_t num_guests, std::uint32_t T, Rng& rng,
                                    const CountingConstants& constants) {
   UPN_REQUIRE(T >= 1, "run_fragment_census: need at least one guest step to cut at T/2");
   const Graph host = make_butterfly(butterfly_dimension);
   const std::uint32_t n = g0.num_nodes();
-  const std::uint32_t m = host.num_nodes();
-  UPN_REQUIRE(n > 0 && m > 0, "run_fragment_census: empty guest or host");
+  UPN_REQUIRE(n > 0 && host.num_nodes() > 0, "run_fragment_census: empty guest or host");
+  const double small_d_threshold = static_cast<double>(n) / std::sqrt(host.num_nodes());
 
-  FragmentCensus census;
-  census.guests = num_guests;
-  std::unordered_set<std::uint64_t> seen;
-  double k_sum = 0;
-  const double small_d_threshold = static_cast<double>(n) / std::sqrt(m);
-
+  std::vector<GuestSample> samples;
+  samples.reserve(num_guests);
   for (std::uint32_t g = 0; g < num_guests; ++g) {
-    const Graph guest = make_random_regular_with_subgraph(g0.graph, kGuestDegree, rng);
-    UniversalSimulator sim{guest, host, make_random_embedding(n, m, rng)};
-    UniversalSimOptions options;
-    options.emit_protocol = true;
-    options.seed = rng();
-    const UniversalSimResult result = sim.run(T, options);
-    if (!result.configs_match) {
-      throw std::logic_error{"run_fragment_census: simulation diverged"};
-    }
-    const ProtocolMetrics metrics{*result.protocol};
-    const Fragment fragment = extract_fragment(metrics, T / 2);
-
-    FragmentCensusRow row;
-    row.fragment_hash = fragment_hash(fragment);
-    row.log2_multiplicity = log2_multiplicity_bound(fragment, kGuestDegree);
-    row.sum_b = fragment.total_b_size();
-    row.small_d = count_small_d(fragment, small_d_threshold);
-    census.rows.push_back(row);
-    census.worst_log2_multiplicity =
-        std::max(census.worst_log2_multiplicity, row.log2_multiplicity);
-    seen.insert(row.fragment_hash);
-    k_sum += result.inefficiency;
+    samples.push_back(census_one_guest(g0, host, T, small_d_threshold, rng));
   }
-  UPN_ENSURE(census.rows.size() == num_guests, "one census row per sampled guest");
-  census.distinct_fragments = static_cast<std::uint32_t>(seen.size());
-  UPN_ENSURE(census.distinct_fragments <= num_guests,
-             "cannot see more distinct fragments than guests");
-  census.mean_inefficiency = num_guests == 0 ? 0.0 : k_sum / num_guests;
-  census.log2_a_bound = log2_a_count(n, census.mean_inefficiency, constants);
-  census.log2_guest_space = log2_guest_count_lower(n, constants);
-  return census;
+  return finalize_census(std::move(samples), n, constants);
+}
+
+FragmentCensus run_fragment_census_par(const G0& g0, std::uint32_t butterfly_dimension,
+                                       std::uint32_t num_guests, std::uint32_t T,
+                                       std::uint64_t seed, ThreadPool& pool,
+                                       const CountingConstants& constants) {
+  UPN_REQUIRE(T >= 1, "run_fragment_census: need at least one guest step to cut at T/2");
+  const Graph host = make_butterfly(butterfly_dimension);
+  const std::uint32_t n = g0.num_nodes();
+  UPN_REQUIRE(n > 0 && host.num_nodes() > 0, "run_fragment_census: empty guest or host");
+  const double small_d_threshold = static_cast<double>(n) / std::sqrt(host.num_nodes());
+
+  std::vector<GuestSample> samples =
+      pool.parallel_map<GuestSample>(num_guests, [&](std::size_t g) {
+        Rng rng = Rng::stream(seed, g);
+        return census_one_guest(g0, host, T, small_d_threshold, rng);
+      });
+  return finalize_census(std::move(samples), n, constants);
 }
 
 }  // namespace upn

@@ -19,6 +19,7 @@
 #include "src/lowerbound/counting.hpp"
 #include "src/pebble/fragment.hpp"
 #include "src/topology/g0.hpp"
+#include "src/util/par.hpp"
 #include "src/util/rng.hpp"
 
 namespace upn {
@@ -48,6 +49,16 @@ struct FragmentCensus {
                                                  std::uint32_t num_guests, std::uint32_t T,
                                                  Rng& rng,
                                                  const CountingConstants& constants = {});
+
+/// The census with one pool task per sampled guest.  Guest g draws its
+/// random regular graph, embedding, and simulation seed from its own
+/// Rng::stream(seed, g); per-guest rows are collected by guest index and
+/// the aggregate statistics (distinct count, mean k) are reduced serially
+/// in that order, so the census is byte-identical for every pool size.
+[[nodiscard]] FragmentCensus run_fragment_census_par(
+    const G0& g0, std::uint32_t butterfly_dimension, std::uint32_t num_guests,
+    std::uint32_t T, std::uint64_t seed, ThreadPool& pool,
+    const CountingConstants& constants = {});
 
 /// Canonical order-sensitive hash of a fragment's (B, B') content.
 [[nodiscard]] std::uint64_t fragment_hash(const Fragment& fragment);

@@ -3,6 +3,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/util/contracts.hpp"
+
 namespace upn {
 
 namespace {
@@ -124,6 +126,16 @@ ValidationResult validate_protocol(const Protocol& protocol, const Graph& guest,
   }
   result.ok = true;
   return result;
+}
+
+std::vector<ValidationResult> validate_protocols(const std::vector<ValidationJob>& jobs,
+                                                 ThreadPool& pool) {
+  return pool.parallel_map<ValidationResult>(jobs.size(), [&](std::size_t i) {
+    const ValidationJob& job = jobs[i];
+    UPN_REQUIRE(job.protocol != nullptr && job.guest != nullptr && job.host != nullptr,
+                "validate_protocols: null job member");
+    return validate_protocol(*job.protocol, *job.guest, *job.host);
+  });
 }
 
 }  // namespace upn

@@ -6,9 +6,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/pebble/protocol.hpp"
 #include "src/topology/graph.hpp"
+#include "src/util/par.hpp"
 
 namespace upn {
 
@@ -32,5 +34,20 @@ struct ValidationResult {
 ///   * termination: every final pebble (P_i, T) was generated somewhere.
 [[nodiscard]] ValidationResult validate_protocol(const Protocol& protocol, const Graph& guest,
                                                  const Graph& host);
+
+/// One unit of batch validation: a protocol replayed against its own guest
+/// and host topologies (pointers must stay valid for the whole batch call).
+struct ValidationJob {
+  const Protocol* protocol = nullptr;
+  const Graph* guest = nullptr;
+  const Graph* host = nullptr;
+};
+
+/// Validates every job on the pool, one task per protocol.  Verdicts are
+/// collected by job index, so the result vector (ok flags, error strings,
+/// pebble counts) is byte-identical to validating the jobs serially in
+/// order, for any pool size.
+[[nodiscard]] std::vector<ValidationResult> validate_protocols(
+    const std::vector<ValidationJob>& jobs, ThreadPool& pool);
 
 }  // namespace upn

@@ -11,7 +11,15 @@ constexpr double kLog2E = 1.4426950408889634074;  // log2(e)
 
 double log2_factorial(double x) noexcept {
   if (x < 0) return -std::numeric_limits<double>::infinity();
+  // std::lgamma writes the process-global `signgam`, which is a data race
+  // when pool workers evaluate counting bounds concurrently; use the
+  // reentrant form where the platform has it.
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x + 1.0, &sign) * kLog2E;
+#else
   return std::lgamma(x + 1.0) * kLog2E;
+#endif
 }
 
 double log2_binomial(double n, double k) noexcept {

@@ -91,6 +91,18 @@ class Rng {
   /// Derive an independent child generator (for per-experiment streams).
   [[nodiscard]] Rng fork() noexcept { return Rng{(*this)()}; }
 
+  /// Independent sub-stream for task `task_index` of a parallel region
+  /// seeded with `seed`.  Rng state is mutable and unsynchronized, so a
+  /// generator must NEVER be shared across ThreadPool tasks; parallel
+  /// drivers give each task its own stream(seed, i) instead.  The mapping
+  /// is a pure function of (seed, task_index), so results are independent
+  /// of thread count and scheduling order -- pinned by determinism_test.
+  [[nodiscard]] static constexpr Rng stream(std::uint64_t seed,
+                                            std::uint64_t task_index) noexcept {
+    return Rng{mix64(mix64(seed ^ 0x7061722d75706eULL) ^
+                     mix64(task_index + 0x9e3779b97f4a7c15ULL))};
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -3,7 +3,9 @@
 // as the host is connected -- checked across the whole topology zoo.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <functional>
+#include <vector>
 
 #include "src/core/embedding.hpp"
 #include "src/core/universal_sim.hpp"
@@ -15,6 +17,7 @@
 #include "src/topology/random_regular.hpp"
 #include "src/topology/torus.hpp"
 #include "src/topology/torus3d.hpp"
+#include "src/util/par.hpp"
 
 namespace upn {
 namespace {
@@ -75,6 +78,59 @@ TEST(UniversalSweep, SlowdownDecreasesWithHostSize) {
     ASSERT_TRUE(result.configs_match);
     EXPECT_LT(result.slowdown, previous);
     previous = result.slowdown;
+  }
+}
+
+TEST(UniversalSweep, PoolSweepOfGuestHostGridIsDeterministic) {
+  // The whole (guest size, host dimension) grid as one pool sweep: every
+  // point simulates independently under its own Rng::stream, so the result
+  // vector is identical for every pool size.  This is the test-suite twin
+  // of the bench_tradeoff / bench_upper_bound sweep drivers.
+  struct GridPoint {
+    std::uint32_t n;
+    std::uint32_t d;
+  };
+  std::vector<GridPoint> grid;
+  for (const std::uint32_t n : {48u, 96u, 144u}) {
+    for (const std::uint32_t d : {2u, 3u}) grid.push_back({n, d});
+  }
+
+  struct PointResult {
+    bool verified = false;
+    double slowdown = 0.0;
+  };
+  auto sweep = [&](ThreadPool& pool) {
+    return pool.parallel_map<PointResult>(grid.size(), [&](std::size_t i) {
+      Rng rng = Rng::stream(2718, i);
+      const Graph guest = make_random_regular(grid[i].n, 8, rng);
+      const Graph host = make_butterfly(grid[i].d);
+      UniversalSimulator sim{
+          guest, host, make_random_embedding(grid[i].n, host.num_nodes(), rng)};
+      const UniversalSimResult result = sim.run(2);
+      return PointResult{result.configs_match, result.slowdown};
+    });
+  };
+
+  ThreadPool serial{1};
+  const std::vector<PointResult> reference = sweep(serial);
+  ASSERT_EQ(reference.size(), grid.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_TRUE(reference[i].verified) << "grid point " << i;
+    EXPECT_GE(reference[i].slowdown,
+              static_cast<double>(grid[i].n) / make_butterfly(grid[i].d).num_nodes());
+  }
+  for (const unsigned threads : {2u, 7u}) {
+    ThreadPool pool{threads};
+    const std::vector<PointResult> parallel_run = sweep(pool);
+    ASSERT_EQ(parallel_run.size(), reference.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(parallel_run[i].verified, reference[i].verified)
+          << "grid point " << i << " threads=" << threads;
+      EXPECT_EQ(std::memcmp(&parallel_run[i].slowdown, &reference[i].slowdown,
+                            sizeof(double)),
+                0)
+          << "grid point " << i << " threads=" << threads;
+    }
   }
 }
 
