@@ -14,6 +14,7 @@
 #include "src/core/fault_tolerant_sim.hpp"
 #include "src/fault/fault_plan.hpp"
 #include "src/fault/surgery.hpp"
+#include "src/obs/obs.hpp"
 #include "src/topology/butterfly.hpp"
 #include "src/topology/mesh.hpp"
 #include "src/topology/random_regular.hpp"
@@ -31,7 +32,32 @@ struct CurvePoint {
   bool completed = false;
   double slowdown = 0.0;
   FaultSimResult result;
+  std::uint64_t route_steps = 0;   ///< routing.sync.steps spent by this point
+  std::uint64_t replay_steps = 0;  ///< sim.fault.replay_steps spent by this point
 };
+
+/// Counter value of `name` in a delta snapshot (0 when the metric did not
+/// move).  Used to decompose a point's slowdown into phase costs.
+std::uint64_t counter_of(const std::vector<obs::MetricRow>& rows, const std::string& name) {
+  for (const obs::MetricRow& row : rows) {
+    if (row.name == name) return row.count;
+  }
+  return 0;
+}
+
+/// Prints the routing-vs-replay split for a finished curve: what fraction of
+/// the host's synchronous routing steps were spent re-earning lost progress.
+void print_decomposition(std::uint64_t route_steps, std::uint64_t replay_steps) {
+  const std::uint64_t total = route_steps + replay_steps;
+  std::cout << "cost decomposition: " << route_steps << " routing steps + "
+            << replay_steps << " replay steps";
+  if (total > 0) {
+    std::cout << " (replay share "
+              << 100.0 * static_cast<double>(replay_steps) / static_cast<double>(total)
+              << "%)";
+  }
+  std::cout << "\n";
+}
 
 std::vector<NodeId> round_robin_embedding(std::uint32_t n, std::uint32_t m) {
   std::vector<NodeId> embedding;
@@ -44,7 +70,12 @@ CurvePoint run_point(const Graph& guest, const Graph& host, const FaultPlan& pla
   FaultTolerantSimulator sim{guest, host, plan,
                              round_robin_embedding(guest.num_nodes(), host.num_nodes())};
   CurvePoint point;
+  const auto before = obs::registry().snapshot(obs::MetricKind::kDeterministic);
   point.result = sim.run(kGuestSteps);
+  const auto delta =
+      obs::delta_rows(before, obs::registry().snapshot(obs::MetricKind::kDeterministic));
+  point.route_steps = counter_of(delta, "routing.sync.steps");
+  point.replay_steps = counter_of(delta, "sim.fault.replay_steps");
   point.completed = point.result.completed && point.result.configs_match;
   point.slowdown = point.result.slowdown;
   return point;
@@ -56,22 +87,28 @@ void print_link_fault_curve(const Graph& host) {
   const Graph guest = make_random_regular(n, 3, rng);
   std::cout << "--- permanent link faults at step 0, host = " << host.name() << " (m = "
             << host.num_nodes() << ", n = " << n << ", T = " << kGuestSteps << ") ---\n";
-  Table table{{"rate", "dead links", "connected", "slowdown", "reroutes", "status"}};
+  Table table{{"rate", "dead links", "connected", "slowdown", "route steps",
+               "replay steps", "reroutes", "status"}};
   double previous = 0.0;
   bool monotone = true;
+  std::uint64_t route_total = 0, replay_total = 0;
   for (const double rate : {0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.6}) {
     const FaultPlan plan = make_uniform_link_faults(host, rate, kSeed);
     const DegradationReport health = assess_degradation(host, plan);
     const CurvePoint point = run_point(guest, host, plan);
+    route_total += point.route_steps;
+    replay_total += point.replay_steps;
     table.add_row({rate, std::uint64_t{health.dead_links},
                    std::string{health.connected ? "yes" : "no"},
-                   point.completed ? point.slowdown : 0.0, point.result.reroutes,
+                   point.completed ? point.slowdown : 0.0, point.route_steps,
+                   point.replay_steps, point.result.reroutes,
                    std::string{point.completed ? "ok" : "FAILED (survivors cut off)"}});
     if (!point.completed) break;  // disconnection ends the sweep
     monotone &= point.slowdown >= previous;
     previous = point.slowdown;
   }
   table.print(std::cout);
+  print_decomposition(route_total, replay_total);
   std::cout << "slowdown monotone in damage: " << (monotone ? "yes" : "NO") << "\n\n";
 }
 
@@ -81,23 +118,58 @@ void print_node_fault_curve(const Graph& host) {
   const Graph guest = make_random_regular(n, 3, rng);
   std::cout << "--- permanent processor faults at step 0, host = " << host.name()
             << " (self-healing re-embedding) ---\n";
-  Table table{{"rate", "dead procs", "healed guests", "load", "slowdown", "status"}};
+  Table table{{"rate", "dead procs", "healed guests", "load", "slowdown",
+               "route steps", "replay steps", "status"}};
   double previous = 0.0;
   bool monotone = true;
+  std::uint64_t route_total = 0, replay_total = 0;
   for (const double rate : {0.0, 0.04, 0.08, 0.12, 0.2, 0.3}) {
     const FaultPlan plan = make_uniform_node_faults(host, rate, kNodePlanSeed);
     const CurvePoint point = run_point(guest, host, plan);
+    route_total += point.route_steps;
+    replay_total += point.replay_steps;
     table.add_row({rate, std::uint64_t{plan.node_faults().size()},
                    std::uint64_t{point.result.reembedded_guests},
                    std::uint64_t{point.result.load},
-                   point.completed ? point.slowdown : 0.0,
+                   point.completed ? point.slowdown : 0.0, point.route_steps,
+                   point.replay_steps,
                    std::string{point.completed ? "ok" : "FAILED (survivors cut off)"}});
     if (!point.completed) break;
     monotone &= point.slowdown >= previous;
     previous = point.slowdown;
   }
   table.print(std::cout);
+  print_decomposition(route_total, replay_total);
   std::cout << "slowdown monotone in damage: " << (monotone ? "yes" : "NO") << "\n\n";
+}
+
+/// Faults that strike MID-RUN (host step > 0): processor deaths past step 0
+/// force re-embedding plus replay of the earned history, so this is the
+/// curve where the replay side of the routing-vs-replay split is nonzero.
+void print_midrun_fault_curve(const Graph& host, std::uint32_t fault_step) {
+  Rng rng{kSeed + 3};
+  const std::uint32_t n = 2 * host.num_nodes();
+  const Graph guest = make_random_regular(n, 3, rng);
+  std::cout << "--- permanent processor faults at host step " << fault_step
+            << " (mid-run; replay required), host = " << host.name() << " ---\n";
+  Table table{{"rate", "fault epochs", "healed guests", "slowdown", "route steps",
+               "replay steps", "status"}};
+  std::uint64_t route_total = 0, replay_total = 0;
+  for (const double rate : {0.0, 0.05, 0.1, 0.15}) {
+    const FaultPlan plan = make_uniform_node_faults(host, rate, kNodePlanSeed, fault_step);
+    const CurvePoint point = run_point(guest, host, plan);
+    route_total += point.route_steps;
+    replay_total += point.replay_steps;
+    table.add_row({rate, std::uint64_t{point.result.fault_epochs},
+                   std::uint64_t{point.result.reembedded_guests},
+                   point.completed ? point.slowdown : 0.0, point.route_steps,
+                   point.replay_steps,
+                   std::string{point.completed ? "ok" : "FAILED (survivors cut off)"}});
+    if (!point.completed) break;
+  }
+  table.print(std::cout);
+  print_decomposition(route_total, replay_total);
+  std::cout << "\n";
 }
 
 void print_drop_curve(const Graph& host) {
@@ -106,35 +178,27 @@ void print_drop_curve(const Graph& host) {
   const Graph guest = make_random_regular(n, 3, rng);
   std::cout << "--- transient packet drops (retransmission with backoff), host = "
             << host.name() << " ---\n";
-  Table table{{"drop prob", "retransmissions", "slowdown", "status"}};
+  Table table{{"drop prob", "retransmissions", "slowdown", "route steps",
+               "replay steps", "status"}};
   double previous = 0.0;
   bool monotone = true;
+  std::uint64_t route_total = 0, replay_total = 0;
   for (const double rate : {0.0, 0.05, 0.1, 0.2, 0.3}) {
     const FaultPlan plan = make_uniform_drops(host, rate, kSeed);
     const CurvePoint point = run_point(guest, host, plan);
+    route_total += point.route_steps;
+    replay_total += point.replay_steps;
     table.add_row({rate, point.result.retransmissions,
-                   point.completed ? point.slowdown : 0.0,
+                   point.completed ? point.slowdown : 0.0, point.route_steps,
+                   point.replay_steps,
                    std::string{point.completed ? "ok" : "FAILED"}});
     if (!point.completed) break;
     monotone &= point.slowdown >= previous;
     previous = point.slowdown;
   }
   table.print(std::cout);
+  print_decomposition(route_total, replay_total);
   std::cout << "slowdown monotone in damage: " << (monotone ? "yes" : "NO") << "\n\n";
-}
-
-void print_experiment_tables() {
-  std::cout << "=== FAULT: slowdown under scheduled hardware degradation ===\n\n";
-  const Graph butterfly = make_butterfly(3);
-  const Graph mesh = make_mesh(6, 6);
-  print_link_fault_curve(butterfly);
-  print_link_fault_curve(mesh);
-  print_node_fault_curve(butterfly);
-  print_node_fault_curve(mesh);
-  print_drop_curve(butterfly);
-  std::cout << "Coupled generators mean each row's fault set contains the previous\n"
-               "row's, so the curves above are true degradation paths of a single\n"
-               "machine, not independent samples.\n\n";
 }
 
 }  // namespace
@@ -142,7 +206,22 @@ void print_experiment_tables() {
 int main(int argc, char** argv) {
   upn::bench::Harness harness{"fault", argc, argv};
 
-  harness.once("fault_tables", [] { print_experiment_tables(); });
+  // One harness section per degradation curve: the BENCH json then carries a
+  // per-curve metric delta (routing.sync.* vs sim.fault.replay_*), which is
+  // the decomposition EXPERIMENTS.md quotes.
+  std::cout << "=== FAULT: slowdown under scheduled hardware degradation ===\n\n";
+  const Graph butterfly = make_butterfly(3);
+  const Graph mesh = make_mesh(6, 6);
+  harness.once("link_faults/butterfly", [&] { print_link_fault_curve(butterfly); });
+  harness.once("link_faults/mesh", [&] { print_link_fault_curve(mesh); });
+  harness.once("node_faults/butterfly", [&] { print_node_fault_curve(butterfly); });
+  harness.once("node_faults/mesh", [&] { print_node_fault_curve(mesh); });
+  harness.once("midrun_node_faults/butterfly",
+               [&] { print_midrun_fault_curve(butterfly, 8); });
+  harness.once("drops/butterfly", [&] { print_drop_curve(butterfly); });
+  std::cout << "Coupled generators mean each row's fault set contains the previous\n"
+               "row's, so the curves above are true degradation paths of a single\n"
+               "machine, not independent samples.\n\n";
 
   for (const std::uint32_t pct : {0u, 10u, 20u}) {
     const double rate = static_cast<double>(pct) / 100.0;

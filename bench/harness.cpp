@@ -8,6 +8,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "src/obs/obs.hpp"
 #include "src/util/cli.hpp"
 
 namespace upn::bench {
@@ -58,6 +59,11 @@ std::string json_number(double value) {
   return os.str();
 }
 
+/// Deterministic registry state, used for per-section delta attribution.
+std::vector<obs::MetricRow> deterministic_snapshot() {
+  return obs::registry().snapshot(obs::MetricKind::kDeterministic);
+}
+
 }  // namespace
 
 double BenchResult::median_ms() const { return quantile(times_ms, 0.5); }
@@ -84,18 +90,24 @@ Harness::Harness(std::string name, int argc, const char* const* argv)
     if (reps_ < 1) reps_ = 1;
     warmup_ = static_cast<std::size_t>(cli.get_u64("warmup", 1));
     json_path_ = cli.get("json", json_path_);
+    trace_path_ = cli.get("trace", "");
     write_json_ = !cli.has("no-json");
     const std::vector<std::string> unused = cli.unused();
     if (!unused.empty()) {
       std::cerr << "bench_" << name_ << ": unknown flag --" << unused.front()
                 << "\nusage: bench_" << name_
-                << " [--threads=N] [--reps=R] [--warmup=W] [--json=PATH] [--no-json]\n";
+                << " [--threads=N] [--reps=R] [--warmup=W] [--json=PATH] [--no-json]"
+                   " [--trace=PATH]\n";
       std::exit(2);
     }
   } catch (const std::exception& error) {
     std::cerr << "bench_" << name_ << ": " << error.what() << "\n";
     std::exit(2);
   }
+  // Benches always collect metrics: the snapshot is part of the BENCH json
+  // (schema v2) and per-phase deltas are what EXPERIMENTS.md decomposes.
+  obs::set_enabled(true);
+  if (!trace_path_.empty()) obs::start_trace(trace_path_);
 }
 
 Harness::~Harness() = default;
@@ -110,21 +122,27 @@ ThreadPool& Harness::pool() {
 void Harness::once(const std::string& label, const std::function<void()>& fn) {
   BenchResult result;
   result.name = label;
+  const std::vector<obs::MetricRow> before = deterministic_snapshot();
   const auto start = Clock::now();
   fn();
   result.times_ms.push_back(elapsed_ms(start, Clock::now()));
+  result.metrics = obs::delta_rows(before, deterministic_snapshot());
   results_.push_back(std::move(result));
 }
 
 void Harness::measure(const std::string& label, const std::function<void()>& fn) {
   BenchResult result;
   result.name = label;
+  const std::vector<obs::MetricRow> before = deterministic_snapshot();
   for (std::size_t w = 0; w < warmup_; ++w) fn();
   for (std::size_t r = 0; r < reps_; ++r) {
     const auto start = Clock::now();
     fn();
     result.times_ms.push_back(elapsed_ms(start, Clock::now()));
   }
+  // Attributed activity covers warmup + reps; deterministic for fixed
+  // --reps/--warmup regardless of --threads.
+  result.metrics = obs::delta_rows(before, deterministic_snapshot());
   results_.push_back(std::move(result));
 }
 
@@ -137,11 +155,19 @@ int Harness::finish() {
               << " ms (p10 " << result.p10_ms() << ", p90 " << result.p90_ms()
               << ", reps " << result.times_ms.size() << ")\n";
   }
+  if (!trace_path_.empty()) {
+    if (obs::write_trace()) {
+      std::cout << "wrote " << trace_path_ << "\n";
+    } else {
+      std::cerr << "bench_" << name_ << ": cannot write trace " << trace_path_ << "\n";
+      return 1;
+    }
+  }
   if (!write_json_) return 0;
 
   std::string json;
   json += "{\n";
-  json += "  \"schema_version\": 1,\n";
+  json += "  \"schema_version\": 2,\n";
   json += "  \"benchmark\": \"";
   append_json_escaped(json, name_);
   json += "\",\n";
@@ -160,10 +186,25 @@ int Harness::finish() {
     json += ", \"mean_ms\": " + json_number(result.mean_ms());
     json += ", \"min_ms\": " + json_number(result.min_ms());
     json += ", \"max_ms\": " + json_number(result.max_ms());
+    json += ",\n     \"metrics\": ";
+    {
+      std::ostringstream metric_json;
+      obs::write_snapshot_json(metric_json, result.metrics, 5);
+      json += metric_json.str();
+    }
     json += i + 1 < results_.size() ? "},\n" : "}\n";
   }
-  json += "  ]\n";
-  json += "}\n";
+  json += "  ],\n";
+  // Full end-of-run deterministic registry state: byte-identical across
+  // --threads values for a fixed flag set.
+  json += "  \"metrics_snapshot\": ";
+  {
+    std::ostringstream snapshot_json;
+    obs::write_snapshot_json(
+        snapshot_json, obs::registry().snapshot(obs::MetricKind::kDeterministic), 2);
+    json += snapshot_json.str();
+  }
+  json += "\n}\n";
 
   std::ofstream file{json_path_};
   if (!file) {

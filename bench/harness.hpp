@@ -12,10 +12,17 @@
 //   --warmup=W    untimed warmup runs per measure() workload (default 1)
 //   --json=PATH   output path (default BENCH_<name>.json in the CWD)
 //   --no-json     skip writing the JSON file
+//   --trace=PATH  also record a Chrome trace-event file of all spans
 //
-// Timings vary run to run; everything else a bench prints is seeded and
-// byte-stable, including across --threads values (the determinism contract
-// of src/util/par).
+// The harness switches the obs registry on for the whole run and attributes
+// deterministic metric deltas to each once()/measure() section, so the JSON
+// (schema v2, see docs/BENCHMARKS.md) decomposes every timed number into the
+// per-phase activity the paper reasons about -- routing steps vs replay
+// steps vs pebble moves.
+//
+// Timings vary run to run; everything else a bench prints or records is
+// seeded and byte-stable, including across --threads values (the
+// determinism contract of src/util/par and src/obs).
 #pragma once
 
 #include <cstddef>
@@ -24,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/par.hpp"
 
 namespace upn::bench {
@@ -35,10 +43,13 @@ inline void keep(const T& value) {
   asm volatile("" : : "r,m"(value) : "memory");
 }
 
-/// Wall times for one named workload (milliseconds, one entry per rep).
+/// Wall times for one named workload (milliseconds, one entry per rep),
+/// plus the deterministic metric activity the section generated (summed
+/// over warmup + reps; thread-count-independent).
 struct BenchResult {
   std::string name;
   std::vector<double> times_ms;
+  std::vector<obs::MetricRow> metrics;
 
   [[nodiscard]] double median_ms() const;
   [[nodiscard]] double p10_ms() const;
@@ -79,6 +90,7 @@ class Harness {
  private:
   std::string name_;
   std::string json_path_;
+  std::string trace_path_;
   bool write_json_ = true;
   std::size_t reps_ = 5;
   std::size_t warmup_ = 1;

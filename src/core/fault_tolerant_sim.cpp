@@ -7,6 +7,7 @@
 
 #include "src/compute/machine.hpp"
 #include "src/core/embedding.hpp"
+#include "src/obs/obs.hpp"
 
 namespace upn {
 
@@ -51,6 +52,7 @@ FaultTolerantSimulator::FaultTolerantSimulator(const Graph& guest, const Graph& 
 
 FaultSimResult FaultTolerantSimulator::run(std::uint32_t guest_steps,
                                            const FaultSimOptions& options) {
+  UPN_OBS_SPAN("sim.fault.run");
   const Graph& guest = *guest_;
   const Graph& host = *host_;
   const std::uint32_t n = guest.num_nodes();
@@ -90,9 +92,11 @@ FaultSimResult FaultTolerantSimulator::run(std::uint32_t guest_steps,
   // called once per packet.
   auto route_phase = [&](std::vector<Packet> packets, std::uint32_t pebble_time,
                          auto&& deliver) -> bool {
+    UPN_OBS_SPAN("sim.fault.route");
     std::uint32_t attempts = 0;
     while (!packets.empty()) {
       result.packets_routed += packets.size();
+      UPN_OBS_COUNT("sim.fault.packets_routed", packets.size());
       route_opts.step_offset = H;
       const bool log = options.emit_protocol;
       const RouteResult routed =
@@ -118,6 +122,7 @@ FaultSimResult FaultTolerantSimulator::run(std::uint32_t guest_steps,
         }
       }
       if (packets.empty()) return true;
+      UPN_OBS_COUNT("sim.fault.reinjections", packets.size());
       if (++attempts > options.reinject_attempts) return false;
     }
     return true;
@@ -150,6 +155,9 @@ FaultSimResult FaultTolerantSimulator::run(std::uint32_t guest_steps,
   // new hosts receive the persisted predecessor pebbles from the current
   // holders and regenerate the lost history level by level.
   auto replay = [&](const std::vector<NodeId>& lost, std::uint32_t upto) -> bool {
+    UPN_OBS_SPAN("sim.fault.replay");
+    UPN_OBS_COUNT("sim.fault.replays", 1);
+    UPN_OBS_HIST("sim.fault.replay_depth", upto);
     std::vector<std::vector<NodeId>> lists(m);
     for (const NodeId u : lost) lists[embedding_[u]].push_back(u);
     for (std::uint32_t tau = 1; tau <= upto; ++tau) {
@@ -189,6 +197,10 @@ FaultSimResult FaultTolerantSimulator::run(std::uint32_t guest_steps,
   std::vector<std::unordered_map<NodeId, Config>> received(n);
 
   auto finish = [&](bool completed) -> FaultSimResult {
+    UPN_OBS_SPAN("sim.fault.validate");
+    UPN_OBS_COUNT("sim.fault.replay_steps", result.replay_steps);
+    UPN_OBS_COUNT("sim.fault.fault_epochs", result.fault_epochs);
+    UPN_OBS_COUNT("sim.fault.reembedded_guests", result.reembedded_guests);
     result.host_steps = result.comm_steps + result.compute_steps;
     result.slowdown =
         guest_steps == 0 ? 0.0 : static_cast<double>(result.host_steps) / guest_steps;
@@ -202,6 +214,7 @@ FaultSimResult FaultTolerantSimulator::run(std::uint32_t guest_steps,
   };
 
   for (std::uint32_t t = 1; t <= guest_steps; ++t) {
+    UPN_OBS_STEP(t);
     // ---- Fault detection at the guest-step boundary. ----
     bool new_faults = false;
     for (NodeId q = 0; q < m; ++q) {
@@ -277,7 +290,8 @@ FaultSimResult FaultTolerantSimulator::run(std::uint32_t guest_steps,
         } else {
           const auto it = received[v].find(w);
           if (it == received[v].end()) {
-            throw std::logic_error{"FaultTolerantSimulator: missing routed configuration"};
+            throw std::logic_error{"FaultTolerantSimulator: missing routed configuration" +
+                                   obs::context_suffix()};
           }
           neighbor_configs.push_back(it->second);
         }

@@ -5,6 +5,7 @@
 
 #include "src/compute/machine.hpp"
 #include "src/core/embedding.hpp"
+#include "src/obs/obs.hpp"
 #include "src/routing/path_schedule.hpp"
 
 namespace upn {
@@ -19,6 +20,7 @@ ScheduledUniversalResult run_scheduled_universal(const Graph& guest, const Graph
     throw std::invalid_argument{"run_scheduled_universal: embedding size mismatch"};
   }
 
+  UPN_OBS_SPAN("sim.scheduled.run");
   HhProblem relation{m};
   std::vector<NodeId> senders, receivers;
   for (NodeId u = 0; u < n; ++u) {
@@ -29,11 +31,22 @@ ScheduledUniversalResult run_scheduled_universal(const Graph& guest, const Graph
       receivers.push_back(v);
     }
   }
-  const PathSchedule schedule = schedule_paths(host, relation);
-  if (!validate_path_schedule(host, relation, schedule)) {
-    throw std::logic_error{"run_scheduled_universal: schedule failed validation"};
+  const PathSchedule schedule = [&] {
+    UPN_OBS_SPAN("sim.scheduled.schedule");
+    return schedule_paths(host, relation);
+  }();
+  {
+    UPN_OBS_SPAN("sim.scheduled.validate");
+    if (!validate_path_schedule(host, relation, schedule)) {
+      throw std::logic_error{"run_scheduled_universal: schedule failed validation" +
+                             obs::context_suffix()};
+    }
   }
   const std::uint32_t load = embedding_load(embedding, m);
+  UPN_OBS_COUNT("sim.scheduled.demands", relation.size());
+  UPN_OBS_GAUGE_MAX("sim.scheduled.congestion", schedule.congestion);
+  UPN_OBS_GAUGE_MAX("sim.scheduled.dilation", schedule.dilation);
+  UPN_OBS_GAUGE_MAX("sim.scheduled.makespan", schedule.makespan);
 
   ScheduledUniversalResult result;
   result.guest_steps = guest_steps;
@@ -48,7 +61,9 @@ ScheduledUniversalResult run_scheduled_universal(const Graph& guest, const Graph
   std::vector<Config> neighbor_configs;
   neighbor_configs.reserve(guest.max_degree());
 
+  UPN_OBS_SPAN("sim.scheduled.compute");
   for (std::uint32_t t = 1; t <= guest_steps; ++t) {
+    UPN_OBS_STEP(t);
     // Delivery is by the validated schedule: demand d carries senders[d]'s
     // configuration to receivers[d]'s host.
     for (auto& bucket : received) bucket.clear();

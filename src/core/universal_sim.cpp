@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "src/core/embedding.hpp"
+#include "src/obs/obs.hpp"
 #include "src/routing/policies.hpp"
 #include "src/util/contracts.hpp"
 
@@ -12,6 +13,7 @@ namespace upn {
 UniversalSimulator::UniversalSimulator(const Graph& guest, const Graph& host,
                                        std::vector<NodeId> embedding)
     : guest_(&guest), host_(&host), embedding_(std::move(embedding)) {
+  UPN_OBS_SPAN("sim.universal.embed");
   if (embedding_.size() != guest.num_nodes()) {
     throw std::invalid_argument{"UniversalSimulator: embedding size != guest size"};
   }
@@ -21,10 +23,12 @@ UniversalSimulator::UniversalSimulator(const Graph& guest, const Graph& host,
   // so load * m must cover the guest set.
   UPN_ENSURE(static_cast<std::uint64_t>(load_) * host.num_nodes() >= guest.num_nodes(),
              "embedding load must cover all guests");
+  UPN_OBS_GAUGE_MAX("sim.universal.embedding_load", load_);
 }
 
 UniversalSimResult UniversalSimulator::run(std::uint32_t guest_steps,
                                            const UniversalSimOptions& options) {
+  UPN_OBS_SPAN("sim.universal.run");
   const Graph& guest = *guest_;
   const Graph& host = *host_;
   const std::uint32_t n = guest.num_nodes();
@@ -58,7 +62,11 @@ UniversalSimResult UniversalSimulator::run(std::uint32_t guest_steps,
   std::vector<std::unordered_map<NodeId, Config>> received(n);
 
   for (std::uint32_t t = 1; t <= guest_steps; ++t) {
+    UPN_OBS_STEP(t);
     // ---- Phase 1: communication (the h-h routing of Theorem 2.1). ----
+    std::uint32_t comm_steps_t = 0;
+    {
+    UPN_OBS_SPAN("sim.universal.route");
     std::vector<Packet> packets;
     for (NodeId u = 0; u < n; ++u) {
       for (const NodeId v : guest.neighbors(u)) {
@@ -74,9 +82,9 @@ UniversalSimResult UniversalSimulator::run(std::uint32_t guest_steps,
       }
     }
     result.packets_routed += packets.size();
+    UPN_OBS_COUNT("sim.universal.packets_routed", packets.size());
     for (auto& bucket : received) bucket.clear();
 
-    std::uint32_t comm_steps_t = 0;
     if (!packets.empty()) {
       const bool log_transfers = options.emit_protocol;
       const RouteResult routed = router.route(std::move(packets), *policy, log_transfers);
@@ -104,9 +112,12 @@ UniversalSimResult UniversalSimulator::run(std::uint32_t guest_steps,
         }
       }
     }
+    }  // route span
     result.comm_steps += comm_steps_t;
+    UPN_OBS_COUNT("sim.universal.comm_steps", comm_steps_t);
 
     // ---- Phase 2: computation (sequential per host, parallel across). ----
+    UPN_OBS_SPAN("sim.universal.compute");
     std::vector<Config> neighbor_configs;
     neighbor_configs.reserve(guest.max_degree());
     for (NodeId v = 0; v < n; ++v) {
@@ -126,6 +137,7 @@ UniversalSimResult UniversalSimulator::run(std::uint32_t guest_steps,
     }
     configs.swap(next);
     result.compute_steps += load_;
+    UPN_OBS_COUNT("sim.universal.compute_steps", load_);
     if (options.emit_protocol) {
       for (std::uint32_t round = 0; round < load_; ++round) {
         result.protocol->begin_step();
@@ -153,8 +165,10 @@ UniversalSimResult UniversalSimulator::run(std::uint32_t guest_steps,
   result.inefficiency = n == 0 ? 0.0 : result.slowdown * host.num_nodes() / n;
 
   // ---- End-to-end verification against the direct execution. ----
+  UPN_OBS_SPAN("sim.universal.validate");
   const std::vector<Config> reference = run_reference(guest, options.seed, guest_steps);
   result.configs_match = reference == configs;
+  UPN_OBS_COUNT("sim.universal.runs", 1);
   return result;
 }
 

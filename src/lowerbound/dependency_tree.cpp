@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/obs/obs.hpp"
+
 namespace upn {
 
 namespace {
@@ -104,6 +106,7 @@ struct Builder {
 
 DependencyTree build_block_dependency_tree(const MultitorusLayout& layout, std::uint32_t block,
                                            NodeId root) {
+  UPN_OBS_SPAN("lowerbound.deptree.build");
   if (block >= layout.num_blocks()) {
     throw std::out_of_range{"build_block_dependency_tree: block out of range"};
   }
@@ -147,6 +150,13 @@ DependencyTree build_block_dependency_tree(const MultitorusLayout& layout, std::
     tree.leaves.push_back(at);
   }
   tree.nodes = std::move(builder.nodes);
+  // Growth metrics for the Gamma-tree machinery: how large and deep the
+  // courier trees get as block sides scale.
+  UPN_OBS_COUNT("lowerbound.deptree.trees_built", 1);
+  UPN_OBS_COUNT("lowerbound.deptree.nodes", tree.nodes.size());
+  UPN_OBS_HIST("lowerbound.deptree.tree_size", tree.nodes.size());
+  UPN_OBS_HIST("lowerbound.deptree.depth", tree.depth);
+  UPN_OBS_GAUGE_MAX("lowerbound.deptree.max_depth", tree.depth);
   return tree;
 }
 

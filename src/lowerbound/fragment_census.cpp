@@ -5,6 +5,7 @@
 
 #include "src/core/embedding.hpp"
 #include "src/core/universal_sim.hpp"
+#include "src/obs/obs.hpp"
 #include "src/util/contracts.hpp"
 #include "src/pebble/metrics.hpp"
 #include "src/topology/butterfly.hpp"
@@ -34,6 +35,7 @@ struct GuestSample {
 /// Simulates one random guest drawn from `rng` and extracts its census row.
 GuestSample census_one_guest(const G0& g0, const Graph& host, std::uint32_t T,
                              double small_d_threshold, Rng& rng) {
+  UPN_OBS_SPAN("lowerbound.census.guest");
   const std::uint32_t n = g0.num_nodes();
   const std::uint32_t m = host.num_nodes();
   const Graph guest = make_random_regular_with_subgraph(g0.graph, kGuestDegree, rng);
@@ -54,6 +56,9 @@ GuestSample census_one_guest(const G0& g0, const Graph& host, std::uint32_t T,
   sample.row.sum_b = fragment.total_b_size();
   sample.row.small_d = count_small_d(fragment, small_d_threshold);
   sample.inefficiency = result.inefficiency;
+  UPN_OBS_COUNT("lowerbound.census.guests_sampled", 1);
+  UPN_OBS_COUNT("lowerbound.census.sum_b", sample.row.sum_b);
+  UPN_OBS_HIST("lowerbound.census.fragment_b_size", sample.row.sum_b);
   return sample;
 }
 
@@ -61,6 +66,7 @@ GuestSample census_one_guest(const G0& g0, const Graph& host, std::uint32_t T,
 /// serially in guest order on both the serial and the parallel path.
 FragmentCensus finalize_census(std::vector<GuestSample> samples, std::uint32_t n,
                                const CountingConstants& constants) {
+  UPN_OBS_SPAN("lowerbound.census.finalize");
   FragmentCensus census;
   census.guests = static_cast<std::uint32_t>(samples.size());
   std::unordered_set<std::uint64_t> seen;
@@ -79,6 +85,7 @@ FragmentCensus finalize_census(std::vector<GuestSample> samples, std::uint32_t n
   census.mean_inefficiency = census.guests == 0 ? 0.0 : k_sum / census.guests;
   census.log2_a_bound = log2_a_count(n, census.mean_inefficiency, constants);
   census.log2_guest_space = log2_guest_count_lower(n, constants);
+  UPN_OBS_GAUGE_MAX("lowerbound.census.distinct_fragments", census.distinct_fragments);
   return census;
 }
 

@@ -3,6 +3,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/obs/obs.hpp"
 #include "src/util/contracts.hpp"
 
 namespace upn {
@@ -26,10 +27,18 @@ std::string describe(const Op& op) {
 
 ValidationResult validate_protocol(const Protocol& protocol, const Graph& guest,
                                    const Graph& host) {
+  UPN_OBS_SPAN("pebble.validator.replay");
+  UPN_OBS_COUNT("pebble.validator.validations", 1);
   ValidationResult result;
-  if (guest.num_nodes() != protocol.num_guests() || host.num_nodes() != protocol.num_hosts()) {
-    result.error = "graph sizes do not match protocol header";
+  // Every rejection funnels through here so the span/step context lands in
+  // the message and the violation counter stays exact.
+  auto fail = [&result](std::string why) -> ValidationResult& {
+    UPN_OBS_COUNT("pebble.validator.violations", 1);
+    result.error = std::move(why) + obs::context_suffix();
     return result;
+  };
+  if (guest.num_nodes() != protocol.num_guests() || host.num_nodes() != protocol.num_hosts()) {
+    return fail("graph sizes do not match protocol header");
   }
   const std::uint32_t T = protocol.guest_steps();
 
@@ -44,19 +53,18 @@ ValidationResult validate_protocol(const Protocol& protocol, const Graph& guest,
   std::vector<char> final_generated(protocol.num_guests(), 0);
 
   for (std::uint32_t step = 0; step < protocol.host_steps(); ++step) {
+    UPN_OBS_STEP(step);
     const auto& ops = protocol.steps()[step];
     // First pass: verify sends (content must already be held).
     for (const Op& op : ops) {
       if (op.kind != OpKind::kSend) continue;
       if (!host.has_edge(op.proc, op.partner)) {
-        result.error = "step " + std::to_string(step) + ": " + describe(op) +
-                       ": partner is not a host neighbor";
-        return result;
+        return fail("step " + std::to_string(step) + ": " + describe(op) +
+                    ": partner is not a host neighbor");
       }
       if (!holds(op.proc, op.pebble)) {
-        result.error = "step " + std::to_string(step) + ": " + describe(op) +
-                       ": sender does not hold the pebble";
-        return result;
+        return fail("step " + std::to_string(step) + ": " + describe(op) +
+                    ": sender does not hold the pebble");
       }
       ++result.pebbles_sent;
     }
@@ -67,9 +75,8 @@ ValidationResult validate_protocol(const Protocol& protocol, const Graph& guest,
           break;
         case OpKind::kReceive: {
           if (!host.has_edge(op.proc, op.partner)) {
-            result.error = "step " + std::to_string(step) + ": " + describe(op) +
-                           ": partner is not a host neighbor";
-            return result;
+            return fail("step " + std::to_string(step) + ": " + describe(op) +
+                        ": partner is not a host neighbor");
           }
           bool matched = false;
           for (const Op& other : ops) {
@@ -80,31 +87,28 @@ ValidationResult validate_protocol(const Protocol& protocol, const Graph& guest,
             }
           }
           if (!matched) {
-            result.error = "step " + std::to_string(step) + ": " + describe(op) +
-                           ": no matching send from partner";
-            return result;
+            return fail("step " + std::to_string(step) + ": " + describe(op) +
+                        ": no matching send from partner");
           }
           holdings[op.proc].insert(key_of(op.pebble, T));
+          ++result.pebbles_received;
           break;
         }
         case OpKind::kGenerate: {
           const std::uint32_t t = op.pebble.time;
           if (t == 0 || t > T) {
-            result.error = "step " + std::to_string(step) + ": " + describe(op) +
-                           ": generated time out of range";
-            return result;
+            return fail("step " + std::to_string(step) + ": " + describe(op) +
+                        ": generated time out of range");
           }
           const PebbleType own{op.pebble.node, t - 1};
           if (!holds(op.proc, own)) {
-            result.error = "step " + std::to_string(step) + ": " + describe(op) +
-                           ": missing own predecessor";
-            return result;
+            return fail("step " + std::to_string(step) + ": " + describe(op) +
+                        ": missing own predecessor");
           }
           for (const NodeId j : guest.neighbors(op.pebble.node)) {
             if (!holds(op.proc, PebbleType{j, t - 1})) {
-              result.error = "step " + std::to_string(step) + ": " + describe(op) +
-                             ": missing neighbor predecessor P" + std::to_string(j);
-              return result;
+              return fail("step " + std::to_string(step) + ": " + describe(op) +
+                          ": missing neighbor predecessor P" + std::to_string(j));
             }
           }
           holdings[op.proc].insert(key_of(op.pebble, T));
@@ -119,12 +123,14 @@ ValidationResult validate_protocol(const Protocol& protocol, const Graph& guest,
   // For T = 0 the final pebbles ARE the initial pebbles, present by fiat.
   for (NodeId i = 0; T > 0 && i < protocol.num_guests(); ++i) {
     if (!final_generated[i]) {
-      result.error = "final pebble (P" + std::to_string(i) + "," + std::to_string(T) +
-                     ") was never generated";
-      return result;
+      return fail("final pebble (P" + std::to_string(i) + "," + std::to_string(T) +
+                  ") was never generated");
     }
   }
   result.ok = true;
+  UPN_OBS_COUNT("pebble.validator.sends", result.pebbles_sent);
+  UPN_OBS_COUNT("pebble.validator.receives", result.pebbles_received);
+  UPN_OBS_COUNT("pebble.validator.generates", result.pebbles_generated);
   return result;
 }
 

@@ -19,6 +19,7 @@ struct ValidationResult {
   std::string error;        ///< empty when ok
   std::uint64_t pebbles_generated = 0;
   std::uint64_t pebbles_sent = 0;
+  std::uint64_t pebbles_received = 0;
 
   explicit operator bool() const noexcept { return ok; }
 };

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "src/fault/fault_plan.hpp"
+#include "src/obs/obs.hpp"
 #include "src/routing/hh_problem.hpp"
 #include "src/util/contracts.hpp"
 #include "src/util/rng.hpp"
@@ -131,8 +132,12 @@ RouteResult SyncRouter::route_with_faults(std::vector<Packet> packets,
 RouteResult SyncRouter::route_impl(std::vector<Packet> packets, RoutingPolicy* policy,
                                    const FaultRouteOptions* faults, bool record_transfers,
                                    std::uint32_t max_steps) {
+  UPN_OBS_SPAN("routing.sync.route");
+  UPN_OBS_STEP(0);
   const Graph& g = *graph_;
   const std::uint32_t n = g.num_nodes();
+  UPN_OBS_COUNT("routing.sync.route_calls", 1);
+  UPN_OBS_COUNT("routing.sync.packets_submitted", packets.size());
   for (const Packet& p : packets) {
     UPN_REQUIRE(p.src < n && p.dst < n, "SyncRouter: packet endpoints must be host nodes");
     UPN_REQUIRE(p.via < n, "SyncRouter: Valiant via must be a host node");
@@ -156,7 +161,8 @@ RouteResult SyncRouter::route_impl(std::vector<Packet> packets, RoutingPolicy* p
     const auto nbrs = g.neighbors(from);
     const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), to);
     if (it == nbrs.end() || *it != to) {
-      throw std::logic_error{"SyncRouter: policy returned a non-neighbor"};
+      throw std::logic_error{"SyncRouter: policy returned a non-neighbor" +
+                             obs::context_suffix()};
     }
     return static_cast<std::uint32_t>(it - nbrs.begin());
   };
@@ -283,8 +289,10 @@ RouteResult SyncRouter::route_impl(std::vector<Packet> packets, RoutingPolicy* p
   std::vector<std::pair<std::uint32_t, NodeId>> arrivals;  // (packet, node)
   std::vector<char> busy(n, 0);
   while (undelivered > 0) {
+    UPN_OBS_SET_STEP(step);
     if (step >= max_steps) {
-      throw std::runtime_error{"SyncRouter::route: step limit exceeded (livelock?)"};
+      throw std::runtime_error{"SyncRouter::route: step limit exceeded (livelock?)" +
+                               obs::context_suffix()};
     }
     const std::uint32_t global_step = faults == nullptr ? step : faults->step_offset + step;
     if (clock && clock->advance(global_step)) apply_epoch();
@@ -345,6 +353,8 @@ RouteResult SyncRouter::route_impl(std::vector<Packet> packets, RoutingPolicy* p
       const std::uint32_t shift = std::min<std::uint32_t>(p.retries, 6u);
       const std::uint32_t backoff =
           faults == nullptr ? 1u : std::max(1u, faults->backoff_base << shift);
+      UPN_OBS_COUNT("routing.sync.backoff_delays", 1);
+      UPN_OBS_HIST("routing.sync.backoff_steps", backoff);
       delayed.push_back(DelayedPacket{step + backoff, packet_index, v});
     };
 
@@ -396,9 +406,14 @@ RouteResult SyncRouter::route_impl(std::vector<Packet> packets, RoutingPolicy* p
           break;
       }
     }
+    std::uint32_t step_max_queue = 0;
     for (NodeId v = 0; v < n; ++v) {
-      result.max_queue = std::max(result.max_queue, nodes[v].buffered);
+      step_max_queue = std::max(step_max_queue, nodes[v].buffered);
     }
+    result.max_queue = std::max(result.max_queue, step_max_queue);
+    // Queue-depth-per-step distribution: bucket adds commute, so the merged
+    // histogram is identical for serial and pool-swept callers.
+    UPN_OBS_HIST("routing.sync.step_max_queue", step_max_queue);
     ++step;
   }
 
@@ -413,6 +428,12 @@ RouteResult SyncRouter::route_impl(std::vector<Packet> packets, RoutingPolicy* p
              "every packet is delivered or accounted lost");
   UPN_ENSURE(faults != nullptr || result.packets_lost == 0,
              "fault-free routing cannot lose packets");
+  UPN_OBS_COUNT("routing.sync.steps", result.steps);
+  UPN_OBS_COUNT("routing.sync.transfers", result.total_transfers);
+  UPN_OBS_COUNT("routing.sync.retransmissions", result.retransmissions);
+  UPN_OBS_COUNT("routing.sync.reroutes", result.reroutes);
+  UPN_OBS_COUNT("routing.sync.packets_lost", result.packets_lost);
+  UPN_OBS_GAUGE_MAX("routing.sync.max_queue_depth", result.max_queue);
   return result;
 }
 

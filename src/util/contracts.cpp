@@ -27,6 +27,11 @@ std::atomic<std::uint64_t>& violation_slot() noexcept {
   return count;
 }
 
+std::atomic<ContractContextProvider>& context_provider_slot() noexcept {
+  static std::atomic<ContractContextProvider> provider{nullptr};
+  return provider;
+}
+
 const char* kind_name(ContractKind kind) noexcept {
   switch (kind) {
     case ContractKind::kRequire:
@@ -55,6 +60,10 @@ void reset_contract_violation_count() noexcept {
   violation_slot().store(0, std::memory_order_relaxed);
 }
 
+void set_contract_context_provider(ContractContextProvider provider) noexcept {
+  context_provider_slot().store(provider, std::memory_order_relaxed);
+}
+
 namespace detail {
 
 void contract_failed(ContractKind kind, const char* condition, const char* file, int line,
@@ -62,6 +71,10 @@ void contract_failed(ContractKind kind, const char* condition, const char* file,
   std::string what = std::string{kind_name(kind)} + " failed: " + condition + " at " + file +
                      ":" + std::to_string(line);
   if (!message.empty()) what += ": " + message;
+  if (const ContractContextProvider provider =
+          context_provider_slot().load(std::memory_order_relaxed)) {
+    what += provider();
+  }
   switch (contract_mode()) {
     case ContractMode::kThrow:
       throw ContractViolation{kind, what};

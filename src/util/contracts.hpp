@@ -55,6 +55,13 @@ void set_contract_mode(ContractMode mode) noexcept;
 [[nodiscard]] std::uint64_t contract_violation_count() noexcept;
 void reset_contract_violation_count() noexcept;
 
+/// Optional context provider, appended to every contract diagnostic.  The
+/// obs layer installs one that names the current span and step (" [in
+/// sim.universal.route, step 12]") so a violation locates itself without
+/// util depending on obs.  Returns "" for no context; pass nullptr to clear.
+using ContractContextProvider = std::string (*)();
+void set_contract_context_provider(ContractContextProvider provider) noexcept;
+
 /// RAII mode switch for tests: restores the previous mode on scope exit.
 class ScopedContractMode {
  public:

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/obs/obs.hpp"
 #include "src/util/contracts.hpp"
 
 namespace upn {
@@ -47,10 +48,16 @@ void ThreadPool::run_tasks(Job& job) {
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.count) break;
     g_inside_pool_task = true;
+    const std::uint64_t busy_start = obs::enabled() ? obs::now_ns() : 0;
     try {
       (*job.body)(i);
     } catch (...) {
       job.errors[i] = std::current_exception();
+    }
+    if (busy_start != 0) {
+      // Wall-clock worker busy time: a kTiming metric, excluded from
+      // deterministic snapshots.
+      UPN_OBS_TIMING_ADD("util.par.busy_ns", obs::now_ns() - busy_start);
     }
     g_inside_pool_task = false;
     const std::lock_guard<std::mutex> lock{job.mutex};
@@ -73,9 +80,44 @@ void ThreadPool::worker_loop() {
   }
 }
 
+ThreadPoolStats ThreadPool::stats() const noexcept {
+  ThreadPoolStats out;
+  out.parallel_for_calls = calls_.load(std::memory_order_relaxed);
+  out.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  out.max_batch = max_batch_.load(std::memory_order_relaxed);
+  out.pending = pending_.load(std::memory_order_relaxed);
+  return out;
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
+
+  // Stats are recorded identically on the serial and pooled paths (the max
+  // batch is the SUBMITTED size, not an observed occupancy), so snapshots
+  // stay thread-count-independent.
+  pending_.fetch_add(count, std::memory_order_relaxed);
+  {
+    std::uint64_t seen = max_batch_.load(std::memory_order_relaxed);
+    while (count > seen &&
+           !max_batch_.compare_exchange_weak(seen, count, std::memory_order_relaxed)) {
+    }
+  }
+  UPN_OBS_COUNT("util.par.parallel_for_calls", 1);
+  UPN_OBS_COUNT("util.par.tasks_run", count);
+  UPN_OBS_GAUGE_MAX("util.par.max_batch", count);
+  UPN_OBS_HIST("util.par.batch_size", count);
+
+  struct StatsGuard {
+    ThreadPool* pool;
+    std::size_t count;
+    ~StatsGuard() {
+      pool->tasks_run_.fetch_add(count, std::memory_order_relaxed);
+      pool->calls_.fetch_add(1, std::memory_order_relaxed);
+      pool->pending_.fetch_sub(count, std::memory_order_relaxed);
+    }
+  } stats_guard{this, count};
+
   if (threads_ <= 1 || count == 1 || g_inside_pool_task) {
     // Serial reference path: inline, in index order, exceptions propagate
     // directly.  Byte-identical results are the contract, see header.

@@ -32,6 +32,16 @@
 
 namespace upn {
 
+/// Lifetime introspection for a pool (satellite of the obs layer).  All
+/// fields are recorded identically on the serial and pooled paths, so they
+/// are thread-count-independent for a fixed call sequence.
+struct ThreadPoolStats {
+  std::uint64_t parallel_for_calls = 0;  ///< completed parallel_for invocations
+  std::uint64_t tasks_run = 0;           ///< total task bodies executed
+  std::uint64_t max_batch = 0;           ///< largest submitted batch (max queue depth)
+  std::uint64_t pending = 0;             ///< tasks submitted but not yet joined
+};
+
 class ThreadPool {
  public:
   /// A pool that runs work on `num_threads` threads in total (the caller
@@ -63,6 +73,11 @@ class ThreadPool {
     return out;
   }
 
+  /// Snapshot of this pool's lifetime statistics.  `pending` is 0 whenever
+  /// no parallel_for is in flight -- tests/par_test.cpp asserts the queue
+  /// drains back to zero after every call.
+  [[nodiscard]] ThreadPoolStats stats() const noexcept;
+
   /// Pool width used when a size is not given explicitly: the UPN_THREADS
   /// environment variable when set to a positive integer, else 1 (serial).
   [[nodiscard]] static unsigned default_threads() noexcept;
@@ -85,6 +100,10 @@ class ThreadPool {
   static void run_tasks(Job& job);
 
   unsigned threads_ = 1;
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> tasks_run_{0};
+  std::atomic<std::uint64_t> max_batch_{0};
+  std::atomic<std::uint64_t> pending_{0};
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable work_cv_;

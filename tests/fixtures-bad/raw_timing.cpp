@@ -1,0 +1,13 @@
+// NOT compiled: a lint fixture seeded with raw timing calls.  Timing must
+// flow through upn::obs (src/obs/) or the bench harness; ad-hoc clock reads
+// are banned everywhere else so UPN_NDEBUG_OBS can compile all timing out.
+#include <chrono>
+#include <ctime>
+
+double bad_timing() {
+  const auto start = std::chrono::steady_clock::now();     // no-raw-timing
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);                     // no-raw-timing
+  const auto stop = std::chrono::steady_clock::now();      // no-raw-timing
+  return std::chrono::duration<double>(stop - start).count();  // no-raw-timing
+}

@@ -113,6 +113,29 @@ TEST(LintSource, FlagsUnorderedIterationButNotNestedOrOrdered) {
   EXPECT_FALSE(has_rule(lint_source("x.cpp", ordered), "unordered-iteration"));
 }
 
+TEST(LintSource, FlagsRawTimingOutsideObsAndHarness) {
+  const std::string chrono_use = "const auto t0 = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(has_rule(lint_source("src/core/universal_sim.cpp", chrono_use),
+                       "no-raw-timing"));
+  EXPECT_TRUE(has_rule(lint_source("x.cpp", "clock_gettime(CLOCK_MONOTONIC, &ts);\n"),
+                       "no-raw-timing"));
+  EXPECT_TRUE(has_rule(lint_source("x.cpp", "gettimeofday(&tv, nullptr);\n"),
+                       "no-raw-timing"));
+
+  // The obs layer and the bench harness are the two sanctioned clock users.
+  EXPECT_FALSE(has_rule(lint_source("src/obs/span.cpp", chrono_use), "no-raw-timing"));
+  EXPECT_FALSE(has_rule(lint_source("bench/harness.cpp", chrono_use), "no-raw-timing"));
+  EXPECT_FALSE(has_rule(lint_source("bench/harness.hpp", chrono_use), "no-raw-timing"));
+
+  // Identifiers that merely contain a clock name do not fire.
+  EXPECT_FALSE(has_rule(lint_source("x.cpp", "int my_steady_clock_count = 0;\n"),
+                        "no-raw-timing"));
+
+  const auto suppressed = lint_source(
+      "x.cpp", "clock_gettime(CLOCK_MONOTONIC, &ts);  // upn-lint-allow(no-raw-timing)\n");
+  EXPECT_FALSE(has_rule(suppressed, "no-raw-timing"));
+}
+
 TEST(LintSource, PragmaOnceRequiredInHeadersOnly) {
   const std::string body = "namespace x {}\n";
   EXPECT_TRUE(has_rule(lint_source("a.hpp", body), "pragma-once"));

@@ -1,0 +1,41 @@
+// Compile-out test: this translation unit is built with UPN_NDEBUG_OBS
+// (see tests/CMakeLists.txt), so every UPN_OBS_* macro must expand to
+// nothing -- no metric registration, no span stack activity, no trace
+// events -- even with collection switched on at runtime.  This binary runs
+// no simulator code on purpose: the library is built without the define,
+// so only the macros in THIS file are under test.
+#include <gtest/gtest.h>
+
+#include "src/obs/obs.hpp"
+
+#ifndef UPN_NDEBUG_OBS
+#error "obs_disabled_test must be compiled with UPN_NDEBUG_OBS"
+#endif
+
+namespace upn::obs {
+namespace {
+
+TEST(ObsDisabled, MacrosCompileToNothing) {
+  set_enabled(true);  // even explicitly enabled, compiled-out macros are inert
+  ASSERT_EQ(registry().size(), 0u) << "fresh process must start with an empty registry";
+
+  UPN_OBS_COUNT("disabled.counter", 1);
+  UPN_OBS_GAUGE_MAX("disabled.gauge", 42);
+  UPN_OBS_GAUGE_SET("disabled.gauge2", 7);
+  UPN_OBS_HIST("disabled.hist", 9);
+  UPN_OBS_TIMING_ADD("disabled.timing", 1000);
+  {
+    UPN_OBS_SPAN("disabled.span");
+    UPN_OBS_STEP(3);
+    UPN_OBS_SET_STEP(4);
+    EXPECT_EQ(current_span_path(), "") << "UPN_OBS_SPAN must not push a span frame";
+    EXPECT_EQ(context_suffix(), "") << "UPN_OBS_STEP must not set step context";
+  }
+
+  EXPECT_EQ(registry().size(), 0u) << "compiled-out macros registered a metric";
+  EXPECT_TRUE(registry().snapshot().empty());
+  EXPECT_TRUE(trace_events().empty());
+}
+
+}  // namespace
+}  // namespace upn::obs

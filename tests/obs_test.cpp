@@ -1,0 +1,295 @@
+// Unit tests for the obs layer: metric semantics (counter/gauge/histogram
+// and the fixed bucket layout), registry snapshot/reset behavior, span
+// nesting and error context, snapshot exporters, delta attribution, and the
+// trace session lifecycle.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/obs/obs.hpp"
+#include "src/util/contracts.hpp"
+#include "src/util/par.hpp"
+
+namespace upn::obs {
+namespace {
+
+/// Every test runs with collection on and a zeroed registry.  Names are
+/// unique per test because reset() keeps registrations alive (zeroed rows
+/// would otherwise leak between snapshot-shape assertions; delta_rows drops
+/// them, full snapshots do not).
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    registry().reset();
+  }
+  void TearDown() override {
+    registry().reset();
+    stop_trace();
+  }
+};
+
+// ---- counters -------------------------------------------------------------
+
+TEST_F(ObsTest, CounterAccumulatesAndResets) {
+  Counter& c = registry().counter("test.counter.basic");
+  c.add(3);
+  c.add(4);
+  EXPECT_EQ(c.value(), 7u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, CounterStripesMergeToTheExactSum) {
+  Counter& c = registry().counter("test.counter.striped");
+  ThreadPool pool{4};
+  pool.parallel_for(1000, [&](std::size_t) { c.add(1); });
+  EXPECT_EQ(c.value(), 1000u);
+}
+
+// ---- gauges ---------------------------------------------------------------
+
+TEST_F(ObsTest, GaugeTracksValueAndRunningMax) {
+  Gauge& g = registry().gauge("test.gauge.basic");
+  g.set(5);
+  g.record_max(9);
+  g.record_max(2);  // lower than current max: no effect on max
+  EXPECT_EQ(g.value(), 5);
+  EXPECT_EQ(g.max_value(), 9);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max_value(), 0);
+}
+
+TEST_F(ObsTest, GaugeMaxIsCommutative) {
+  Gauge& g = registry().gauge("test.gauge.max");
+  ThreadPool pool{4};
+  pool.parallel_for(100, [&](std::size_t i) {
+    g.record_max(static_cast<std::int64_t>(i));
+  });
+  EXPECT_EQ(g.max_value(), 99);
+}
+
+// ---- histograms -----------------------------------------------------------
+
+TEST_F(ObsTest, HistogramBucketLayoutIsPowerOfTwo) {
+  // bucket 0 holds 0; bucket b >= 1 holds [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), kHistogramBuckets - 1);
+
+  EXPECT_EQ(Histogram::bucket_floor(0), 0u);
+  EXPECT_EQ(Histogram::bucket_floor(1), 1u);
+  EXPECT_EQ(Histogram::bucket_floor(2), 2u);
+  EXPECT_EQ(Histogram::bucket_floor(3), 4u);
+  // floor and bucket_of are inverse on bucket boundaries.
+  for (std::size_t b = 1; b < kHistogramBuckets; ++b) {
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_floor(b)), b) << b;
+  }
+}
+
+TEST_F(ObsTest, HistogramRecordsCountSumAndBuckets) {
+  Histogram& h = registry().histogram("test.hist.basic");
+  for (const std::uint64_t v : {0u, 1u, 3u, 3u, 8u}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 15u);
+  EXPECT_EQ(h.bucket(0), 1u);  // the single 0
+  EXPECT_EQ(h.bucket(2), 2u);  // the two 3s
+  EXPECT_EQ(h.bucket(4), 1u);  // the 8
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+// ---- registry -------------------------------------------------------------
+
+TEST_F(ObsTest, SnapshotIsNameSortedAndKindFilterable) {
+  registry().counter("test.snap.z").add(1);
+  registry().gauge("test.snap.a").set(2);
+  registry().counter("test.snap.timing", MetricKind::kTiming).add(99);
+
+  const auto rows = registry().snapshot();
+  // Name-sorted: "a" before "timing" before "z" within this test's prefix.
+  std::vector<std::string> names;
+  for (const auto& row : rows) {
+    if (row.name.rfind("test.snap.", 0) == 0) names.push_back(row.name);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"test.snap.a", "test.snap.timing",
+                                             "test.snap.z"}));
+
+  const auto deterministic = registry().snapshot(MetricKind::kDeterministic);
+  for (const auto& row : deterministic) {
+    EXPECT_NE(row.name, "test.snap.timing") << "kTiming leaked into deterministic snapshot";
+  }
+}
+
+TEST_F(ObsTest, ResetZeroesButKeepsReferencesValid) {
+  Counter& c = registry().counter("test.reset.counter");
+  c.add(5);
+  const std::size_t size_before = registry().size();
+  registry().reset();
+  EXPECT_EQ(registry().size(), size_before);  // registration preserved
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);  // the old reference still works
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST_F(ObsTest, ReregistrationWithDifferentTypeIsAContractViolation) {
+  const ScopedContractMode mode{ContractMode::kThrow};
+  registry().counter("test.type.clash");
+  EXPECT_THROW(registry().gauge("test.type.clash"), ContractViolation);
+  EXPECT_THROW(registry().counter("test.type.clash", MetricKind::kTiming),
+               ContractViolation);
+}
+
+// ---- exporters and deltas -------------------------------------------------
+
+TEST_F(ObsTest, DeltaRowsSubtractCountersAndDropAllZeroRows) {
+  Counter& moved = registry().counter("test.delta.moved");
+  registry().counter("test.delta.idle").add(10);
+  moved.add(10);
+  const auto before = registry().snapshot(MetricKind::kDeterministic);
+  moved.add(7);
+  const auto delta = delta_rows(before, registry().snapshot(MetricKind::kDeterministic));
+  ASSERT_EQ(delta.size(), 1u);
+  EXPECT_EQ(delta[0].name, "test.delta.moved");
+  EXPECT_EQ(delta[0].count, 7u);
+}
+
+TEST_F(ObsTest, DeltaRowsKeepGaugeAfterStateAndSubtractHistograms) {
+  Gauge& g = registry().gauge("test.delta.gauge");
+  Histogram& h = registry().histogram("test.delta.hist");
+  g.record_max(4);
+  h.record(3);
+  const auto before = registry().snapshot(MetricKind::kDeterministic);
+  g.record_max(9);
+  h.record(3);
+  h.record(100);
+  const auto delta = delta_rows(before, registry().snapshot(MetricKind::kDeterministic));
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta[0].name, "test.delta.gauge");
+  EXPECT_EQ(delta[0].max, 9);  // gauges keep the after-state (max cannot be un-merged)
+  EXPECT_EQ(delta[1].name, "test.delta.hist");
+  EXPECT_EQ(delta[1].count, 2u);
+  EXPECT_EQ(delta[1].sum, 103u);
+  // Bucket deltas: one more in bucket_of(3) = 2, one in bucket_of(100) = 7.
+  EXPECT_EQ(delta[1].buckets,
+            (std::vector<std::pair<std::uint32_t, std::uint64_t>>{{2, 1}, {7, 1}}));
+}
+
+TEST_F(ObsTest, TextAndJsonExportersRenderEveryType) {
+  registry().counter("test.export.c").add(3);
+  registry().gauge("test.export.g").record_max(5);
+  registry().histogram("test.export.h").record(2);
+  const auto rows = registry().snapshot(MetricKind::kDeterministic);
+  const std::string text = snapshot_text(rows);
+  EXPECT_NE(text.find("test.export.c"), std::string::npos);
+  EXPECT_NE(text.find("counter"), std::string::npos);
+  EXPECT_NE(text.find("gauge"), std::string::npos);
+  EXPECT_NE(text.find("histogram"), std::string::npos);
+  const std::string json = snapshot_json(rows);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\": \"test.export.c\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 3"), std::string::npos);
+}
+
+// ---- runtime gating -------------------------------------------------------
+
+TEST_F(ObsTest, MacrosAreInertWhenDisabled) {
+  set_enabled(false);
+  const std::size_t before = registry().size();
+  UPN_OBS_COUNT("test.gated.counter", 1);
+  UPN_OBS_GAUGE_MAX("test.gated.gauge", 5);
+  UPN_OBS_HIST("test.gated.hist", 7);
+  EXPECT_EQ(registry().size(), before) << "disabled macros must not register metrics";
+  set_enabled(true);
+  UPN_OBS_COUNT("test.gated.counter", 1);
+  EXPECT_GT(registry().size(), before);
+}
+
+// ---- spans and context ----------------------------------------------------
+
+TEST_F(ObsTest, SpansNestPerThread) {
+  EXPECT_EQ(current_span_path(), "");
+  {
+    ScopedSpan outer{"outer"};
+    EXPECT_EQ(current_span_path(), "outer");
+    {
+      ScopedSpan inner{"inner"};
+      EXPECT_EQ(current_span_path(), "outer/inner");
+    }
+    EXPECT_EQ(current_span_path(), "outer");
+  }
+  EXPECT_EQ(current_span_path(), "");
+}
+
+TEST_F(ObsTest, ContextSuffixNamesInnermostSpanAndStep) {
+  EXPECT_EQ(context_suffix(), "");
+  ScopedSpan outer{"sim.universal.run"};
+  {
+    ScopedSpan inner{"sim.universal.route"};
+    ScopedStep step{7};
+    EXPECT_EQ(context_suffix(), " [in sim.universal.route, step 7]");
+    set_current_step(8);
+    EXPECT_EQ(context_suffix(), " [in sim.universal.route, step 8]");
+  }
+  // Step context is restored on scope exit; only the outer span remains.
+  EXPECT_EQ(context_suffix(), " [in sim.universal.run]");
+}
+
+TEST_F(ObsTest, ContractViolationsCarryTheSpanContext) {
+  const ScopedContractMode mode{ContractMode::kThrow};
+  ScopedSpan span{"pebble.validator.replay"};
+  ScopedStep step{3};
+  try {
+    UPN_REQUIRE(false, "synthetic failure");
+    FAIL() << "UPN_REQUIRE(false) must throw in kThrow mode";
+  } catch (const ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("synthetic failure"), std::string::npos) << what;
+    EXPECT_NE(what.find("[in pebble.validator.replay, step 3]"), std::string::npos)
+        << what;
+  }
+}
+
+// ---- trace session --------------------------------------------------------
+
+TEST_F(ObsTest, TraceSessionRecordsCompletedSpans) {
+  const std::string path = ::testing::TempDir() + "obs_test.trace.json";
+  start_trace(path);
+  EXPECT_TRUE(trace_enabled());
+  EXPECT_EQ(trace_path(), path);
+  {
+    ScopedSpan a{"phase.a"};
+    ScopedSpan b{"phase.b"};
+  }
+  const std::vector<SpanEvent> events = trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  // Completion order: the inner span closes first.
+  EXPECT_STREQ(events[0].name, "phase.b");
+  EXPECT_STREQ(events[1].name, "phase.a");
+  EXPECT_GE(events[0].tid, 1u);
+  EXPECT_TRUE(write_trace());
+  stop_trace();
+  EXPECT_FALSE(trace_enabled());
+  EXPECT_TRUE(trace_events().empty());
+  EXPECT_FALSE(write_trace()) << "no session: write_trace must report failure";
+}
+
+TEST_F(ObsTest, SpansAreContextOnlyWithoutATraceSession) {
+  stop_trace();
+  {
+    ScopedSpan span{"phase.untraced"};
+  }
+  EXPECT_TRUE(trace_events().empty());
+}
+
+}  // namespace
+}  // namespace upn::obs

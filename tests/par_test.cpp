@@ -123,6 +123,54 @@ TEST(ThreadPool, ManyConsecutiveBatchesOnOnePool) {
   }
 }
 
+TEST(ThreadPool, StatsCountCallsTasksAndLargestBatch) {
+  ThreadPool pool{4};
+  const ThreadPoolStats fresh = pool.stats();
+  EXPECT_EQ(fresh.parallel_for_calls, 0u);
+  EXPECT_EQ(fresh.tasks_run, 0u);
+  EXPECT_EQ(fresh.max_batch, 0u);
+  EXPECT_EQ(fresh.pending, 0u);
+
+  pool.parallel_for(10, [](std::size_t) {});
+  pool.parallel_for(3, [](std::size_t) {});
+  pool.parallel_for(0, [](std::size_t) {});  // empty batch: early return, no call
+
+  const ThreadPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.parallel_for_calls, 2u);
+  EXPECT_EQ(stats.tasks_run, 13u);
+  EXPECT_EQ(stats.max_batch, 10u);
+  EXPECT_EQ(stats.pending, 0u) << "queue depth must return to 0 after every call";
+}
+
+TEST(ThreadPool, StatsAreIdenticalOnSerialAndPooledPaths) {
+  // max_batch is the SUBMITTED batch size (not a scheduling artifact), so a
+  // fixed call sequence yields the same stats at every pool width.
+  ThreadPoolStats by_width[2];
+  unsigned widths[2] = {1, 7};
+  for (int w = 0; w < 2; ++w) {
+    ThreadPool pool{widths[w]};
+    pool.parallel_for(64, [](std::size_t) {});
+    pool.parallel_for(5, [](std::size_t) {});
+    by_width[w] = pool.stats();
+  }
+  EXPECT_EQ(by_width[0].parallel_for_calls, by_width[1].parallel_for_calls);
+  EXPECT_EQ(by_width[0].tasks_run, by_width[1].tasks_run);
+  EXPECT_EQ(by_width[0].max_batch, by_width[1].max_batch);
+  EXPECT_EQ(by_width[0].pending, 0u);
+  EXPECT_EQ(by_width[1].pending, 0u);
+}
+
+TEST(ThreadPool, StatsQueueDrainsToZeroEvenAfterException) {
+  ThreadPool pool{4};
+  EXPECT_THROW(pool.parallel_for(
+                   8, [](std::size_t i) {
+                     if (i == 2) throw std::runtime_error{"boom"};
+                   }),
+               std::runtime_error);
+  EXPECT_EQ(pool.stats().pending, 0u);
+  EXPECT_EQ(pool.stats().parallel_for_calls, 1u);
+}
+
 TEST(ThreadPool, DefaultThreadsReadsEnvironment) {
   ASSERT_EQ(setenv("UPN_THREADS", "3", 1), 0);
   EXPECT_EQ(ThreadPool::default_threads(), 3u);

@@ -296,6 +296,13 @@ std::vector<Diagnostic> run_source_rules(const std::string& path,
 
   const std::vector<std::string> unordered = unordered_decls(code);
 
+  // Raw clock reads outside the obs layer and the bench harness bypass the
+  // deterministic/timing metric split (docs/OBSERVABILITY.md): timing taken
+  // ad hoc cannot be compiled out by UPN_NDEBUG_OBS and tends to leak into
+  // outputs that must be byte-stable across runs.
+  const bool timing_exempt = path.find("src/obs/") != std::string::npos ||
+                             path.find("bench/harness.") != std::string::npos;
+
   for (std::size_t i = 0; i < code.size(); ++i) {
     const std::string& line = code[i];
     const std::size_t line_no = i + 1;
@@ -316,6 +323,22 @@ std::vector<Diagnostic> run_source_rules(const std::string& path,
     if (line.find("std::endl") != std::string::npos) {
       emit(line_no, "no-endl",
            "std::endl flushes on every call (quadratic in emission loops); use '\\n'");
+    }
+    if (!timing_exempt) {
+      if (line.find("std::chrono") != std::string::npos ||
+          contains_word(line, "steady_clock") || contains_word(line, "system_clock") ||
+          contains_word(line, "high_resolution_clock")) {
+        emit(line_no, "no-raw-timing",
+             "raw std::chrono timing outside src/obs/ and the bench harness; use "
+             "upn::obs::now_ns() / UPN_OBS_SPAN so timing stays on the kTiming side "
+             "of the determinism split");
+      } else if (contains_word(line, "clock_gettime") ||
+                 contains_word(line, "gettimeofday")) {
+        emit(line_no, "no-raw-timing",
+             "raw OS clock call outside src/obs/ and the bench harness; use "
+             "upn::obs::now_ns() / UPN_OBS_SPAN so timing stays on the kTiming side "
+             "of the determinism split");
+      }
     }
     for (std::size_t pos = 0; pos + 1 < line.size(); ++pos) {
       const bool eq = line[pos] == '=' && line[pos + 1] == '=';

@@ -8,6 +8,10 @@
 //    determinism hazard singled out by DESIGN §1 -- range-for iteration
 //    over std::unordered_{map,set}, whose order is unspecified and varies
 //    across libstdc++ versions, on code that emits protocols/schedules.
+//    no-raw-timing additionally bans ad-hoc clock reads (std::chrono,
+//    clock_gettime, gettimeofday) outside src/obs/ and bench/harness.* --
+//    all timing must flow through the obs layer (docs/OBSERVABILITY.md) so
+//    it is tagged kTiming and compiled out by UPN_NDEBUG_OBS.
 //
 //  * ARTIFACT checks verify on-disk protocols (.upnp), embeddings (.upne),
 //    path schedules (.upns), and fault plans (.upnf): well-formed per their

@@ -1,0 +1,54 @@
+// Chrome trace-event file parsing + validation, shared between the
+// trace_report CLI and the test suite.
+//
+// The parser accepts exactly the subset src/obs/span.cpp emits -- a JSON
+// object with a "traceEvents" array of "X" (complete) events -- which is
+// also the subset Perfetto and chrome://tracing require, so a file that
+// passes check() is loadable by both.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace upn::tools {
+
+/// One parsed "X" event (microseconds, as in the file).
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0;
+  double dur_us = 0;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+};
+
+struct ParsedTrace {
+  bool ok = false;
+  std::string error;  ///< first structural problem found; empty when ok
+  std::vector<TraceEvent> events;
+};
+
+/// Parses and validates trace-event JSON text.  Rejects files that are not
+/// a JSON object, lack "traceEvents", contain non-"X" phases, or have
+/// events with missing/negative fields.
+[[nodiscard]] ParsedTrace parse_trace(const std::string& text);
+
+/// Reads `path` and runs parse_trace; IO failures surface in `error`.
+[[nodiscard]] ParsedTrace parse_trace_file(const std::string& path);
+
+/// Aggregated per-span-name statistics for the report table.
+struct PhaseSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_us = 0;
+  double max_us = 0;
+};
+
+/// Groups events by name, sorted by descending total duration.
+[[nodiscard]] std::vector<PhaseSummary> summarize(const std::vector<TraceEvent>& events);
+
+/// Prints the per-phase table (name, count, total ms, mean us, max us).
+void print_summary(std::ostream& out, const std::vector<PhaseSummary>& phases);
+
+}  // namespace upn::tools

@@ -1,0 +1,53 @@
+// trace_report: summarize or validate Chrome trace-event files produced by
+// the obs layer (UPN_TRACE / --trace / obs::start_trace).
+//
+//   trace_report FILE...            per-phase table for each file
+//   trace_report --check FILE...    validate only; exit 1 on the first bad file
+//
+// --check is the CI gate: bench-smoke emits *.trace.json artifacts and this
+// verifies they are structurally loadable by Perfetto / chrome://tracing.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/obs/trace_check.hpp"
+
+int main(int argc, char** argv) {
+  bool check_only = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: trace_report [--check] FILE...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "trace_report: unknown flag " << arg
+                << "\nusage: trace_report [--check] FILE...\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: trace_report [--check] FILE...\n";
+    return 2;
+  }
+
+  for (const std::string& path : paths) {
+    const upn::tools::ParsedTrace trace = upn::tools::parse_trace_file(path);
+    if (!trace.ok) {
+      std::cerr << "trace_report: " << path << ": " << trace.error << "\n";
+      return 1;
+    }
+    if (check_only) {
+      std::cout << path << ": OK (" << trace.events.size() << " events)\n";
+      continue;
+    }
+    std::cout << "=== " << path << " (" << trace.events.size() << " events) ===\n";
+    upn::tools::print_summary(std::cout, upn::tools::summarize(trace.events));
+    std::cout << "\n";
+  }
+  return 0;
+}
