@@ -4,6 +4,7 @@
 
 #include "src/core/embedding.hpp"
 #include "src/topology/butterfly.hpp"
+#include "src/util/contracts.hpp"
 
 namespace upn {
 
@@ -11,6 +12,7 @@ SlowdownRow measure_slowdown(const Graph& guest, const Graph& host,
                              std::uint32_t guest_steps, Rng& rng, PortModel port_model) {
   const std::uint32_t n = guest.num_nodes();
   const std::uint32_t m = host.num_nodes();
+  UPN_REQUIRE(n > 0 && m > 0 && guest_steps > 0);
   UniversalSimulator simulator{guest, host, make_random_embedding(n, m, rng)};
   UniversalSimOptions options;
   options.port_model = port_model;
@@ -47,6 +49,7 @@ std::vector<std::uint32_t> butterfly_sweep_dimensions(const Graph& guest,
 
 std::vector<SlowdownRow> sweep_butterfly_hosts(const Graph& guest, std::uint32_t guest_steps,
                                                std::uint32_t max_host_size, Rng& rng) {
+  UPN_REQUIRE(guest.num_nodes() > 0 && guest_steps > 0);
   std::vector<SlowdownRow> rows;
   for (const std::uint32_t d : butterfly_sweep_dimensions(guest, max_host_size)) {
     const Graph host = make_butterfly(d);
@@ -59,6 +62,7 @@ std::vector<SlowdownRow> sweep_butterfly_hosts_par(const Graph& guest,
                                                    std::uint32_t guest_steps,
                                                    std::uint32_t max_host_size,
                                                    std::uint64_t seed, ThreadPool& pool) {
+  UPN_REQUIRE(guest.num_nodes() > 0 && guest_steps > 0);
   const std::vector<std::uint32_t> dimensions =
       butterfly_sweep_dimensions(guest, max_host_size);
   return pool.parallel_map<SlowdownRow>(dimensions.size(), [&](std::size_t i) {

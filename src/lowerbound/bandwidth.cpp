@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/routing/policies.hpp"
+#include "src/util/contracts.hpp"
 
 namespace upn {
 
@@ -11,6 +12,7 @@ BandwidthBound bandwidth_lower_bound(const Graph& guest, const Graph& host,
   if (embedding.size() != guest.num_nodes()) {
     throw std::invalid_argument{"bandwidth_lower_bound: embedding size mismatch"};
   }
+  UPN_REQUIRE(host.num_nodes() > 0);
   BandwidthBound bound;
   DistanceOracle oracle{host};
   std::uint32_t max_distance = 0;
@@ -33,6 +35,7 @@ BandwidthBound bandwidth_lower_bound(const Graph& guest, const Graph& host,
   bound.single_port_bound =
       matchings == 0 ? 0.0 : static_cast<double>(bound.total_demand) / matchings;
   bound.diameter_bound = max_distance;
+  UPN_ENSURE(bound.multiport_bound >= 0.0 && bound.single_port_bound >= 0.0);
   return bound;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/util/contracts.hpp"
+
 namespace upn {
 
 double CountingConstants::r() const noexcept {
@@ -9,6 +11,7 @@ double CountingConstants::r() const noexcept {
 }
 
 double log2_guest_count_lower(double n, const CountingConstants& k) {
+  UPN_REQUIRE(n >= 2.0);
   const double exponent = (static_cast<double>(k.c) - k.g0_degree) / 2.0;
   return exponent * n * std::log2(n) - k.delta * n;
 }
@@ -22,6 +25,7 @@ double log2_fragment_count(double n, double k, const CountingConstants& constant
 }
 
 double log2_multiplicity(double n, double m, const CountingConstants& constants) {
+  UPN_REQUIRE(n >= 2.0 && m >= 2.0);
   const double half_residual = (static_cast<double>(constants.c) - constants.g0_degree) / 2.0;
   return half_residual * n * std::log2(n) -
          0.5 * constants.gamma * half_residual * n * std::log2(m);
@@ -38,6 +42,7 @@ bool inefficiency_infeasible(double n, double m, double k,
 }
 
 double min_feasible_inefficiency(double n, double m, const CountingConstants& constants) {
+  UPN_REQUIRE(n >= 2.0 && m >= 2.0);
   // |G(k)| is increasing in k, so binary search for the crossover.
   double lo = 1e-9, hi = 1.0;
   while (inefficiency_infeasible(n, m, hi, constants)) hi *= 2.0;
@@ -50,6 +55,7 @@ double min_feasible_inefficiency(double n, double m, const CountingConstants& co
       hi = mid;
     }
   }
+  UPN_ENSURE(hi > 0.0);
   return hi;
 }
 
@@ -69,12 +75,15 @@ double closed_form_inefficiency(double m, const CountingConstants& constants) {
     const double mid = 0.5 * (lo + hi);
     (lhs(mid) < target ? lo : hi) = mid;
   }
+  UPN_ENSURE(hi > 0.0);
   return hi;
 }
 
 std::uint32_t minimum_computation_length(double m) {
   if (m < 2.0) return 1;
-  return static_cast<std::uint32_t>(std::ceil(2.0 * std::sqrt(std::log2(m))));
+  const auto length = static_cast<std::uint32_t>(std::ceil(2.0 * std::sqrt(std::log2(m))));
+  UPN_ENSURE(length >= 2);
+  return length;
 }
 
 }  // namespace upn

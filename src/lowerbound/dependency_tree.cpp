@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/obs/obs.hpp"
+#include "src/util/contracts.hpp"
 
 namespace upn {
 
@@ -107,6 +108,7 @@ struct Builder {
 DependencyTree build_block_dependency_tree(const MultitorusLayout& layout, std::uint32_t block,
                                            NodeId root) {
   UPN_OBS_SPAN("lowerbound.deptree.build");
+  UPN_REQUIRE(layout.block_side > 0);
   if (block >= layout.num_blocks()) {
     throw std::out_of_range{"build_block_dependency_tree: block out of range"};
   }
@@ -162,6 +164,7 @@ DependencyTree build_block_dependency_tree(const MultitorusLayout& layout, std::
 
 bool validate_dependency_tree(const DependencyTree& tree, const Graph& graph,
                               const std::vector<NodeId>& block_nodes) {
+  UPN_REQUIRE(graph.num_nodes() > 0);
   if (tree.nodes.empty()) return false;
   if (tree.nodes.front().parent != -1 || tree.nodes.front().time != 0) return false;
 
@@ -193,6 +196,7 @@ bool validate_dependency_tree(const DependencyTree& tree, const Graph& graph,
 }
 
 std::string dependency_tree_to_dot(const DependencyTree& tree) {
+  UPN_REQUIRE(!tree.nodes.empty());
   std::ostringstream out;
   out << "digraph dependency_tree {\n  rankdir=TB;\n  node [shape=circle];\n";
   for (std::uint32_t i = 0; i < tree.nodes.size(); ++i) {

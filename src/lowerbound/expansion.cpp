@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/util/contracts.hpp"
+
 namespace upn {
 
 ExpansionReport analyze_expansion(const ProtocolMetrics& metrics, double alpha, double beta) {
+  UPN_REQUIRE(alpha > 0.0 && alpha <= 1.0 && beta > 1.0);
   const std::uint32_t n = metrics.num_guests();
   const std::uint32_t T = metrics.guest_steps();
   const std::uint32_t T_prime = metrics.host_steps();

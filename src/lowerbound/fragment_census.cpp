@@ -10,7 +10,6 @@
 #include "src/pebble/metrics.hpp"
 #include "src/topology/butterfly.hpp"
 #include "src/topology/random_regular.hpp"
-#include "src/util/math.hpp"
 
 namespace upn {
 

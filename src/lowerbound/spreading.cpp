@@ -4,11 +4,13 @@
 #include <cmath>
 
 #include "src/lowerbound/dependency_graph.hpp"
+#include "src/util/contracts.hpp"
 
 namespace upn {
 
 SpreadingProfile measure_spreading(const Graph& graph, std::uint32_t max_t,
                                    std::uint32_t samples, Rng& rng) {
+  UPN_REQUIRE(max_t >= 1);
   SpreadingProfile profile;
   profile.max_ball.assign(max_t + 1, 0);
   const std::uint32_t n = graph.num_nodes();
@@ -51,11 +53,13 @@ SpreadingProfile measure_spreading(const Graph& graph, std::uint32_t max_t,
     if (denom_poly > 0) profile.poly_exponent = (c * sxy - sx * sy) / denom_poly;
     if (denom_exp > 0) profile.exp_rate = (c * txy - tx * sy) / denom_exp;
   }
+  UPN_ENSURE(profile.max_ball.size() == max_t + 1);
   return profile;
 }
 
 bool has_polynomial_spreading(const SpreadingProfile& profile, double bound_coeff,
                               double bound_exp) {
+  UPN_REQUIRE(bound_coeff > 0.0 && bound_exp >= 0.0);
   const std::uint32_t n = profile.max_ball.empty() ? 0 : profile.max_ball.back();
   for (std::uint32_t t = 1; t < profile.max_ball.size(); ++t) {
     if (profile.max_ball[t] >= n && n > 0) break;  // saturated tail

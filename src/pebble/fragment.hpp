@@ -15,7 +15,6 @@
 #include <vector>
 
 #include "src/pebble/metrics.hpp"
-#include "src/util/rng.hpp"
 
 namespace upn {
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/util/contracts.hpp"
 #include "src/util/math.hpp"
 
 namespace upn {
@@ -20,8 +21,9 @@ void solve(const std::vector<std::uint32_t>& ids, const std::vector<std::uint32_
   const std::size_t size = ids.size();
   if (size == 2) {
     // Base case: one switch; send each packet to its target bit.
-    choice[ids[0]][depth] = static_cast<std::uint8_t>(lout[0] & 1u);
-    choice[ids[1]][depth] = static_cast<std::uint8_t>(lout[1] & 1u);
+    // Masked to one bit before each cast.
+    choice[ids[0]][depth] = static_cast<std::uint8_t>(lout[0] & 1u);  // upn-lint-allow(narrowing-cast)
+    choice[ids[1]][depth] = static_cast<std::uint8_t>(lout[1] & 1u);  // upn-lint-allow(narrowing-cast)
     return;
   }
 
@@ -46,6 +48,7 @@ void solve(const std::vector<std::uint32_t>& ids, const std::vector<std::uint32_
       const std::uint32_t partners[2] = {by_lin[lin[x] ^ 1u], by_lout[lout[x] ^ 1u]};
       for (const std::uint32_t y : partners) {
         if (color[y] == -1) {
+          UPN_REQUIRE(color[x] == 0 || color[x] == 1);
           color[y] = static_cast<std::int8_t>(1 - color[x]);
           stack.push_back(y);
         } else if (color[y] == color[x]) {
@@ -64,6 +67,7 @@ void solve(const std::vector<std::uint32_t>& ids, const std::vector<std::uint32_
   }
   for (std::uint32_t x = 0; x < size; ++x) {
     const int s = color[x];
+    UPN_REQUIRE(s == 0 || s == 1);
     choice[ids[x]][depth] = static_cast<std::uint8_t>(s);
     sub_ids[s].push_back(ids[x]);
     sub_lin[s].push_back(lin[x] >> 1);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/topology/properties.hpp"
+#include "src/util/contracts.hpp"
 
 namespace upn {
 
@@ -16,6 +17,7 @@ const std::vector<std::uint16_t>& DistanceOracle::to(NodeId dst) {
     if (wide[v] == kUnreachable) {
       throw std::invalid_argument{"DistanceOracle: graph must be connected"};
     }
+    UPN_REQUIRE(wide[v] <= std::numeric_limits<std::uint16_t>::max());
     narrow[v] = static_cast<std::uint16_t>(wide[v]);
   }
   return cache_.emplace(dst, std::move(narrow)).first->second;

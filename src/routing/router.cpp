@@ -336,7 +336,9 @@ RouteResult SyncRouter::route_impl(std::vector<Packet> packets, RoutingPolicy* p
       const bool dropped = clock && clock->drops_packet(v, w, packets[packet_index].id);
       if (record_transfers) {
         result.transfers.push_back(
-            Transfer{step, v, w, packet_index, static_cast<std::uint8_t>(dropped ? 1 : 0)});
+            Transfer{step, v, w, packet_index,
+                     // Bool to byte, range {0,1}:
+                     static_cast<std::uint8_t>(dropped ? 1 : 0)});  // upn-lint-allow(narrowing-cast)
       }
       if (!dropped) {
         arrivals.emplace_back(packet_index, w);

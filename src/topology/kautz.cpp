@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "src/util/contracts.hpp"
+
 namespace upn {
 
 namespace {
@@ -30,7 +32,8 @@ std::vector<std::uint8_t> word_of(std::uint32_t index, std::uint32_t length) {
     digits[i] = index % 2;
     index /= 2;
   }
-  digits[0] = index;  // in {0,1,2}
+  digits[0] = index;
+  UPN_REQUIRE(digits[0] <= 2);
   word[0] = static_cast<std::uint8_t>(digits[0]);
   for (std::uint32_t i = 1; i < length; ++i) {
     const std::uint8_t p = word[i - 1];

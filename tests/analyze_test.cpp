@@ -1,0 +1,464 @@
+// Engine-level tests for upn_analyze: IR construction (stripping, includes,
+// declaration indexing), each pass family against in-memory inputs and the
+// committed fixture trees, SARIF structural validity, and the determinism
+// contract -- text and SARIF reports are byte-identical at --jobs {1, 2, 7}.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/engine.hpp"
+#include "tools/analyze/ir.hpp"
+#include "tools/analyze/passes.hpp"
+#include "tools/analyze/sarif.hpp"
+
+namespace upn::analyze {
+namespace {
+
+std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+Report analyze_tree(const std::string& root, unsigned jobs = 0) {
+  TreeOptions options;
+  options.root = root;
+  options.paths = {"src"};
+  options.excludes.clear();  // fixture trees live under tests/fixtures-*
+  options.jobs = jobs;
+  Input input;
+  std::string error;
+  EXPECT_TRUE(collect_tree(options, input, error)) << error;
+  return analyze(input);
+}
+
+// ---- IR construction ------------------------------------------------------
+
+TEST(AnalyzeIr, StripsCommentsAndStringsPreservingLineLengths) {
+  const Unit unit = build_unit(
+      "src/util/demo.cpp",
+      "int a = 1; // trailing rand()\n"
+      "const char* s = \"std::endl inside\";\n"
+      "/* block rand()\n"
+      "   still rand() */ int b = 2;\n");
+  ASSERT_EQ(unit.code.size(), 4u);
+  EXPECT_EQ(unit.code[0], "int a = 1; ");
+  EXPECT_EQ(unit.code[1].find("endl"), std::string::npos);
+  EXPECT_EQ(unit.code[1].size(), unit.raw[1].size());
+  EXPECT_EQ(unit.code[2].find("rand"), std::string::npos);
+  EXPECT_NE(unit.code[3].find("int b = 2;"), std::string::npos);
+}
+
+TEST(AnalyzeIr, ScansQuotedAndSystemIncludes) {
+  const Unit unit = build_unit(
+      "src/core/demo.cpp",
+      "#include <vector>\n"
+      "#include \"src/util/rng.hpp\"\n"
+      "// #include \"src/util/not_really.hpp\"\n");
+  ASSERT_EQ(unit.includes.size(), 2u);
+  EXPECT_FALSE(unit.includes[0].quoted);
+  EXPECT_EQ(unit.includes[0].target, "vector");
+  EXPECT_TRUE(unit.includes[1].quoted);
+  EXPECT_EQ(unit.includes[1].target, "src/util/rng.hpp");
+  EXPECT_EQ(unit.includes[1].line, 2u);
+}
+
+TEST(AnalyzeIr, ModuleOfMapsSrcSubdirectories) {
+  EXPECT_EQ(module_of("src/topology/graph.hpp"), "topology");
+  EXPECT_EQ(module_of("src/util/par.cpp"), "util");
+  EXPECT_EQ(module_of("tools/lint/lint.cpp"), "");
+  EXPECT_EQ(module_of("tests/util_test.cpp"), "");
+}
+
+TEST(AnalyzeIr, IndexesFunctionDeclarationsWithContractFacts) {
+  const Unit unit = build_unit(
+      "src/util/demo.hpp",
+      "#pragma once\n"
+      "namespace upn {\n"
+      "int checked(int v) {\n"
+      "  UPN_REQUIRE(v >= 0);\n"
+      "  return v + 1;\n"
+      "}\n"
+      "int waived(int v) {\n"
+      "  // upn-contract-waive(trivial shim)\n"
+      "  int r = v;\n"
+      "  return r;\n"
+      "}\n"
+      "int bare(int v) {\n"
+      "  int r = v * 2;\n"
+      "  return r;\n"
+      "}\n"
+      "}  // namespace upn\n");
+  auto find = [&](const std::string& name) -> const Declaration* {
+    for (const Declaration& d : unit.decls) {
+      if (d.name == name) return &d;
+    }
+    return nullptr;
+  };
+  const Declaration* checked = find("checked");
+  ASSERT_NE(checked, nullptr);
+  EXPECT_TRUE(checked->has_body);
+  EXPECT_TRUE(checked->has_contract);
+  EXPECT_FALSE(checked->has_waiver);
+  const Declaration* waived = find("waived");
+  ASSERT_NE(waived, nullptr);
+  EXPECT_TRUE(waived->has_waiver);
+  EXPECT_FALSE(waived->has_contract);
+  const Declaration* bare = find("bare");
+  ASSERT_NE(bare, nullptr);
+  EXPECT_FALSE(bare->has_contract);
+  EXPECT_FALSE(bare->has_waiver);
+  EXPECT_GE(bare->body_statements, 2u);
+}
+
+TEST(AnalyzeIr, PrivateMembersAreNotPublic) {
+  const Unit unit = build_unit(
+      "src/util/demo.hpp",
+      "#pragma once\n"
+      "namespace upn {\n"
+      "class Box {\n"
+      " public:\n"
+      "  int get() const { return v_; }\n"
+      " private:\n"
+      "  int hidden(int a) {\n"
+      "    int b = a + 1;\n"
+      "    return b;\n"
+      "  }\n"
+      "  int v_ = 0;\n"
+      "};\n"
+      "}  // namespace upn\n");
+  bool saw_private = false;
+  for (const Declaration& d : unit.decls) {
+    if (d.name == "hidden") {
+      saw_private = true;
+      EXPECT_FALSE(d.is_public);
+    }
+    if (d.name == "get") EXPECT_TRUE(d.is_public);
+  }
+  EXPECT_TRUE(saw_private);
+}
+
+// ---- single-file rules (ported + flow) ------------------------------------
+
+TEST(AnalyzeRules, PortedLintRulesStillFire) {
+  const Unit unit = build_unit(
+      "src/util/demo.cpp",
+      "int r = rand();\n"
+      "std::cout << x << std::endl;\n");
+  const std::vector<Finding> findings = run_single_file_rules(unit);
+  EXPECT_TRUE(has_rule(findings, "no-std-rand"));
+  EXPECT_TRUE(has_rule(findings, "no-endl"));
+}
+
+TEST(AnalyzeRules, RngByValueFiresAndReferenceIsQuiet) {
+  const Unit by_value = build_unit("src/core/demo.hpp",
+                                   "#pragma once\n"
+                                   "void run(upn::Rng rng);\n");
+  EXPECT_TRUE(has_rule(run_single_file_rules(by_value), "rng-by-value"));
+  const Unit by_ref = build_unit("src/core/demo.hpp",
+                                 "#pragma once\n"
+                                 "void run(upn::Rng& rng);\n"
+                                 "void run2(const Rng& rng);\n");
+  EXPECT_FALSE(has_rule(run_single_file_rules(by_ref), "rng-by-value"));
+}
+
+TEST(AnalyzeRules, NarrowingCastNeedsAdjacentContract) {
+  const Unit bare = build_unit("src/core/demo.cpp",
+                               "void f(long big) {\n"
+                               "  auto t = static_cast<std::uint16_t>(big);\n"
+                               "}\n");
+  EXPECT_TRUE(has_rule(run_single_file_rules(bare), "narrowing-cast"));
+  const Unit contracted = build_unit("src/core/demo.cpp",
+                                     "void f(long big) {\n"
+                                     "  UPN_REQUIRE(big <= 65535);\n"
+                                     "  auto t = static_cast<std::uint16_t>(big);\n"
+                                     "}\n");
+  EXPECT_FALSE(has_rule(run_single_file_rules(contracted), "narrowing-cast"));
+  const Unit wide = build_unit("src/core/demo.cpp",
+                               "void f(long big) {\n"
+                               "  auto t = static_cast<std::uint32_t>(big);\n"
+                               "}\n");
+  EXPECT_FALSE(has_rule(run_single_file_rules(wide), "narrowing-cast"));
+}
+
+TEST(AnalyzeRules, RawThreadOutsideParFiresButParAndThreadIdAreExempt) {
+  const Unit outside = build_unit("src/core/demo.cpp", "std::thread t{[] {}};\n");
+  EXPECT_TRUE(has_rule(run_single_file_rules(outside), "no-raw-thread"));
+  const Unit inside = build_unit("src/util/par.cpp", "std::thread t{[] {}};\n");
+  EXPECT_FALSE(has_rule(run_single_file_rules(inside), "no-raw-thread"));
+  const Unit id_use = build_unit("src/core/demo.cpp", "std::thread::id who;\n");
+  EXPECT_FALSE(has_rule(run_single_file_rules(id_use), "no-raw-thread"));
+}
+
+TEST(AnalyzeRules, ThreadDetachFires) {
+  const Unit unit = build_unit("src/core/demo.cpp",
+                               "void f(std::thread& t) { t.detach(); }\n");
+  EXPECT_TRUE(has_rule(run_single_file_rules(unit), "thread-detach"));
+}
+
+TEST(AnalyzeRules, SuppressionSilencesExactlyTheNamedRule) {
+  const Unit unit = build_unit(
+      "src/core/demo.cpp",
+      "int r = rand();  // upn-lint-allow(no-std-rand)\n"
+      "std::cout << x << std::endl;  // upn-lint-allow(no-std-rand)\n");
+  const std::vector<Finding> findings = run_single_file_rules(unit);
+  EXPECT_FALSE(has_rule(findings, "no-std-rand"));
+  EXPECT_TRUE(has_rule(findings, "no-endl"));
+}
+
+// ---- layering -------------------------------------------------------------
+
+TEST(AnalyzeLayering, ParsesLayersAndWaivers) {
+  const LayerSpec spec = parse_layers("docs/ARCHITECTURE.layers",
+                                      "# comment\n"
+                                      "layer util\n"
+                                      "layer core: util\n"
+                                      "waive core -> pebble: legacy shim\n");
+  EXPECT_TRUE(spec.errors.empty());
+  ASSERT_EQ(spec.deps.count("core"), 1u);
+  EXPECT_EQ(spec.deps.at("core"), std::vector<std::string>{"util"});
+  EXPECT_EQ(spec.waivers.count({"core", "pebble"}), 1u);
+}
+
+TEST(AnalyzeLayering, MalformedLinesAreReported) {
+  const LayerSpec spec = parse_layers("L", "nonsense here\n");
+  EXPECT_TRUE(has_rule(spec.errors, "layers-malformed"));
+}
+
+TEST(AnalyzeLayering, UndeclaredEdgeAndCycleAndStaleWaiver) {
+  Input input;
+  input.layers_path = "docs/ARCHITECTURE.layers";
+  input.layers_text =
+      "layer util\n"
+      "layer core: util\n"
+      "layer alpha: beta\n"
+      "layer beta: alpha\n"
+      "waive core -> alpha: long gone\n";
+  input.files.push_back({"src/util/uses_core.hpp",
+                         "#pragma once\n#include \"src/core/a.hpp\"\n"});
+  input.files.push_back({"src/core/a.hpp", "#pragma once\n#include \"src/core/b.hpp\"\n"});
+  input.files.push_back({"src/core/b.hpp", "#pragma once\n#include \"src/core/a.hpp\"\n"});
+  input.jobs = 1;
+  const Report report = analyze(input);
+  EXPECT_TRUE(has_rule(report.findings, "layering-declared-cycle"));
+  EXPECT_TRUE(has_rule(report.findings, "layering-undeclared-edge"));
+  EXPECT_TRUE(has_rule(report.findings, "layering-stale-waiver"));
+  EXPECT_TRUE(has_rule(report.findings, "include-cycle"));
+}
+
+TEST(AnalyzeLayering, DeclaredAndWaivedEdgesAreQuiet) {
+  Input input;
+  input.layers_path = "L";
+  input.layers_text =
+      "layer util\n"
+      "layer core: util\n"
+      "waive util -> core: fixture back-edge\n";
+  input.files.push_back({"src/core/a.hpp", "#pragma once\n#include \"src/util/b.hpp\"\n"});
+  input.files.push_back({"src/util/b.hpp", "#pragma once\nnamespace upn { using Id = int; }\n"});
+  input.files.push_back({"src/util/back.hpp", "#pragma once\n#include \"src/core/a.hpp\"\n"});
+  input.jobs = 1;
+  const Report report = analyze(input);
+  EXPECT_FALSE(has_rule(report.findings, "layering-undeclared-edge"))
+      << report.render_text();
+  EXPECT_FALSE(has_rule(report.findings, "layering-stale-waiver"));
+}
+
+// ---- contract coverage + baseline -----------------------------------------
+
+TEST(AnalyzeContracts, UncontractedPublicFunctionIsFlaggedOnceAndBaselineable) {
+  Input input;
+  input.files.push_back({"src/core/demo.hpp",
+                         "#pragma once\n"
+                         "namespace upn {\n"
+                         "int clamp_add(int a, int b);\n"
+                         "}\n"});
+  input.files.push_back({"src/core/demo.cpp",
+                         "#include \"src/core/demo.hpp\"\n"
+                         "namespace upn {\n"
+                         "int clamp_add(int a, int b) {\n"
+                         "  int sum = a + b;\n"
+                         "  if (sum < 0) sum = 0;\n"
+                         "  return sum;\n"
+                         "}\n"
+                         "}\n"});
+  input.jobs = 1;
+  const Report flagged = analyze(input);
+  ASSERT_TRUE(has_rule(flagged.findings, "contract-coverage")) << flagged.render_text();
+  const std::vector<std::string> rules = rules_of(flagged.findings);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), std::string{"contract-coverage"}), 1);
+
+  // The same finding keyed into the baseline moves to the baselined bucket.
+  std::vector<Finding> coverage;
+  for (const Finding& f : flagged.findings) {
+    if (f.rule == "contract-coverage") coverage.push_back(f);
+  }
+  input.baseline_text = render_baseline(coverage);
+  const Report baselined = analyze(input);
+  EXPECT_FALSE(has_rule(baselined.findings, "contract-coverage"));
+  EXPECT_TRUE(has_rule(baselined.baselined, "contract-coverage"));
+}
+
+TEST(AnalyzeContracts, ContractedWaivedAndTrivialFunctionsAreQuiet) {
+  Input input;
+  input.files.push_back({"src/core/demo.hpp",
+                         "#pragma once\n"
+                         "namespace upn {\n"
+                         "inline int checked(int v) {\n"
+                         "  UPN_REQUIRE(v >= 0);\n"
+                         "  return v;\n"
+                         "}\n"
+                         "inline int waived(int v) {\n"
+                         "  // upn-contract-waive(identity)\n"
+                         "  int r = v;\n"
+                         "  return r;\n"
+                         "}\n"
+                         "inline int trivial() { return 1; }\n"
+                         "}\n"});
+  input.jobs = 1;
+  const Report report = analyze(input);
+  EXPECT_FALSE(has_rule(report.findings, "contract-coverage")) << report.render_text();
+}
+
+TEST(AnalyzeContracts, BaselineParserSkipsCommentsAndBlanks) {
+  const std::set<std::string> entries =
+      parse_baseline("# header\n\nsrc/a.hpp:f\nsrc/b.hpp:g\n");
+  EXPECT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.count("src/a.hpp:f"), 1u);
+}
+
+// ---- include hygiene ------------------------------------------------------
+
+TEST(AnalyzeHygiene, UnusedIncludeFlaggedUsedIncludeQuiet) {
+  Input input;
+  input.files.push_back({"src/util/names.hpp",
+                         "#pragma once\n"
+                         "namespace upn {\n"
+                         "inline int forty() { return 40; }\n"
+                         "}\n"});
+  input.files.push_back({"src/util/user.cpp",
+                         "#include \"src/util/names.hpp\"\n"
+                         "int x = upn::forty();\n"});
+  input.files.push_back({"src/util/nonuser.cpp",
+                         "#include \"src/util/names.hpp\"\n"
+                         "int y = 2;\n"});
+  input.jobs = 1;
+  const Report report = analyze(input);
+  ASSERT_TRUE(has_rule(report.findings, "unused-include")) << report.render_text();
+  for (const Finding& f : report.findings) {
+    if (f.rule == "unused-include") EXPECT_EQ(f.file, "src/util/nonuser.cpp");
+  }
+}
+
+TEST(AnalyzeHygiene, TransitiveUseCountsAsUse) {
+  Input input;
+  input.files.push_back({"src/util/inner.hpp",
+                         "#pragma once\n"
+                         "namespace upn {\n"
+                         "inline int deep() { return 7; }\n"
+                         "}\n"});
+  input.files.push_back({"src/util/outer.hpp",
+                         "#pragma once\n"
+                         "#include \"src/util/inner.hpp\"\n"
+                         "namespace upn {\n"
+                         "inline int shallow() { return deep(); }\n"
+                         "}\n"});
+  input.files.push_back({"src/util/user.cpp",
+                         "#include \"src/util/outer.hpp\"\n"
+                         "int x = upn::deep();\n"});
+  input.jobs = 1;
+  const Report report = analyze(input);
+  for (const Finding& f : report.findings) {
+    EXPECT_NE(f.file, "src/util/user.cpp") << f.format();
+  }
+}
+
+// ---- fixture trees --------------------------------------------------------
+
+TEST(AnalyzeFixtures, CleanTreeIsClean) {
+  const Report report = analyze_tree(UPN_ANALYZE_CLEAN_DIR);
+  EXPECT_TRUE(report.findings.empty()) << report.render_text();
+  EXPECT_GE(report.files, 3u);
+}
+
+TEST(AnalyzeFixtures, BadTreeFiresEveryPassFamily) {
+  const Report report = analyze_tree(UPN_ANALYZE_BAD_DIR);
+  for (const char* rule :
+       {"layering-declared-cycle", "layering-undeclared-edge", "layering-stale-waiver",
+        "include-cycle", "contract-coverage", "rng-by-value", "narrowing-cast",
+        "no-raw-thread", "thread-detach", "unused-include", "pragma-once"}) {
+    EXPECT_TRUE(has_rule(report.findings, rule)) << rule;
+  }
+}
+
+// ---- SARIF ----------------------------------------------------------------
+
+TEST(AnalyzeSarif, EmittedReportValidatesStructurally) {
+  const Report report = analyze_tree(UPN_ANALYZE_BAD_DIR);
+  const std::string sarif = write_sarif(report.findings);
+  EXPECT_EQ(validate_sarif(sarif), "");
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("upn_analyze"), std::string::npos);
+}
+
+TEST(AnalyzeSarif, EmptyFindingsStillValidate) {
+  const std::string sarif = write_sarif({});
+  EXPECT_EQ(validate_sarif(sarif), "");
+}
+
+TEST(AnalyzeSarif, ValidatorRejectsStructuralDamage) {
+  const std::string good = write_sarif({});
+  EXPECT_NE(validate_sarif("{}"), "");
+  EXPECT_NE(validate_sarif("not json at all"), "");
+  std::string wrong_version = good;
+  const std::size_t at = wrong_version.find("\"version\": \"2.1.0\"");
+  ASSERT_NE(at, std::string::npos);
+  wrong_version.replace(at, 18, "\"version\": \"9.9.9\"");
+  EXPECT_NE(validate_sarif(wrong_version), "");
+}
+
+TEST(AnalyzeSarif, FileScopedFindingsClampToLineOne) {
+  const std::string sarif =
+      write_sarif({Finding{"src/core/a.hpp", 0, "include-cycle", "cycle"}});
+  EXPECT_EQ(validate_sarif(sarif), "");
+  EXPECT_NE(sarif.find("\"startLine\": 1"), std::string::npos);
+}
+
+// ---- determinism across thread counts -------------------------------------
+
+TEST(AnalyzeDeterminism, ReportsAreByteIdenticalAtJobs127) {
+  const Report one = analyze_tree(UPN_ANALYZE_BAD_DIR, 1);
+  const Report two = analyze_tree(UPN_ANALYZE_BAD_DIR, 2);
+  const Report seven = analyze_tree(UPN_ANALYZE_BAD_DIR, 7);
+  EXPECT_EQ(one.render_text(), two.render_text());
+  EXPECT_EQ(one.render_text(), seven.render_text());
+  EXPECT_EQ(write_sarif(one.findings), write_sarif(two.findings));
+  EXPECT_EQ(write_sarif(one.findings), write_sarif(seven.findings));
+}
+
+// ---- catalog --------------------------------------------------------------
+
+TEST(AnalyzeCatalog, SortedUniqueAndCoversEmittedRules) {
+  const std::vector<RuleInfo>& catalog = rule_catalog();
+  ASSERT_FALSE(catalog.empty());
+  for (std::size_t i = 1; i < catalog.size(); ++i) {
+    EXPECT_LT(std::string{catalog[i - 1].id}, std::string{catalog[i].id});
+  }
+  const Report report = analyze_tree(UPN_ANALYZE_BAD_DIR);
+  for (const Finding& f : report.findings) {
+    const bool known = std::any_of(catalog.begin(), catalog.end(),
+                                   [&](const RuleInfo& r) { return f.rule == r.id; });
+    EXPECT_TRUE(known) << f.rule;
+  }
+}
+
+}  // namespace
+}  // namespace upn::analyze

@@ -1,0 +1,12 @@
+#include <thread>
+
+namespace demo {
+
+void run_flow(upn::Rng rng, long big) {
+  auto tiny = static_cast<std::uint16_t>(big);
+  std::thread worker{[tiny] { (void)tiny; }};
+  worker.detach();
+  (void)rng;
+}
+
+}  // namespace demo

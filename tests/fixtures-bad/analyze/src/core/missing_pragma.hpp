@@ -1,0 +1,5 @@
+namespace demo {
+
+struct Empty {};
+
+}  // namespace demo

@@ -1,0 +1,7 @@
+#pragma once
+
+namespace demo {
+
+inline int quiet_level() { return 3; }
+
+}  // namespace demo

@@ -1,0 +1,11 @@
+#pragma once
+
+namespace demo {
+
+inline int clamp_add(int a, int b) {
+  int sum = a + b;
+  if (sum < 0) sum = 0;
+  return sum;
+}
+
+}  // namespace demo

@@ -1,0 +1,7 @@
+#include "src/core/quiet.hpp"
+
+namespace demo {
+
+int forty_two() { return 42; }
+
+}  // namespace demo

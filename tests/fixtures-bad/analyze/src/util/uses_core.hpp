@@ -1,0 +1,3 @@
+#pragma once
+
+#include "src/core/loop_a.hpp"

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "src/util/checked_math.hpp"
+
+namespace demo {
+
+inline int half_of(int value) {
+  UPN_REQUIRE(value >= 0);
+  return demo::checked_halve(value);
+}
+
+inline int identity(int value) {
+  // upn-contract-waive(pure passthrough, no precondition to state)
+  int result = value;
+  return result;
+}
+
+}  // namespace demo

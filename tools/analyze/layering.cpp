@@ -1,0 +1,251 @@
+// Layering conformance: the observed #include graph of src/ checked against
+// the module DAG declared in docs/ARCHITECTURE.layers.
+//
+// The layers file is the architecture's source of truth; the pass makes it
+// binding.  Grammar (one directive per line, '#' starts a comment):
+//
+//   layer <module>[: <dep> <dep> ...]
+//   waive <from> -> <to>: <reason>
+//
+// `layer` declares a module and its DIRECT allowed dependencies (transitive
+// reachability is not inherited: if core may use routing and routing may use
+// topology, core must still declare topology to include it).  `waive`
+// tolerates one observed edge outside the DAG with a recorded reason -- the
+// escape hatch for instrumentation edges like util -> obs that would
+// otherwise be module-level cycles.  Errors:
+//
+//   layers-malformed           unparseable directive
+//   layering-undeclared-module a dep names a module never declared
+//   layering-declared-cycle    the declared DAG itself is cyclic
+//   layering-unknown-module    a src/ module absent from the file
+//   layering-undeclared-edge   an observed cross-module include, not declared,
+//                              not waived (reported at the #include line)
+//   layering-stale-waiver      a waiver whose edge no longer occurs
+//   include-cycle              a file-level #include cycle (reported once, at
+//                              the lexicographically smallest member)
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/passes.hpp"
+
+namespace upn::analyze {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> words(const std::string& s) {
+  std::istringstream stream{s};
+  std::vector<std::string> out;
+  std::string w;
+  while (stream >> w) out.push_back(std::move(w));
+  return out;
+}
+
+/// Detects a cycle in `graph` (adjacency sorted); returns one witness cycle
+/// as "a -> b -> ... -> a", or "" when acyclic.  Deterministic: nodes are
+/// visited in sorted order.
+std::string find_cycle(const std::map<std::string, std::vector<std::string>>& graph) {
+  std::map<std::string, int> state;  // 0 new, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  std::string witness;
+
+  // NOLINTNEXTLINE(misc-no-recursion): depth is bounded by the module count.
+  auto dfs = [&](auto&& self, const std::string& node) -> bool {
+    state[node] = 1;
+    stack.push_back(node);
+    const auto it = graph.find(node);
+    if (it != graph.end()) {
+      for (const std::string& next : it->second) {
+        const int s = state.count(next) != 0 ? state.at(next) : 0;
+        if (s == 1) {
+          const auto from = std::find(stack.begin(), stack.end(), next);
+          witness = next;
+          for (auto w = from; w != stack.end(); ++w) {
+            if (w != from) witness += " -> " + *w;
+          }
+          witness += " -> " + next;
+          return true;
+        }
+        if (s == 0 && self(self, next)) return true;
+      }
+    }
+    stack.pop_back();
+    state[node] = 2;
+    return false;
+  };
+
+  for (const auto& [node, deps] : graph) {
+    (void)deps;
+    if ((state.count(node) == 0 || state.at(node) == 0) && dfs(dfs, node)) return witness;
+  }
+  return "";
+}
+
+}  // namespace
+
+LayerSpec parse_layers(const std::string& path, const std::string& content) {
+  LayerSpec spec;
+  const std::vector<std::string> lines = split_lines(content);
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    std::string line = lines[li];
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const std::size_t line_no = li + 1;
+
+    if (line.compare(0, 6, "layer ") == 0) {
+      const auto colon = line.find(':');
+      const std::string name = trim(colon == std::string::npos
+                                        ? line.substr(6)
+                                        : line.substr(6, colon - 6));
+      const std::vector<std::string> deps =
+          colon == std::string::npos ? std::vector<std::string>{}
+                                     : words(line.substr(colon + 1));
+      if (name.empty() || name.find(' ') != std::string::npos) {
+        spec.errors.push_back(Finding{path, line_no, "layers-malformed",
+                                      "expected 'layer <module>[: <dep>...]'"});
+        continue;
+      }
+      if (spec.deps.count(name) != 0) {
+        spec.errors.push_back(Finding{path, line_no, "layers-malformed",
+                                      "module '" + name + "' declared twice"});
+        continue;
+      }
+      std::vector<std::string> sorted = deps;
+      std::sort(sorted.begin(), sorted.end());
+      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+      spec.deps.emplace(name, std::move(sorted));
+      continue;
+    }
+
+    if (line.compare(0, 6, "waive ") == 0) {
+      // waive <from> -> <to>: <reason>
+      const auto arrow = line.find("->");
+      const auto colon = line.find(':', arrow == std::string::npos ? 0 : arrow);
+      if (arrow == std::string::npos || colon == std::string::npos) {
+        spec.errors.push_back(Finding{path, line_no, "layers-malformed",
+                                      "expected 'waive <from> -> <to>: <reason>'"});
+        continue;
+      }
+      const std::string from = trim(line.substr(6, arrow - 6));
+      const std::string to = trim(line.substr(arrow + 2, colon - arrow - 2));
+      const std::string reason = trim(line.substr(colon + 1));
+      if (from.empty() || to.empty() || reason.empty()) {
+        spec.errors.push_back(
+            Finding{path, line_no, "layers-malformed",
+                    "waivers need both modules and a non-empty reason"});
+        continue;
+      }
+      spec.waivers[{from, to}] = reason;
+      continue;
+    }
+
+    spec.errors.push_back(Finding{path, line_no, "layers-malformed",
+                                  "unknown directive (expected 'layer' or 'waive')"});
+  }
+  return spec;
+}
+
+std::vector<Finding> run_layering_pass(const std::vector<Unit>& units, const LayerSpec& spec,
+                                       const std::string& layers_path) {
+  std::vector<Finding> out = spec.errors;
+
+  // Dependencies must name declared modules.
+  for (const auto& [mod, deps] : spec.deps) {
+    for (const std::string& dep : deps) {
+      if (spec.deps.count(dep) == 0) {
+        out.push_back(Finding{layers_path, 0, "layering-undeclared-module",
+                              "module '" + mod + "' depends on undeclared module '" + dep +
+                                  "'"});
+      }
+    }
+  }
+
+  // The declared DAG must be acyclic.
+  const std::string cycle = find_cycle(spec.deps);
+  if (!cycle.empty()) {
+    out.push_back(Finding{layers_path, 0, "layering-declared-cycle",
+                          "declared module graph is cyclic: " + cycle});
+  }
+
+  // Observed cross-module edges from the include graph of src/.
+  std::set<std::string> seen_modules;
+  std::set<std::pair<std::string, std::string>> observed;
+  for (const Unit& unit : units) {
+    if (unit.module.empty()) continue;
+    seen_modules.insert(unit.module);
+    for (const IncludeEdge& inc : unit.includes) {
+      if (!inc.quoted) continue;
+      const std::string target_module = module_of(inc.target);
+      if (target_module.empty() || target_module == unit.module) continue;
+      observed.insert({unit.module, target_module});
+      if (spec.waivers.count({unit.module, target_module}) != 0) continue;
+      const auto it = spec.deps.find(unit.module);
+      const bool declared =
+          it != spec.deps.end() &&
+          std::binary_search(it->second.begin(), it->second.end(), target_module);
+      if (!declared) {
+        out.push_back(Finding{unit.path, inc.line, "layering-undeclared-edge",
+                              "module '" + unit.module + "' includes '" + inc.target +
+                                  "' from module '" + target_module +
+                                  "', an edge docs/ARCHITECTURE.layers neither declares "
+                                  "nor waives"});
+      }
+    }
+  }
+
+  for (const std::string& mod : seen_modules) {
+    if (spec.deps.count(mod) == 0) {
+      out.push_back(Finding{layers_path, 0, "layering-unknown-module",
+                            "module '" + mod +
+                                "' exists under src/ but is not declared in the layers "
+                                "file"});
+    }
+  }
+
+  for (const auto& [edge, reason] : spec.waivers) {
+    (void)reason;
+    if (observed.count(edge) == 0) {
+      out.push_back(Finding{layers_path, 0, "layering-stale-waiver",
+                            "waiver '" + edge.first + " -> " + edge.second +
+                                "' matches no observed include edge; delete it"});
+    }
+  }
+
+  // File-level include cycles over the whole analyzed set (not just src/):
+  // with #pragma once everywhere a cycle silently yields incomplete
+  // declarations instead of an error.
+  std::map<std::string, std::vector<std::string>> file_graph;
+  std::set<std::string> paths;
+  for (const Unit& unit : units) paths.insert(unit.path);
+  for (const Unit& unit : units) {
+    std::vector<std::string> targets;
+    for (const IncludeEdge& inc : unit.includes) {
+      if (inc.quoted && paths.count(inc.target) != 0) targets.push_back(inc.target);
+    }
+    std::sort(targets.begin(), targets.end());
+    file_graph.emplace(unit.path, std::move(targets));
+  }
+  const std::string file_cycle = find_cycle(file_graph);
+  if (!file_cycle.empty()) {
+    const std::string first = file_cycle.substr(0, file_cycle.find(' '));
+    out.push_back(Finding{first, 0, "include-cycle",
+                          "#include cycle: " + file_cycle});
+  }
+
+  std::sort(out.begin(), out.end(), finding_less);
+  return out;
+}
+
+}  // namespace upn::analyze

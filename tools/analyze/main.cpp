@@ -1,0 +1,124 @@
+// upn_analyze CLI: whole-program static analysis with layering DAG
+// enforcement, contract-coverage audit (baseline-ratcheted), flow-sensitive
+// token rules, include hygiene, and SARIF 2.1.0 output for CI annotation.
+//
+// Usage:
+//   upn_analyze [options] PATH...
+//     --root DIR        repo root; reported paths are relative to it (default .)
+//     --layers FILE     module DAG (default ROOT/docs/ARCHITECTURE.layers if present)
+//     --baseline FILE   contract baseline (default ROOT/tools/analyze/contracts.baseline)
+//     --sarif FILE      also write a SARIF 2.1.0 report to FILE
+//     --jobs N          analysis thread count (default: UPN_THREADS, else 1)
+//     --exclude SUBSTR  skip paths containing SUBSTR (repeatable; defaults
+//                       additionally skip fixtures-bad/, fixtures-clean/, build*/)
+//     --write-baseline  rewrite the baseline at the current coverage level
+//
+// Exit codes: 0 clean, 1 findings, 2 usage / IO error.  The text report and
+// the SARIF document are byte-identical at every --jobs value.
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/engine.hpp"
+#include "tools/analyze/sarif.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: upn_analyze [--root DIR] [--layers FILE] [--baseline FILE]\n"
+               "                   [--sarif FILE] [--jobs N] [--exclude SUBSTR]...\n"
+               "                   [--write-baseline] PATH...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  upn::analyze::TreeOptions options;
+  std::string sarif_path;
+  bool write_baseline = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--help" || arg == "-h") return usage();
+    if (arg == "--root") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.root = v;
+    } else if (arg == "--layers") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.layers_file = v;
+    } else if (arg == "--baseline") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.baseline_file = v;
+    } else if (arg == "--sarif") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      sarif_path = v;
+    } else if (arg == "--jobs") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      const long jobs = std::strtol(v, nullptr, 10);
+      if (jobs < 1) return usage();
+      options.jobs = static_cast<unsigned>(jobs);
+    } else if (arg == "--exclude") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.excludes.emplace_back(v);
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      options.paths.push_back(arg);
+    }
+  }
+  if (options.paths.empty()) return usage();
+
+  upn::analyze::Input input;
+  std::string error;
+  if (!upn::analyze::collect_tree(options, input, error)) {
+    std::cerr << "upn_analyze: " << error << "\n";
+    return 2;
+  }
+
+  const upn::analyze::Report report = upn::analyze::analyze(input);
+
+  if (write_baseline) {
+    // The new frozen set is everything currently uncontracted, whether or
+    // not the old baseline covered it.
+    std::vector<upn::analyze::Finding> uncontracted = report.baselined;
+    for (const upn::analyze::Finding& f : report.findings) {
+      if (f.rule == "contract-coverage") uncontracted.push_back(f);
+    }
+    std::sort(uncontracted.begin(), uncontracted.end(), upn::analyze::finding_less);
+    const std::string path = options.baseline_file.empty()
+                                 ? options.root + "/tools/analyze/contracts.baseline"
+                                 : options.baseline_file;
+    std::ofstream out{path, std::ios::binary};
+    if (!out) {
+      std::cerr << "upn_analyze: cannot write baseline " << path << "\n";
+      return 2;
+    }
+    out << upn::analyze::render_baseline(uncontracted);
+    std::cerr << "upn_analyze: baseline rewritten: " << path << "\n";
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out{sarif_path, std::ios::binary};
+    if (!out) {
+      std::cerr << "upn_analyze: cannot write SARIF report " << sarif_path << "\n";
+      return 2;
+    }
+    out << upn::analyze::write_sarif(report.findings);
+  }
+
+  std::cout << report.render_text();
+  return report.findings.empty() ? 0 : 1;
+}

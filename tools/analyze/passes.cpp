@@ -1,0 +1,63 @@
+#include "tools/analyze/passes.hpp"
+
+#include <tuple>
+
+namespace upn::analyze {
+
+std::string Finding::format() const {
+  return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+bool finding_less(const Finding& a, const Finding& b) {
+  return std::tie(a.file, a.line, a.rule, a.message) <
+         std::tie(b.file, b.line, b.rule, b.message);
+}
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> catalog = {
+      {"contract-coverage",
+       "public header function whose definition carries no UPN_REQUIRE/UPN_ENSURE and no "
+       "upn-contract-waive(reason) marker"},
+      {"float-equality",
+       "exact ==/!= against a floating-point literal; compare with a tolerance"},
+      {"include-cycle", "the #include graph contains a cycle through this file"},
+      {"layering-declared-cycle",
+       "the declared module DAG in docs/ARCHITECTURE.layers is cyclic"},
+      {"layering-stale-waiver",
+       "a waived module edge no longer occurs; delete the waiver"},
+      {"layering-undeclared-edge",
+       "a cross-module #include not declared in docs/ARCHITECTURE.layers and not waived"},
+      {"layering-undeclared-module",
+       "a layer dependency names a module the layers file never declares"},
+      {"layering-unknown-module",
+       "a src/ module missing from docs/ARCHITECTURE.layers"},
+      {"layers-malformed", "unparseable line in the layers file"},
+      {"narrowing-cast",
+       "static_cast to a narrower integer type with no adjacent contract establishing the "
+       "range"},
+      {"no-endl", "std::endl flushes on every call; use '\\n'"},
+      {"no-raw-thread",
+       "std::thread outside src/util/par; all parallelism flows through upn::ThreadPool"},
+      {"no-raw-timing",
+       "raw clock read outside src/obs/ and the bench harness; timing must stay on the "
+       "kTiming side of the determinism split"},
+      {"no-std-rand", "rand()/srand() are not reproducible across platforms; use upn::Rng"},
+      {"no-unseeded-rng",
+       "std:: random engines break seed-reproducibility; thread an explicit upn::Rng"},
+      {"pragma-once", "header is missing #pragma once"},
+      {"rng-by-value",
+       "upn::Rng parameter taken by value forks the stream state; pass Rng& or derive a "
+       "sub-stream with Rng::stream(seed, index)"},
+      {"thread-detach",
+       "detached threads outlive their resources and break deterministic joins"},
+      {"unordered-iteration",
+       "range-for over std::unordered_{map,set}: iteration order is unspecified and breaks "
+       "emission determinism"},
+      {"unused-include",
+       "no name from the included header's transitive declarations is used; drop the "
+       "include"},
+  };
+  return catalog;
+}
+
+}  // namespace upn::analyze

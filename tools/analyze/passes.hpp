@@ -1,0 +1,104 @@
+// upn_analyze pass families over the shared IR (tools/analyze/ir.hpp).
+//
+// Four groups, one Finding vocabulary:
+//
+//   * single-file rules (source_rules.cpp) -- the upn_lint source rules
+//     ported onto the IR plus the flow-sensitive token rules (Rng taken by
+//     value, narrowing static_cast without an adjacent contract, raw
+//     std::thread outside util/par).  upn_lint's lint_source delegates here,
+//     so there is exactly one engine and one suppression syntax.
+//   * layering conformance (layering.cpp) -- the observed #include graph of
+//     src/ checked against the declared module DAG in
+//     docs/ARCHITECTURE.layers, plus file-level include-cycle detection.
+//   * contract coverage (contracts_audit.cpp) -- public header functions
+//     whose definitions carry no contract macro and no waiver, filtered by a
+//     committed baseline so coverage can only ratchet up.
+//   * include hygiene (include_hygiene.cpp) -- quoted includes from whose
+//     transitive declaration set the includer uses nothing.
+//
+// Every pass is pure (IR in, findings out) and thread-safe by construction;
+// the engine owns ordering: findings are merged and sorted by
+// (file, line, rule, message) so reports are byte-identical at every thread
+// count.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/analyze/ir.hpp"
+
+namespace upn::analyze {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  ///< 1-based; 0 when file-scoped
+  std::string rule;
+  std::string message;
+
+  /// "file:line: [rule] message" -- the text-report and CI-grep format.
+  [[nodiscard]] std::string format() const;
+};
+
+/// Deterministic report order: (file, line, rule, message).
+[[nodiscard]] bool finding_less(const Finding& a, const Finding& b);
+
+/// One catalog entry per rule id, for the SARIF rules array and the docs.
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// Every rule the engine can emit, sorted by id.
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
+
+// ---- single-file rules ----------------------------------------------------
+
+/// All rules that need only one unit.  Honors `upn-lint-allow(<rule>)` on
+/// the finding's raw line.
+[[nodiscard]] std::vector<Finding> run_single_file_rules(const Unit& unit);
+
+// ---- layering -------------------------------------------------------------
+
+/// Parsed docs/ARCHITECTURE.layers: the declared module DAG plus waived
+/// edges (observed edges tolerated with a recorded reason).
+struct LayerSpec {
+  /// module -> direct declared dependencies (sorted).
+  std::map<std::string, std::vector<std::string>> deps;
+  /// waived "from -> to" edges with their reasons.
+  std::map<std::pair<std::string, std::string>, std::string> waivers;
+  std::vector<Finding> errors;  ///< malformed lines, duplicate declarations
+};
+
+/// Parses the layers file text.  `path` is used for diagnostics only.
+[[nodiscard]] LayerSpec parse_layers(const std::string& path, const std::string& content);
+
+/// Checks the observed include graph of the src/ units against the spec:
+/// declared-DAG acyclicity, undeclared cross-module edges, unknown modules,
+/// stale waivers, and file-level include cycles.
+[[nodiscard]] std::vector<Finding> run_layering_pass(
+    const std::vector<Unit>& units, const LayerSpec& spec, const std::string& layers_path);
+
+// ---- contract coverage ----------------------------------------------------
+
+/// Public functions declared in src/**/*.hpp whose definition (inline or in
+/// any analyzed unit) has no contract macro and no waiver marker.  Functions
+/// whose bodies hold at most one statement (trivial accessors) and functions
+/// with no definition in the analyzed set are skipped.
+[[nodiscard]] std::vector<Finding> run_contract_coverage_pass(const std::vector<Unit>& units);
+
+/// Baseline file IO: one "path:function" entry per line, '#' comments.
+[[nodiscard]] std::set<std::string> parse_baseline(const std::string& content);
+[[nodiscard]] std::string baseline_key(const Finding& finding);
+[[nodiscard]] std::string render_baseline(const std::vector<Finding>& findings);
+
+// ---- include hygiene ------------------------------------------------------
+
+/// Quoted includes that resolve inside the analyzed set but from whose
+/// transitive declaration closure the includer uses no name.
+[[nodiscard]] std::vector<Finding> run_include_hygiene_pass(const std::vector<Unit>& units);
+
+}  // namespace upn::analyze

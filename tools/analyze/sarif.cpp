@@ -1,0 +1,357 @@
+#include "tools/analyze/sarif.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace upn::analyze {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += hex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string write_sarif(const std::vector<Finding>& findings) {
+  const std::vector<RuleInfo>& catalog = rule_catalog();
+  std::map<std::string, std::size_t> rule_index;
+  for (std::size_t i = 0; i < catalog.size(); ++i) rule_index.emplace(catalog[i].id, i);
+
+  std::string out;
+  out += "{\n";
+  out += "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n    {\n";
+  out += "      \"tool\": {\n        \"driver\": {\n";
+  out += "          \"name\": \"upn_analyze\",\n";
+  out += "          \"informationUri\": \"docs/STATIC_ANALYSIS.md\",\n";
+  out += "          \"rules\": [\n";
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    out += "            {\"id\": \"" + json_escape(catalog[i].id) +
+           "\", \"shortDescription\": {\"text\": \"" + json_escape(catalog[i].summary) +
+           "\"}}";
+    out += i + 1 < catalog.size() ? ",\n" : "\n";
+  }
+  out += "          ]\n        }\n      },\n";
+  out += "      \"columnKind\": \"utf16CodeUnits\",\n";
+  out += "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    const auto idx = rule_index.find(f.rule);
+    out += "        {\"ruleId\": \"" + json_escape(f.rule) + "\"";
+    if (idx != rule_index.end()) {
+      out += ", \"ruleIndex\": " + std::to_string(idx->second);
+    }
+    out += ", \"level\": \"error\", \"message\": {\"text\": \"" + json_escape(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"" +
+           json_escape(f.file) +
+           "\"}, \"region\": {\"startLine\": " + std::to_string(f.line >= 1 ? f.line : 1) +
+           "}}}]}";
+    out += i + 1 < findings.size() ? ",\n" : "\n";
+  }
+  out += "      ]\n    }\n  ]\n}\n";
+  return out;
+}
+
+// ---- minimal JSON parser for structural validation ------------------------
+//
+// Same spirit as tools/obs/trace_check.cpp: a recursive-descent parser over
+// exactly the JSON subset the checks need, no external dependency.
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject } type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue* get(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return parse_string(out.string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.type = JsonValue::Type::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out.type = JsonValue::Type::kNull;
+      pos_ += 4;
+      return true;
+    }
+    return parse_number(out);
+  }
+
+  bool parse_string(std::string& out) {
+    if (text_[pos_] != '"') return fail("expected '\"'");
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("dangling escape");
+        const char e = text_[pos_];
+        if (e == 'n') {
+          out += '\n';
+        } else if (e == 't') {
+          out += '\t';
+        } else if (e == 'r') {
+          out += '\r';
+        } else if (e == 'u') {
+          if (pos_ + 4 >= text_.size()) return fail("short \\u escape");
+          out += '?';  // structural validation does not need the code point
+          pos_ += 4;
+        } else {
+          out += e;
+        }
+      } else {
+        out += text_[pos_];
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return fail("unterminated string");
+    ++pos_;
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) digits = true;
+      ++pos_;
+    }
+    if (!digits) return fail("expected a value");
+    out.type = JsonValue::Type::kNumber;
+    out.number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      skip_ws();
+      if (!parse_value(v)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !parse_string(key)) {
+        return fail("expected object key");
+      }
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.object.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string validate_sarif(const std::string& text) {
+  JsonValue root;
+  JsonParser parser{text};
+  if (!parser.parse(root)) return "not valid JSON: " + parser.error();
+  if (root.type != JsonValue::Type::kObject) return "top level is not an object";
+
+  const JsonValue* version = root.get("version");
+  if (version == nullptr || version->type != JsonValue::Type::kString ||
+      version->string != "2.1.0") {
+    return "missing or wrong \"version\" (must be \"2.1.0\")";
+  }
+  const JsonValue* runs = root.get("runs");
+  if (runs == nullptr || runs->type != JsonValue::Type::kArray || runs->array.empty()) {
+    return "missing or empty \"runs\" array";
+  }
+  for (const JsonValue& run : runs->array) {
+    if (run.type != JsonValue::Type::kObject) return "run is not an object";
+    const JsonValue* tool = run.get("tool");
+    const JsonValue* driver = tool == nullptr ? nullptr : tool->get("driver");
+    const JsonValue* name = driver == nullptr ? nullptr : driver->get("name");
+    if (name == nullptr || name->type != JsonValue::Type::kString || name->string.empty()) {
+      return "run lacks tool.driver.name";
+    }
+    std::map<std::string, std::size_t> rule_ids;
+    const JsonValue* rules = driver->get("rules");
+    if (rules != nullptr) {
+      if (rules->type != JsonValue::Type::kArray) return "tool.driver.rules is not an array";
+      for (std::size_t i = 0; i < rules->array.size(); ++i) {
+        const JsonValue* id = rules->array[i].get("id");
+        if (id == nullptr || id->type != JsonValue::Type::kString || id->string.empty()) {
+          return "rule " + std::to_string(i) + " lacks an id";
+        }
+        if (!rule_ids.emplace(id->string, i).second) {
+          return "duplicate rule id '" + id->string + "'";
+        }
+      }
+    }
+    const JsonValue* results = run.get("results");
+    if (results == nullptr || results->type != JsonValue::Type::kArray) {
+      return "run lacks a \"results\" array";
+    }
+    for (const JsonValue& result : results->array) {
+      const JsonValue* rule_id = result.get("ruleId");
+      if (rule_id == nullptr || rule_id->type != JsonValue::Type::kString) {
+        return "result lacks ruleId";
+      }
+      const JsonValue* rule_index = result.get("ruleIndex");
+      if (rule_index != nullptr) {
+        const auto it = rule_ids.find(rule_id->string);
+        if (it == rule_ids.end() ||
+            static_cast<double>(it->second) != rule_index->number) {
+          return "result ruleIndex disagrees with the rules array for '" +
+                 rule_id->string + "'";
+        }
+      }
+      const JsonValue* message = result.get("message");
+      const JsonValue* message_text = message == nullptr ? nullptr : message->get("text");
+      if (message_text == nullptr || message_text->type != JsonValue::Type::kString) {
+        return "result lacks message.text";
+      }
+      const JsonValue* locations = result.get("locations");
+      if (locations == nullptr || locations->type != JsonValue::Type::kArray ||
+          locations->array.empty()) {
+        return "result lacks locations";
+      }
+      const JsonValue* phys = locations->array[0].get("physicalLocation");
+      const JsonValue* artifact = phys == nullptr ? nullptr : phys->get("artifactLocation");
+      const JsonValue* uri = artifact == nullptr ? nullptr : artifact->get("uri");
+      if (uri == nullptr || uri->type != JsonValue::Type::kString || uri->string.empty()) {
+        return "result lacks physicalLocation.artifactLocation.uri";
+      }
+      const JsonValue* region = phys->get("region");
+      const JsonValue* start = region == nullptr ? nullptr : region->get("startLine");
+      if (start == nullptr || start->type != JsonValue::Type::kNumber ||
+          start->number < 1) {
+        return "result region.startLine must be >= 1";
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace upn::analyze

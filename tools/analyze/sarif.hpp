@@ -1,0 +1,28 @@
+// SARIF 2.1.0 emission for upn_analyze, the format GitHub code scanning
+// ingests for PR annotation.  One run, one driver ("upn_analyze"), the full
+// rule catalog in tool.driver.rules, and one result per finding referencing
+// its rule by index.  Output is fully deterministic: findings are emitted in
+// the engine's (file, line, rule, message) order and the writer inserts no
+// timestamps or absolute paths.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tools/analyze/passes.hpp"
+
+namespace upn::analyze {
+
+/// Renders the findings as a SARIF 2.1.0 document (UTF-8 JSON, trailing
+/// newline).  File-scoped findings (line 0) clamp to startLine 1, the SARIF
+/// minimum.
+[[nodiscard]] std::string write_sarif(const std::vector<Finding>& findings);
+
+/// Structural validation of a SARIF document: parses the JSON and checks
+/// the 2.1.0 skeleton (version string, runs array, tool.driver.name, rules
+/// with unique ids, results whose ruleId/ruleIndex agree with the rules
+/// array, locations with uri + startLine >= 1).  Returns "" when valid,
+/// else the first problem found.
+[[nodiscard]] std::string validate_sarif(const std::string& text);
+
+}  // namespace upn::analyze

@@ -1,7 +1,6 @@
 #include "tools/lint/lint.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -11,6 +10,8 @@
 #include "src/fault/fault_plan.hpp"
 #include "src/pebble/io.hpp"
 #include "src/routing/schedule_io.hpp"
+#include "tools/analyze/ir.hpp"
+#include "tools/analyze/passes.hpp"
 
 namespace upn::lint {
 
@@ -40,339 +41,6 @@ std::vector<std::string> split_lines(const std::string& content) {
 bool has_suffix(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-bool suppressed(const std::string& raw_line, const std::string& rule) {
-  return raw_line.find("upn-lint-allow(" + rule + ")") != std::string::npos;
-}
-
-bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
-
-// ---- source linting -------------------------------------------------------
-
-/// Returns the lines of `content` with comments and string/char literals
-/// blanked out (lengths preserved so columns still line up).  Keeps lint
-/// rules from firing on prose like "never call rand() here".
-std::vector<std::string> code_view(const std::vector<std::string>& lines) {
-  std::vector<std::string> out;
-  out.reserve(lines.size());
-  bool in_block = false;
-  for (const std::string& line : lines) {
-    std::string code = line;
-    char quote = 0;
-    for (std::size_t i = 0; i < code.size(); ++i) {
-      if (in_block) {
-        if (code[i] == '*' && i + 1 < code.size() && code[i + 1] == '/') {
-          code[i] = code[i + 1] = ' ';
-          ++i;
-          in_block = false;
-        } else {
-          code[i] = ' ';
-        }
-        continue;
-      }
-      if (quote != 0) {
-        if (code[i] == '\\' && i + 1 < code.size()) {
-          code[i] = code[i + 1] = ' ';
-          ++i;
-        } else if (code[i] == quote) {
-          quote = 0;
-          code[i] = ' ';
-        } else {
-          code[i] = ' ';
-        }
-        continue;
-      }
-      if (code[i] == '"' || code[i] == '\'') {
-        quote = code[i];
-        code[i] = ' ';
-      } else if (code[i] == '/' && i + 1 < code.size() && code[i + 1] == '/') {
-        code.resize(i);
-        break;
-      } else if (code[i] == '/' && i + 1 < code.size() && code[i + 1] == '*') {
-        code[i] = code[i + 1] = ' ';
-        ++i;
-        in_block = true;
-      }
-    }
-    out.push_back(std::move(code));
-  }
-  return out;
-}
-
-bool word_at(const std::string& code, std::size_t pos, const std::string& word) {
-  if (code.compare(pos, word.size(), word) != 0) return false;
-  if (pos > 0 && ident_char(code[pos - 1])) return false;
-  if (pos > 0 && code[pos - 1] == ':') {
-    // `std::word` still counts; `othernamespace::word` is a different entity.
-    if (pos < 5 || code.compare(pos - 5, 5, "std::") != 0) return false;
-  }
-  const std::size_t end = pos + word.size();
-  return end >= code.size() || !ident_char(code[end]);
-}
-
-bool contains_word(const std::string& code, const std::string& word) {
-  for (std::size_t pos = code.find(word); pos != std::string::npos;
-       pos = code.find(word, pos + 1)) {
-    if (word_at(code, pos, word)) return true;
-  }
-  return false;
-}
-
-/// A token that parses as a floating-point literal (1.0, .5f, 2e9, 0x1p-53).
-bool is_float_literal(const std::string& token) {
-  if (token.empty()) return false;
-  bool digit = false, point_or_exp = false;
-  for (std::size_t i = 0; i < token.size(); ++i) {
-    const char c = token[i];
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      digit = true;
-    } else if (c == '.') {
-      point_or_exp = true;
-    } else if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') && digit) {
-      point_or_exp = true;
-    } else if ((c == '+' || c == '-') && i > 0 &&
-               (token[i - 1] == 'e' || token[i - 1] == 'E' || token[i - 1] == 'p' ||
-                token[i - 1] == 'P')) {
-      // exponent sign
-    } else if ((c == 'f' || c == 'F' || c == 'l' || c == 'L') && i + 1 == token.size()) {
-      // suffix
-    } else if ((c == 'x' || c == 'X') && i == 1 && token[0] == '0') {
-      // hex float prefix
-    } else if (std::isxdigit(static_cast<unsigned char>(c)) && token.size() > 1 &&
-               token[0] == '0' && (token[1] == 'x' || token[1] == 'X')) {
-      digit = true;
-    } else {
-      return false;
-    }
-  }
-  return digit && point_or_exp;
-}
-
-std::string token_before(const std::string& code, std::size_t pos) {
-  std::size_t end = pos;
-  while (end > 0 && code[end - 1] == ' ') --end;
-  std::size_t start = end;
-  while (start > 0 && (ident_char(code[start - 1]) || code[start - 1] == '.' ||
-                       code[start - 1] == '+' || code[start - 1] == '-')) {
-    --start;
-  }
-  // Trim a leading sign that belongs to the expression, not the literal.
-  while (start < end && (code[start] == '+' || code[start] == '-')) ++start;
-  return code.substr(start, end - start);
-}
-
-std::string token_after(const std::string& code, std::size_t pos) {
-  std::size_t start = pos;
-  while (start < code.size() && code[start] == ' ') ++start;
-  if (start < code.size() && (code[start] == '+' || code[start] == '-')) ++start;
-  std::size_t end = start;
-  while (end < code.size() && (ident_char(code[end]) || code[end] == '.' ||
-                               ((code[end] == '+' || code[end] == '-') && end > start &&
-                                (code[end - 1] == 'e' || code[end - 1] == 'E' ||
-                                 code[end - 1] == 'p' || code[end - 1] == 'P')))) {
-    ++end;
-  }
-  return code.substr(start, end - start);
-}
-
-/// Variable names declared in this file with an OUTERMOST unordered
-/// container type (nested uses like vector<unordered_map<...>> are fine:
-/// iterating the vector is deterministic).
-std::vector<std::string> unordered_decls(const std::vector<std::string>& code) {
-  std::vector<std::string> names;
-  for (const std::string& line : code) {
-    for (const char* type : {"unordered_map", "unordered_set"}) {
-      for (std::size_t pos = line.find(type); pos != std::string::npos;
-           pos = line.find(type, pos + 1)) {
-        if (!word_at(line, pos, type)) continue;
-        // Skip "std::" to find where the full type expression starts.
-        std::size_t type_start = pos;
-        if (type_start >= 5 && line.compare(type_start - 5, 5, "std::") == 0) {
-          type_start -= 5;
-        }
-        // Nested inside another template argument list? Then the iterated
-        // object is the outer container.
-        std::size_t before = type_start;
-        while (before > 0 && line[before - 1] == ' ') --before;
-        if (before > 0 && (line[before - 1] == '<' || line[before - 1] == ',')) continue;
-        // Walk the template argument list to its closing '>'.
-        std::size_t cursor = line.find('<', pos);
-        if (cursor == std::string::npos) continue;
-        int depth = 0;
-        while (cursor < line.size()) {
-          if (line[cursor] == '<') ++depth;
-          if (line[cursor] == '>') {
-            --depth;
-            if (depth == 0) break;
-          }
-          ++cursor;
-        }
-        if (cursor >= line.size()) continue;  // multi-line declaration: give up
-        // The declared name follows (skipping refs and whitespace).
-        std::size_t name_start = cursor + 1;
-        while (name_start < line.size() &&
-               (line[name_start] == ' ' || line[name_start] == '&' || line[name_start] == '*')) {
-          ++name_start;
-        }
-        std::size_t name_end = name_start;
-        while (name_end < line.size() && ident_char(line[name_end])) ++name_end;
-        if (name_end > name_start) {
-          names.push_back(line.substr(name_start, name_end - name_start));
-        }
-      }
-    }
-  }
-  std::sort(names.begin(), names.end());
-  names.erase(std::unique(names.begin(), names.end()), names.end());
-  return names;
-}
-
-/// The identifier a range-for iterates, or "" if the line has none.
-std::string range_for_target(const std::string& code) {
-  for (std::size_t pos = code.find("for"); pos != std::string::npos;
-       pos = code.find("for", pos + 1)) {
-    if (!word_at(code, pos, "for")) continue;
-    const std::size_t open = code.find('(', pos);
-    if (open == std::string::npos) return "";
-    int depth = 0;
-    std::size_t colon = std::string::npos;
-    std::size_t close = std::string::npos;
-    for (std::size_t i = open; i < code.size(); ++i) {
-      if (code[i] == '(') ++depth;
-      if (code[i] == ')') {
-        --depth;
-        if (depth == 0) {
-          close = i;
-          break;
-        }
-      }
-      if (code[i] == ':' && depth == 1 && colon == std::string::npos) {
-        // Skip '::' scope operators.
-        if ((i + 1 < code.size() && code[i + 1] == ':') || (i > 0 && code[i - 1] == ':')) {
-          continue;
-        }
-        colon = i;
-      }
-    }
-    if (colon == std::string::npos || close == std::string::npos) continue;
-    std::string expr = code.substr(colon + 1, close - colon - 1);
-    // Strip whitespace and take the leading identifier of the range.
-    std::size_t start = 0;
-    while (start < expr.size() && expr[start] == ' ') ++start;
-    std::size_t end = start;
-    while (end < expr.size() && ident_char(expr[end])) ++end;
-    // `obj.member()` / `obj->x` ranges iterate what the call returns; only a
-    // bare identifier (possibly the whole expr) maps back to a declaration.
-    std::string rest = expr.substr(end);
-    rest.erase(std::remove(rest.begin(), rest.end(), ' '), rest.end());
-    if (!rest.empty()) continue;
-    return expr.substr(start, end - start);
-  }
-  return "";
-}
-
-std::vector<Diagnostic> run_source_rules(const std::string& path,
-                                         const std::vector<std::string>& raw,
-                                         const std::vector<std::string>& code) {
-  std::vector<Diagnostic> out;
-  auto emit = [&](std::size_t line_no, const char* rule, std::string message) {
-    if (line_no >= 1 && line_no <= raw.size() && suppressed(raw[line_no - 1], rule)) return;
-    out.push_back(Diagnostic{path, line_no, rule, std::move(message)});
-  };
-
-  if (has_suffix(path, ".hpp")) {
-    bool found = false;
-    for (const std::string& line : raw) {
-      if (line.find("#pragma once") != std::string::npos) {
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
-      emit(1, "pragma-once", "header is missing '#pragma once' (multiple inclusion hazard)");
-    }
-  }
-
-  const std::vector<std::string> unordered = unordered_decls(code);
-
-  // Raw clock reads outside the obs layer and the bench harness bypass the
-  // deterministic/timing metric split (docs/OBSERVABILITY.md): timing taken
-  // ad hoc cannot be compiled out by UPN_NDEBUG_OBS and tends to leak into
-  // outputs that must be byte-stable across runs.
-  const bool timing_exempt = path.find("src/obs/") != std::string::npos ||
-                             path.find("bench/harness.") != std::string::npos;
-
-  for (std::size_t i = 0; i < code.size(); ++i) {
-    const std::string& line = code[i];
-    const std::size_t line_no = i + 1;
-
-    if (contains_word(line, "rand") || contains_word(line, "srand")) {
-      emit(line_no, "no-std-rand",
-           "rand()/srand() are not reproducible across platforms; use upn::Rng");
-    }
-    for (const char* bad : {"std::random_device", "std::mt19937",
-                            "std::default_random_engine", "std::minstd_rand"}) {
-      if (line.find(bad) != std::string::npos) {
-        emit(line_no, "no-unseeded-rng",
-             std::string{bad} +
-                 " breaks seed-reproducibility; thread an explicit upn::Rng instead");
-        break;
-      }
-    }
-    if (line.find("std::endl") != std::string::npos) {
-      emit(line_no, "no-endl",
-           "std::endl flushes on every call (quadratic in emission loops); use '\\n'");
-    }
-    if (!timing_exempt) {
-      if (line.find("std::chrono") != std::string::npos ||
-          contains_word(line, "steady_clock") || contains_word(line, "system_clock") ||
-          contains_word(line, "high_resolution_clock")) {
-        emit(line_no, "no-raw-timing",
-             "raw std::chrono timing outside src/obs/ and the bench harness; use "
-             "upn::obs::now_ns() / UPN_OBS_SPAN so timing stays on the kTiming side "
-             "of the determinism split");
-      } else if (contains_word(line, "clock_gettime") ||
-                 contains_word(line, "gettimeofday")) {
-        emit(line_no, "no-raw-timing",
-             "raw OS clock call outside src/obs/ and the bench harness; use "
-             "upn::obs::now_ns() / UPN_OBS_SPAN so timing stays on the kTiming side "
-             "of the determinism split");
-      }
-    }
-    for (std::size_t pos = 0; pos + 1 < line.size(); ++pos) {
-      const bool eq = line[pos] == '=' && line[pos + 1] == '=';
-      const bool neq = line[pos] == '!' && line[pos + 1] == '=';
-      if (!eq && !neq) continue;
-      if (pos > 0 && (line[pos - 1] == '=' || line[pos - 1] == '!' ||
-                      line[pos - 1] == '<' || line[pos - 1] == '>')) {
-        continue;  // tail of <=, >=, ==, !=
-      }
-      if (pos + 2 < line.size() && line[pos + 2] == '=') {
-        ++pos;
-        continue;  // head of a wider operator
-      }
-      const std::string lhs = token_before(line, pos);
-      const std::string rhs = token_after(line, pos + 2);
-      if (is_float_literal(lhs) || is_float_literal(rhs)) {
-        emit(line_no, "float-equality",
-             "exact comparison against a floating-point literal; compare with a "
-             "tolerance or restructure");
-        break;
-      }
-    }
-    if (!unordered.empty()) {
-      const std::string target = range_for_target(line);
-      if (!target.empty() &&
-          std::binary_search(unordered.begin(), unordered.end(), target)) {
-        emit(line_no, "unordered-iteration",
-             "iteration order over std::unordered_{map,set} '" + target +
-                 "' is unspecified; protocol/schedule emission must be deterministic "
-                 "(sort first or use std::map)");
-      }
-    }
-  }
-  return out;
 }
 
 // ---- artifact linting -----------------------------------------------------
@@ -570,8 +238,14 @@ std::vector<Diagnostic> check_fault_plan(const std::string& path, const std::str
 }  // namespace
 
 std::vector<Diagnostic> lint_source(const std::string& path, const std::string& content) {
-  const std::vector<std::string> raw = split_lines(content);
-  return run_source_rules(path, raw, code_view(raw));
+  // One engine, one suppression syntax: the source rules live in
+  // tools/analyze (shared IR); upn_lint is a thin per-file alias.
+  std::vector<Diagnostic> out;
+  for (const analyze::Finding& f :
+       analyze::run_single_file_rules(analyze::build_unit(path, content))) {
+    out.push_back(Diagnostic{f.file, f.line, f.rule, f.message});
+  }
+  return out;
 }
 
 std::vector<Diagnostic> lint_artifact(const std::string& path, const std::string& content) {

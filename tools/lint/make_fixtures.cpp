@@ -1,13 +1,18 @@
-// Regenerates the CLEAN artifact fixtures under tests/fixtures/.  All four
-// formats are produced deterministically (fixed seeds, library generators),
-// so a rerun after a format change yields reviewable diffs.  The corrupted
-// fixtures under tests/fixtures-bad/ are hand-written and NOT regenerated
-// here: each encodes one specific violation upn_lint must catch.
+// Regenerates the CLEAN artifact fixtures under tests/fixtures/ and the
+// upn_analyze source-fixture trees under tests/fixtures-clean/analyze/ and
+// tests/fixtures-bad/analyze/.  Artifacts are produced deterministically
+// (fixed seeds, library generators) so a rerun after a format change yields
+// reviewable diffs.  The corrupted ARTIFACT fixtures under tests/fixtures-bad/
+// are hand-written and NOT regenerated here: each encodes one specific
+// violation upn_lint must catch.  The analyze trees ARE regenerated: one
+// table below is the single source of truth for both, pairing each clean
+// construct with its deliberate violation.
 //
-// Usage: make_fixtures <output-dir>
+// Usage: make_fixtures <artifact-dir> [<analyze-clean-dir> <analyze-bad-dir>]
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "src/core/embedding.hpp"
 #include "src/core/embedding_io.hpp"
@@ -18,17 +23,181 @@
 #include "src/routing/path_schedule.hpp"
 #include "src/routing/schedule_io.hpp"
 #include "src/topology/builders.hpp"
-#include "src/util/rng.hpp"
 
 namespace fs = std::filesystem;
 
+namespace {
+
+/// One analyze fixture: a repo-relative path plus its content in each tree.
+/// A null side means the file exists only in the other tree.  Content is
+/// assembled from single-line string fragments so this generator itself
+/// stays clean under the engine (string literals are blanked per line).
+struct AnalyzeFixture {
+  const char* rel;
+  const char* clean;
+  const char* bad;
+};
+
+const AnalyzeFixture kAnalyzeFixtures[] = {
+    // Declared module DAG.  The bad variant declares a cycle (alpha <-> beta)
+    // and carries a stale waiver for an edge that never occurs.
+    {"docs/ARCHITECTURE.layers",
+     "# fixture DAG: two modules, one declared edge\n"
+     "layer util\n"
+     "layer core: util\n",
+     "# fixture DAG: declared cycle + stale waiver\n"
+     "layer util\n"
+     "layer core: util\n"
+     "layer alpha: beta\n"
+     "layer beta: alpha\n"
+     "waive core -> alpha: legacy shim, removed long ago\n"},
+
+    // Contracted leaf header (util).
+    {"src/util/checked_math.hpp",
+     "#pragma once\n"
+     "\n"
+     "namespace demo {\n"
+     "\n"
+     "inline int checked_halve(int value) {\n"
+     "  UPN_REQUIRE(value >= 0);\n"
+     "  return value / 2;\n"
+     "}\n"
+     "\n"
+     "}  // namespace demo\n",
+     nullptr},
+
+    // Declared core -> util edge, contract + waiver syntax exercised.
+    {"src/core/pipeline_demo.hpp",
+     "#pragma once\n"
+     "\n"
+     "#include \"src/util/checked_math.hpp\"\n"
+     "\n"
+     "namespace demo {\n"
+     "\n"
+     "inline int half_of(int value) {\n"
+     "  UPN_REQUIRE(value >= 0);\n"
+     "  return demo::checked_halve(value);\n"
+     "}\n"
+     "\n"
+     "inline int identity(int value) {\n"
+     "  // upn-contract-waive(pure passthrough, no precondition to state)\n"
+     "  int result = value;\n"
+     "  return result;\n"
+     "}\n"
+     "\n"
+     "}  // namespace demo\n",
+     nullptr},
+
+    // In-line suppression syntax exercised in the clean tree.
+    {"src/core/seeded.cpp",
+     "#include \"src/core/pipeline_demo.hpp\"\n"
+     "\n"
+     "namespace demo {\n"
+     "\n"
+     "int reseed() {\n"
+     "  return half_of(4) + rand();  // upn-lint-allow(no-std-rand)\n"
+     "}\n"
+     "\n"
+     "}  // namespace demo\n",
+     nullptr},
+
+    // Undeclared util -> core edge (bad only).
+    {"src/util/uses_core.hpp", nullptr,
+     "#pragma once\n"
+     "\n"
+     "#include \"src/core/loop_a.hpp\"\n"},
+
+    // File-level include cycle (bad only).
+    {"src/core/loop_a.hpp", nullptr,
+     "#pragma once\n"
+     "\n"
+     "#include \"src/core/loop_b.hpp\"\n"},
+    {"src/core/loop_b.hpp", nullptr,
+     "#pragma once\n"
+     "\n"
+     "#include \"src/core/loop_a.hpp\"\n"},
+
+    // Public multi-statement function, no contract, no waiver (bad only).
+    {"src/core/uncontracted.hpp", nullptr,
+     "#pragma once\n"
+     "\n"
+     "namespace demo {\n"
+     "\n"
+     "inline int clamp_add(int a, int b) {\n"
+     "  int sum = a + b;\n"
+     "  if (sum < 0) sum = 0;\n"
+     "  return sum;\n"
+     "}\n"
+     "\n"
+     "}  // namespace demo\n"},
+
+    // Flow rules, one violation per construct (bad only).
+    {"src/core/flow.cpp", nullptr,
+     "#include <thread>\n"
+     "\n"
+     "namespace demo {\n"
+     "\n"
+     "void run_flow(upn::Rng rng, long big) {\n"
+     "  auto tiny = static_cast<std::uint16_t>(big);\n"
+     "  std::thread worker{[tiny] { (void)tiny; }};\n"
+     "  worker.detach();\n"
+     "  (void)rng;\n"
+     "}\n"
+     "\n"
+     "}  // namespace demo\n"},
+
+    // Header with declarations nobody uses -> unused-include (bad only).
+    {"src/core/quiet.hpp", nullptr,
+     "#pragma once\n"
+     "\n"
+     "namespace demo {\n"
+     "\n"
+     "inline int quiet_level() { return 3; }\n"
+     "\n"
+     "}  // namespace demo\n"},
+    {"src/core/unused_inc.cpp", nullptr,
+     "#include \"src/core/quiet.hpp\"\n"
+     "\n"
+     "namespace demo {\n"
+     "\n"
+     "int forty_two() { return 42; }\n"
+     "\n"
+     "}  // namespace demo\n"},
+
+    // Missing include guard (bad only).
+    {"src/core/missing_pragma.hpp", nullptr,
+     "namespace demo {\n"
+     "\n"
+     "struct Empty {};\n"
+     "\n"
+     "}  // namespace demo\n"},
+};
+
+void write_tree(const fs::path& root, bool bad) {
+  for (const AnalyzeFixture& fixture : kAnalyzeFixtures) {
+    const char* content = bad ? fixture.bad : fixture.clean;
+    if (content == nullptr) continue;
+    const fs::path path = root / fixture.rel;
+    fs::create_directories(path.parent_path());
+    std::ofstream os{path, std::ios::binary};
+    os << content;
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: make_fixtures <output-dir>\n";
+  if (argc != 2 && argc != 4) {
+    std::cerr << "usage: make_fixtures <artifact-dir> [<analyze-clean-dir> <analyze-bad-dir>]\n";
     return 2;
   }
   const fs::path out{argv[1]};
   fs::create_directories(out);
+
+  if (argc == 4) {
+    write_tree(fs::path{argv[2]}, /*bad=*/false);
+    write_tree(fs::path{argv[3]}, /*bad=*/true);
+  }
 
   // Protocol: 2 guests on 2 hosts, T = 1.  Step 1 generates both final
   // pebbles; step 2 exchanges (P0, 1) so both hosts hold it.
