@@ -38,6 +38,21 @@ struct NodeFault {
   friend bool operator==(const NodeFault&, const NodeFault&) = default;
 };
 
+/// Repair of link {u, v} at host step `step`: the link returns to service
+/// until a later LinkFault kills it again.  Within a single step a repair
+/// beats a fault (events apply fault-first, repair-second), so a plan that
+/// kills and heals a link at the same step leaves it alive.  Repairs make
+/// churn bidirectional; they never resurrect a dead NODE (node faults stay
+/// permanent), and they do not erase history: link_ever_fails() still
+/// reports a healed link as having failed at some point.
+struct LinkRepair {
+  NodeId u = 0;
+  NodeId v = 0;
+  std::uint32_t step = 0;
+
+  friend bool operator==(const LinkRepair&, const LinkRepair&) = default;
+};
+
 /// Transient fault window: a packet crossing {u, v} during a host step in
 /// [begin, end) is dropped with probability `prob`.  The drop decision is a
 /// deterministic hash of (plan seed, edge, step, packet id), so replaying
@@ -62,6 +77,7 @@ class FaultPlan {
 
   void add_link_fault(const LinkFault& fault);
   void add_node_fault(const NodeFault& fault);
+  void add_link_repair(const LinkRepair& repair);
   void add_drop_window(const DropWindow& window);
 
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
@@ -71,17 +87,23 @@ class FaultPlan {
   [[nodiscard]] const std::vector<NodeFault>& node_faults() const noexcept {
     return node_faults_;
   }
+  [[nodiscard]] const std::vector<LinkRepair>& link_repairs() const noexcept {
+    return link_repairs_;
+  }
   [[nodiscard]] const std::vector<DropWindow>& drop_windows() const noexcept {
     return drop_windows_;
   }
   [[nodiscard]] bool empty() const noexcept {
-    return link_faults_.empty() && node_faults_.empty() && drop_windows_.empty();
+    return link_faults_.empty() && node_faults_.empty() && link_repairs_.empty() &&
+           drop_windows_.empty();
   }
 
   /// True iff node v has not permanently failed by host step `step`.
   [[nodiscard]] bool node_alive(NodeId v, std::uint32_t step) const noexcept;
 
   /// True iff link {u, v} and both endpoints are alive at host step `step`.
+  /// With repairs, liveness is the state-machine view: the latest fault or
+  /// repair on the link at or before `step` decides (repair wins a tie).
   [[nodiscard]] bool link_alive(NodeId u, NodeId v, std::uint32_t step) const noexcept;
 
   /// Deterministic transient-drop decision for a packet crossing {u, v}.
@@ -91,23 +113,28 @@ class FaultPlan {
   /// True iff node v fails at SOME step (the step = infinity view).
   [[nodiscard]] bool node_ever_fails(NodeId v) const noexcept;
 
-  /// True iff link {u, v} or an endpoint fails at some step.
+  /// True iff link {u, v} or an endpoint fails at some step (even if a
+  /// repair later heals the link).
   [[nodiscard]] bool link_ever_fails(NodeId u, NodeId v) const noexcept;
 
-  /// Host steps at which permanent faults activate, ascending and unique.
+  /// Host steps at which permanent faults or repairs activate, ascending
+  /// and unique.
   [[nodiscard]] std::vector<std::uint32_t> epochs() const;
 
-  /// The plan as revealed to an observer at host step `step`: permanent
-  /// faults already active are re-dated to step 0, future permanent faults
-  /// are removed, drop windows and seed are kept verbatim.  The self-healing
-  /// simulator uses this to quantize fault activation to guest-step
-  /// boundaries.
+  /// The plan as revealed to an observer at host step `step`: links and
+  /// nodes that are NET-dead at `step` (their latest activated event is a
+  /// fault) appear as step-0 faults, future events and already-applied
+  /// repairs are removed, drop windows and seed are kept verbatim.  The
+  /// self-healing simulator uses this to quantize fault activation to
+  /// guest-step boundaries; with repairs the reveal is a snapshot of the
+  /// surviving topology, not an event log.
   [[nodiscard]] FaultPlan revealed_at(std::uint32_t step) const;
 
  private:
   std::uint64_t seed_ = 0;
   std::vector<LinkFault> link_faults_;
   std::vector<NodeFault> node_faults_;
+  std::vector<LinkRepair> link_repairs_;
   std::vector<DropWindow> drop_windows_;
 };
 
@@ -121,7 +148,8 @@ class FaultClock {
   FaultClock(const FaultPlan& plan, std::uint32_t num_nodes);
 
   /// Advances the clock to `step` (monotonic; earlier steps are a no-op).
-  /// Returns true iff new permanent faults activated since the last call.
+  /// Returns true iff the live topology changed since the last call -- new
+  /// permanent faults activated or repairs healed links.
   bool advance(std::uint32_t step);
 
   [[nodiscard]] std::uint32_t step() const noexcept { return step_; }
@@ -138,11 +166,20 @@ class FaultClock {
   std::uint32_t step_ = 0;
   bool started_ = false;
   bool faults_active_ = false;
+  /// One scheduled link state change; repairs sort after faults at the same
+  /// step so a same-step kill+heal leaves the link alive.
+  struct LinkEvent {
+    NodeId u = 0;
+    NodeId v = 0;
+    std::uint32_t step = 0;
+    bool repair = false;
+  };
+
   std::vector<char> dead_nodes_;
   std::vector<std::uint64_t> dead_links_;  ///< sorted keys (min << 32 | max)
-  std::size_t next_link_ = 0;              ///< cursor into sorted link activations
+  std::size_t next_link_ = 0;              ///< cursor into sorted link events
   std::size_t next_node_ = 0;              ///< cursor into sorted node activations
-  std::vector<LinkFault> links_by_step_;
+  std::vector<LinkEvent> link_events_;
   std::vector<NodeFault> nodes_by_step_;
 };
 
@@ -180,6 +217,18 @@ class FaultClock {
                                            std::uint32_t begin = 0,
                                            std::uint32_t end = 0xffffffffu);
 
+/// Live churn: each host link participates with probability `rate` (coupled
+/// across rates, like the other generators: the churning set at a higher
+/// rate contains the set at a lower rate under the same seed).  Each
+/// participating link cycles for the whole horizon: it dies at a per-link
+/// jittered offset inside every `period`-step window and heals `downtime`
+/// steps after each death, so at any instant roughly rate * downtime/period
+/// of the links are down while the topology keeps changing.  Requires
+/// 0 < downtime < period.
+[[nodiscard]] FaultPlan make_link_churn(const Graph& host, double rate, std::uint64_t seed,
+                                        std::uint32_t horizon, std::uint32_t period = 32,
+                                        std::uint32_t downtime = 8);
+
 /// Merges b's faults into a (seed of `a` wins).
 [[nodiscard]] FaultPlan merge_plans(const FaultPlan& a, const FaultPlan& b);
 
@@ -187,9 +236,15 @@ class FaultClock {
 //
 // Format (line-oriented, whitespace-separated):
 //   upn-faultplan 1 <seed> <num_link_faults> <num_node_faults> <num_drop_windows>
+//   upn-faultplan 2 <seed> <num_link_faults> <num_node_faults> <num_drop_windows> <num_repairs>
 //   L <u> <v> <step>
 //   N <node> <step>
 //   D <u> <v> <begin> <end> <prob>
+//   R <u> <v> <step>
+//
+// Plans without repairs serialize as version 1, byte-identical to the
+// historical format, so stored plans keep round-tripping; any repair event
+// promotes the header to version 2 with the extra repair count.
 
 void write_fault_plan(std::ostream& os, const FaultPlan& plan);
 

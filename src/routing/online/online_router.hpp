@@ -1,0 +1,151 @@
+// Online adaptive routing under live churn: the BATMAN-derived regime.
+//
+// Every other routing layer in this repository is offline -- Benes switch
+// settings, path schedules, butterfly schedules, even the fault-aware
+// router's detours are computed from an omniscient view of the live
+// subgraph.  OnlineRouter is the opposite discipline, after serval-dna's
+// overlay router (SNIPPETS.md): host nodes know NOTHING but what link-local
+// announcement traffic tells them.  Each protocol round, every node whose
+// seeded hello timer fires broadcasts a bandwidth-capped announcement
+// (itself plus its best known routes) to its live neighbors; receivers fold
+// the announcements into per-node route tables (route_table.hpp) under the
+// freshness-first DSDV rule; entries that stop being refreshed expire.
+// Link death is DETECTED by silence and repaired routes are re-learned from
+// new announcements, so the data plane keeps delivering while a FaultPlan
+// kills and heals links mid-run -- degrading gracefully (bounded stretch,
+// retries with seeded jittered backoff, a step ceiling instead of livelock)
+// rather than stopping the world.
+//
+// Determinism contract: for a fixed (graph, plan, config, packets), every
+// table, counter, and delivery verdict is byte-identical at every thread
+// width -- announcement processing parallelizes per node with results
+// merged in index order (src/util/par discipline), and all jitter derives
+// from the config seed, never from scheduling.  tests/online_golden_test
+// pins a seeded churn run at widths {1, 2, 7}.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_plan.hpp"
+#include "src/routing/online/route_table.hpp"
+#include "src/routing/router.hpp"
+#include "src/topology/graph.hpp"
+#include "src/util/par.hpp"
+
+namespace upn {
+
+struct OnlineRouterConfig {
+  std::uint32_t hello_interval = 4;  ///< rounds between a node's announcements
+  std::uint32_t announce_cap = 8;    ///< max routes per announcement (bandwidth cap)
+  std::uint32_t stale_after = 24;    ///< rounds of silence before an entry expires
+  std::uint32_t backoff_base = 2;    ///< data-plane retry backoff; doubles per retry
+  std::uint32_t backoff_cap = 64;    ///< ceiling on any single backoff wait
+  std::uint32_t max_retries = 16;    ///< per packet, before declaring it lost
+  std::uint32_t max_ttl = 0;         ///< hops before a retry; 0 = 4 * num_nodes
+  std::uint32_t seq_lag = 4;         ///< per-hop seq slack (added to the rotation cycle)
+                                     ///< before an incumbent route is presumed broken
+  std::uint64_t seed = 0x0511;       ///< hello phases and backoff jitter
+  ThreadPool* pool = nullptr;        ///< per-node announcement processing; null = serial
+  RoutingPolicy* policy = nullptr;   ///< data-plane override; null = the route tables
+};
+
+/// Control-plane activity of one protocol round.
+struct OnlineStepStats {
+  std::uint64_t announcements = 0;  ///< hello messages sent over live links
+  std::uint64_t revisions = 0;      ///< table entries created or rewritten
+  std::uint64_t expired = 0;        ///< table entries dropped by staleness
+  bool topology_changed = false;    ///< the fault clock activated kill/heal events
+};
+
+/// Outcome of run_until_stable().
+struct ConvergenceReport {
+  std::uint32_t rounds = 0;  ///< protocol rounds consumed
+  bool stable = false;       ///< a full hello cycle passed with no revisions/expiries
+};
+
+/// Outcome of one data-plane routing call.
+struct OnlineRouteResult {
+  std::uint32_t steps = 0;      ///< host steps (= protocol rounds) consumed
+  std::uint32_t delivered = 0;
+  std::uint32_t lost = 0;       ///< retries exhausted, endpoint dead, or step ceiling
+  std::uint64_t transfers = 0;  ///< single-link packet moves
+  std::uint64_t retries = 0;    ///< backoff waits taken (no route / dead link / TTL)
+  std::vector<Packet> packets;  ///< with delivered_at / lost filled in
+};
+
+class OnlineRouter {
+ public:
+  /// Graph and plan must outlive the router.  The fault clock starts at
+  /// step 0; every protocol round advances it by one host step.
+  OnlineRouter(const Graph& host, const FaultPlan& plan, OnlineRouterConfig config = {});
+
+  /// Runs one protocol round: advance churn, exchange hello announcements
+  /// over live links, fold them into the tables, expire stale entries.
+  OnlineStepStats step();
+
+  /// Steps until a full staleness window (stale_after + 1 consecutive
+  /// rounds) passes with zero revisions and zero expiries, or max_rounds
+  /// elapse.  The window is a staleness window rather than a hello cycle
+  /// because a dead link is INVISIBLE until silence expires its routes.
+  /// After churn stops this is the convergence point the property tests
+  /// bound; under ongoing churn it typically reports stable == false.
+  ConvergenceReport run_until_stable(std::uint32_t max_rounds);
+
+  /// Routes packets over the ADAPTING tables: each host step runs one
+  /// protocol round and then moves packets one table-directed hop (one
+  /// packet per directed link per step; lowest id wins contention).
+  /// Packets with no usable route wait out a seeded jittered backoff and
+  /// retry; max_retries failures, a dead endpoint, or the step ceiling mark
+  /// a packet lost -- the call never throws on undeliverable traffic.
+  [[nodiscard]] OnlineRouteResult route(std::vector<Packet> packets,
+                                        std::uint32_t max_steps = 1u << 16);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
+  /// The NORMALIZED configuration: the constructor resolves max_ttl = 0 and
+  /// raises stale_after to outlast the announcement-rotation cycle, so
+  /// callers sizing convergence bounds must read the values back from here.
+  [[nodiscard]] const OnlineRouterConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint32_t now() const noexcept { return now_; }
+  [[nodiscard]] const RouteTable& table(NodeId v) const { return tables_[v]; }
+
+  /// Table-driven next hop at `at` toward `dst` (kNoRoute when unknown).
+  [[nodiscard]] NodeId table_next_hop(NodeId at, NodeId dst) const;
+
+  /// Hops from `src` to `dst` following the current tables; kNoRouteHops
+  /// when some node on the way has no entry or the chain exceeds n hops.
+  static constexpr std::uint32_t kNoRouteHops = 0xffffffffu;
+  [[nodiscard]] std::uint32_t route_hops(NodeId src, NodeId dst) const;
+
+  /// True iff no LIVE destination's next-hop chain cycles (chains may be
+  /// incomplete mid-convergence; incompleteness is not a loop).  Routes
+  /// toward a dead origin are exempt: the origin can never issue the
+  /// fresher sequence that resolves a transient loop, so those entries may
+  /// freeze arbitrarily -- the data plane bounds the damage instead
+  /// (dead-endpoint check, TTL, retry budget).
+  [[nodiscard]] bool loop_free() const;
+
+ private:
+  void compose_hellos(std::vector<std::vector<RouteAnnouncement>>& inbox,
+                      OnlineStepStats& stats);
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> absorb_inbox_at(
+      NodeId v, const std::vector<std::vector<RouteAnnouncement>>& inbox);
+
+  const Graph* graph_;
+  OnlineRouterConfig config_;
+  FaultClock clock_;
+  std::uint32_t now_ = 0;
+  std::vector<RouteTable> tables_;
+  std::vector<std::uint32_t> seq_;          ///< per-node hello sequence numbers
+  std::vector<std::uint32_t> hello_phase_;  ///< seeded jitter desynchronizing hellos
+  std::uint32_t seq_lag_per_hop_ = 0;       ///< seq_lag + announcement-rotation cycle
+};
+
+/// Canonical timing-free delivery verdict: one `<id> <src>-><dst> ok|lost`
+/// line per packet, sorted by id.  The zero-churn differential test
+/// byte-compares this between the online and offline routers.
+[[nodiscard]] std::string delivery_verdicts(const std::vector<Packet>& packets);
+
+}  // namespace upn

@@ -1,0 +1,34 @@
+// Bridge from learned route tables to the offline router's policy slot.
+//
+// OnlineTablePolicy exposes an OnlineRouter's converged tables through the
+// RoutingPolicy interface, so the classic SyncRouter can execute traffic
+// over routes that were LEARNED from announcements instead of computed from
+// the global topology.  This is the seam the zero-churn differential test
+// exercises: once tables converge on a static graph they encode shortest
+// paths, and SyncRouter driven by this policy must produce delivery
+// verdicts byte-identical to the oracle-driven offline run.
+#pragma once
+
+#include <string>
+
+#include "src/routing/online/online_router.hpp"
+#include "src/routing/router.hpp"
+
+namespace upn {
+
+/// Consults a router's CURRENT tables; it does not advance the protocol.
+/// The router must outlive the policy and must hold a route for every
+/// (location, destination) pair the traffic reaches -- converge first
+/// (OnlineRouter::run_until_stable), then route.
+class OnlineTablePolicy final : public RoutingPolicy {
+ public:
+  explicit OnlineTablePolicy(const OnlineRouter& router) : router_(&router) {}
+
+  [[nodiscard]] NodeId next_hop(const Graph& graph, NodeId at, const Packet& packet) override;
+  [[nodiscard]] std::string name() const override { return "online-tables"; }
+
+ private:
+  const OnlineRouter* router_;
+};
+
+}  // namespace upn

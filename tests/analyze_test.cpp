@@ -75,6 +75,10 @@ TEST(AnalyzeIr, ScansQuotedAndSystemIncludes) {
 TEST(AnalyzeIr, ModuleOfMapsSrcSubdirectories) {
   EXPECT_EQ(module_of("src/topology/graph.hpp"), "topology");
   EXPECT_EQ(module_of("src/util/par.cpp"), "util");
+  // Nested directories are their own layering units, distinct from the
+  // parent module.
+  EXPECT_EQ(module_of("src/routing/online/route_table.hpp"), "routing/online");
+  EXPECT_EQ(module_of("src/routing/router.cpp"), "routing");
   EXPECT_EQ(module_of("tools/lint/lint.cpp"), "");
   EXPECT_EQ(module_of("tests/util_test.cpp"), "");
 }

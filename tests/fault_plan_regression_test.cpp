@@ -62,5 +62,43 @@ TEST(FaultPlanRegression, PinnedSerializationRoundTrips) {
   EXPECT_EQ(serialize(parsed), serialize(reference_plan()));
 }
 
+// Version 2 (repair events): pins both the churn generator and the extended
+// serialization format.  A plan with repairs must promote the header to v2
+// and write R records after the D records; a plan without repairs must keep
+// writing the v1 bytes above.
+FaultPlan churn_plan() {
+  const Graph host = make_butterfly(2);
+  return make_link_churn(host, 0.3, 0xfee1, /*horizon=*/64, /*period=*/32, /*downtime=*/8);
+}
+
+TEST(FaultPlanRegression, PinnedChurnSerialization) {
+  const std::string expected =
+      "upn-faultplan 2 65249 8 0 0 8\n"
+      "L 0 4 20\n"
+      "L 0 4 52\n"
+      "L 2 6 21\n"
+      "L 2 6 53\n"
+      "L 3 7 19\n"
+      "L 3 7 51\n"
+      "L 6 8 9\n"
+      "L 6 8 41\n"
+      "R 0 4 28\n"
+      "R 0 4 60\n"
+      "R 2 6 29\n"
+      "R 2 6 61\n"
+      "R 3 7 27\n"
+      "R 3 7 59\n"
+      "R 6 8 17\n"
+      "R 6 8 49\n";
+  EXPECT_EQ(serialize(churn_plan()), expected);
+}
+
+TEST(FaultPlanRegression, PinnedChurnRoundTrips) {
+  std::stringstream buffer{serialize(churn_plan())};
+  const FaultPlan parsed = read_fault_plan(buffer);
+  EXPECT_EQ(serialize(parsed), serialize(churn_plan()));
+  EXPECT_EQ(parsed.link_repairs().size(), parsed.link_faults().size());
+}
+
 }  // namespace
 }  // namespace upn

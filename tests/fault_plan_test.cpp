@@ -167,7 +167,8 @@ TEST(FaultPlanIo, RoundTrip) {
 TEST(FaultPlanIo, RejectsMalformedInput) {
   const char* bad[] = {
       "",                                           // empty
-      "upn-faultplan 2 0 0 0 0\n",                  // wrong version
+      "upn-faultplan 3 0 0 0 0\n",                  // unknown version
+      "upn-faultplan 2 0 0 0 0\n",                  // v2 header missing repair count
       "upn-faultplan 1 0 1 0 0\n",                  // missing record
       "upn-faultplan 1 0 0 0 0\nL 0 1 2\n",         // extra record
       "upn-faultplan 1 0 1 0 0\nN 3 1\n",           // wrong record kind
@@ -178,6 +179,125 @@ TEST(FaultPlanIo, RejectsMalformedInput) {
     std::stringstream buffer{text};
     EXPECT_THROW((void)read_fault_plan(buffer), std::runtime_error) << text;
   }
+}
+
+TEST(FaultPlanRepairs, RepairRestoresLinkUntilNextFault) {
+  FaultPlan plan;
+  plan.add_link_fault(LinkFault{1, 2, 5});
+  plan.add_link_repair(LinkRepair{2, 1, 8});  // undirected, like faults
+  plan.add_link_fault(LinkFault{1, 2, 12});
+  EXPECT_TRUE(plan.link_alive(1, 2, 4));
+  EXPECT_FALSE(plan.link_alive(1, 2, 5));
+  EXPECT_FALSE(plan.link_alive(1, 2, 7));
+  EXPECT_TRUE(plan.link_alive(1, 2, 8));   // healed
+  EXPECT_TRUE(plan.link_alive(2, 1, 11));
+  EXPECT_FALSE(plan.link_alive(1, 2, 12));  // second failure sticks
+  // History is not erased by the heal.
+  EXPECT_TRUE(plan.link_ever_fails(1, 2));
+  EXPECT_EQ(plan.epochs(), (std::vector<std::uint32_t>{5, 8, 12}));
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlanRepairs, SameStepKillAndHealLeavesLinkAlive) {
+  FaultPlan plan;
+  plan.add_link_fault(LinkFault{0, 3, 6});
+  plan.add_link_repair(LinkRepair{0, 3, 6});
+  EXPECT_TRUE(plan.link_alive(0, 3, 6));  // repair wins the tie
+  EXPECT_TRUE(plan.link_alive(0, 3, 7));
+}
+
+TEST(FaultPlanRepairs, RepairNeverResurrectsNodes) {
+  FaultPlan plan;
+  plan.add_node_fault(NodeFault{3, 2});
+  plan.add_link_repair(LinkRepair{3, 9, 5});
+  EXPECT_FALSE(plan.node_alive(3, 5));
+  EXPECT_FALSE(plan.link_alive(3, 9, 5));  // endpoint stays dead
+  EXPECT_THROW(plan.add_link_repair(LinkRepair{4, 4, 0}), std::invalid_argument);
+}
+
+TEST(FaultClockRepairs, HealsIncrementally) {
+  FaultPlan plan;
+  plan.add_link_fault(LinkFault{0, 1, 2});
+  plan.add_link_repair(LinkRepair{0, 1, 6});
+  plan.add_link_fault(LinkFault{2, 3, 6});
+  plan.add_link_repair(LinkRepair{2, 3, 6});  // same-step kill + heal
+  FaultClock clock{plan, 8};
+  EXPECT_FALSE(clock.advance(1));
+  EXPECT_TRUE(clock.link_alive(0, 1));
+  EXPECT_TRUE(clock.advance(2));
+  EXPECT_FALSE(clock.link_alive(0, 1));
+  EXPECT_TRUE(clock.advance(6));  // the heal IS a topology change
+  EXPECT_TRUE(clock.link_alive(0, 1));
+  EXPECT_TRUE(clock.link_alive(2, 3));  // repair wins the tie
+  // The clock's view matches the plan's view at every step.
+  FaultClock replay{plan, 8};
+  for (std::uint32_t s = 0; s <= 8; ++s) {
+    (void)replay.advance(s);
+    EXPECT_EQ(replay.link_alive(0, 1), plan.link_alive(0, 1, s)) << s;
+    EXPECT_EQ(replay.link_alive(2, 3), plan.link_alive(2, 3, s)) << s;
+  }
+}
+
+TEST(FaultPlanRepairs, RevealedAtSnapshotsNetState) {
+  FaultPlan plan{11};
+  plan.add_link_fault(LinkFault{0, 1, 3});
+  plan.add_link_repair(LinkRepair{0, 1, 6});
+  plan.add_link_fault(LinkFault{2, 3, 4});
+
+  // Mid-outage: the link is revealed as a step-0 fault.
+  const FaultPlan mid = plan.revealed_at(4);
+  EXPECT_FALSE(mid.link_alive(0, 1, 0));
+  EXPECT_FALSE(mid.link_alive(2, 3, 0));
+
+  // After the heal: the healed link vanishes from the reveal entirely --
+  // the snapshot shows surviving topology, not the event log.
+  const FaultPlan late = plan.revealed_at(10);
+  EXPECT_TRUE(late.link_alive(0, 1, 0));
+  EXPECT_FALSE(late.link_alive(2, 3, 0));
+  EXPECT_TRUE(late.link_repairs().empty());
+}
+
+TEST(FaultPlanRepairs, MergeCarriesRepairs) {
+  FaultPlan a{1};
+  a.add_link_repair(LinkRepair{0, 1, 4});
+  FaultPlan b{2};
+  b.add_link_repair(LinkRepair{2, 3, 9});
+  const FaultPlan merged = merge_plans(a, b);
+  EXPECT_EQ(merged.link_repairs().size(), 2u);
+}
+
+TEST(FaultPlanGenerators, LinkChurnIsCoupledAndHeals) {
+  const Graph host = make_butterfly(3);
+  const FaultPlan low = make_link_churn(host, 0.1, 99, /*horizon=*/128);
+  const FaultPlan high = make_link_churn(host, 0.5, 99, /*horizon=*/128);
+  EXPECT_LE(low.link_faults().size(), high.link_faults().size());
+  EXPECT_FALSE(high.link_faults().empty());
+  EXPECT_EQ(high.link_faults().size(), high.link_repairs().size());
+  // Coupling: every link churning at the low rate churns at the high rate.
+  for (const LinkFault& f : low.link_faults()) {
+    EXPECT_FALSE(high.link_alive(f.u, f.v, f.step)) << f.u << "," << f.v;
+  }
+  // Each outage lasts exactly `downtime` steps, then the link heals.
+  const LinkFault& f = high.link_faults().front();
+  EXPECT_FALSE(high.link_alive(f.u, f.v, f.step + 7));
+  EXPECT_TRUE(high.link_alive(f.u, f.v, f.step + 8));  // default downtime = 8
+  EXPECT_TRUE(make_link_churn(host, 0.0, 99, 128).empty());
+}
+
+TEST(FaultPlanIo, RepairRoundTripUsesVersion2) {
+  FaultPlan plan{0x51};
+  plan.add_link_fault(LinkFault{0, 1, 3});
+  plan.add_link_repair(LinkRepair{0, 1, 9});
+  std::stringstream buffer;
+  write_fault_plan(buffer, plan);
+  EXPECT_EQ(buffer.str().compare(0, 16, "upn-faultplan 2 "), 0);
+  const FaultPlan parsed = read_fault_plan(buffer);
+  EXPECT_EQ(parsed.link_repairs(), plan.link_repairs());
+  EXPECT_EQ(parsed.link_faults(), plan.link_faults());
+
+  // Repair records are rejected under the v1 header.
+  std::stringstream v1{"upn-faultplan 1 0 1 0 0\nR 0 1 9\n"};
+  EXPECT_THROW((void)read_fault_plan(v1), std::runtime_error);
 }
 
 TEST(Surgery, SurvivingSubgraphCompactsDeadNodes) {

@@ -101,9 +101,12 @@ bool suppressed(const std::string& raw_line, const std::string& rule) {
 
 std::string module_of(const std::string& path) {
   if (path.compare(0, 4, "src/") != 0) return "";
-  const auto slash = path.find('/', 4);
-  if (slash == std::string::npos) return "";
-  return path.substr(4, slash - 4);
+  // The module is the full directory path under src/, so nested modules
+  // like src/routing/online/ are distinct layering units from their parent
+  // (they get their own `layer routing/online: ...` declaration).
+  const auto last_slash = path.rfind('/');
+  if (last_slash == std::string::npos || last_slash < 4) return "";
+  return path.substr(4, last_slash - 4);
 }
 
 namespace {

@@ -112,7 +112,9 @@ struct Unit {
 /// `rule`.  One syntax for every engine (upn_lint delegates here).
 [[nodiscard]] bool suppressed(const std::string& raw_line, const std::string& rule);
 
-/// The module a repo-relative path belongs to: "src/<m>/..." -> "<m>",
+/// The module a repo-relative path belongs to: the full directory path under
+/// src/ ("src/routing/x.cpp" -> "routing", "src/routing/online/x.cpp" ->
+/// "routing/online" -- nested modules are their own layering units);
 /// anything else -> "".
 [[nodiscard]] std::string module_of(const std::string& path);
 
