@@ -99,7 +99,7 @@ class OnlineRouter {
   /// Packets with no usable route wait out a seeded jittered backoff and
   /// retry; max_retries failures, a dead endpoint, or the step ceiling mark
   /// a packet lost -- the call never throws on undeliverable traffic.
-  [[nodiscard]] OnlineRouteResult route(std::vector<Packet> packets,
+  [[nodiscard]] OnlineRouteResult route(std::vector<Packet> packets,  // upn-analyze-waive(hotpath-by-value-param: sink parameter, moved into the result in the .cpp)
                                         std::uint32_t max_steps = 1u << 16);
 
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }

@@ -1,7 +1,6 @@
 #include "src/routing/path_schedule.hpp"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
 
 #include "src/routing/policies.hpp"
@@ -25,17 +24,19 @@ PathSchedule schedule_paths(const Graph& host, const HhProblem& problem) {
   DistanceOracle oracle{host};
   PathSchedule schedule;
 
-  // Fix one shortest path per demand.
+  // Fix one shortest path per demand.  Link loads are counted flat (one key
+  // per traversed link, sort + run length) instead of through a node-per-key
+  // tree -- this is an upn_analyze hot-path module.
   std::vector<std::vector<NodeId>> paths;
   paths.reserve(problem.size());
-  std::map<std::uint64_t, std::uint32_t> link_load;
+  std::vector<std::uint64_t> traversed_links;
   std::uint32_t packet_id = 0;
   for (const Demand& demand : problem.demands()) {
     std::vector<NodeId> path{demand.src};
     NodeId at = demand.src;
     while (at != demand.dst) {
       const NodeId next = greedy_next_hop(host, oracle, at, demand.dst, packet_id);
-      ++link_load[link_key(at, next)];
+      traversed_links.push_back(link_key(at, next));
       path.push_back(next);
       at = next;
     }
@@ -44,8 +45,12 @@ PathSchedule schedule_paths(const Graph& host, const HhProblem& problem) {
     paths.push_back(std::move(path));
     ++packet_id;
   }
-  for (const auto& [key, load] : link_load) {
-    schedule.congestion = std::max(schedule.congestion, load);
+  std::sort(traversed_links.begin(), traversed_links.end());
+  for (std::size_t i = 0; i < traversed_links.size();) {
+    std::size_t j = i;
+    while (j < traversed_links.size() && traversed_links[j] == traversed_links[i]) ++j;
+    schedule.congestion = std::max(schedule.congestion, static_cast<std::uint32_t>(j - i));
+    i = j;
   }
 
   // Greedy farthest-to-go-first link scheduling.
@@ -54,23 +59,33 @@ PathSchedule schedule_paths(const Graph& host, const HhProblem& problem) {
   for (std::size_t p = 0; p < paths.size(); ++p) {
     if (paths[p].size() > 1) ++remaining;
   }
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> requests;  // (link, packet)
   while (remaining > 0) {
-    // Requests per directed link, keeping only the farthest-to-go packet.
-    std::map<std::uint64_t, std::uint32_t> winner;  // link -> packet
+    // Requests per directed link; the farthest-to-go packet wins each link
+    // (ties to the lowest packet id).  Sorting by (link, -residual, packet)
+    // and sweeping the first entry of each link group selects exactly what
+    // the old link->winner tree did, in the same ascending-link order.
     auto residual = [&](std::uint32_t p) {
       return static_cast<std::uint32_t>(paths[p].size() - 1) - position[p];
     };
+    requests.clear();
     for (std::uint32_t p = 0; p < paths.size(); ++p) {
       if (residual(p) == 0) continue;
-      const std::uint64_t key = link_key(paths[p][position[p]], paths[p][position[p] + 1]);
-      const auto it = winner.find(key);
-      if (it == winner.end() || residual(p) > residual(it->second)) {
-        winner[key] = p;
-      }
+      requests.emplace_back(link_key(paths[p][position[p]], paths[p][position[p] + 1]), p);
     }
+    std::sort(requests.begin(), requests.end(),
+              [&](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first < b.first;
+                if (residual(a.second) != residual(b.second)) {
+                  return residual(a.second) > residual(b.second);
+                }
+                return a.second < b.second;
+              });
     std::vector<std::array<std::uint32_t, 3>> step_moves;
-    step_moves.reserve(winner.size());
-    for (const auto& [key, p] : winner) {
+    for (std::size_t i = 0; i < requests.size();) {
+      const std::uint64_t key = requests[i].first;
+      const std::uint32_t p = requests[i].second;
+      while (i < requests.size() && requests[i].first == key) ++i;
       step_moves.push_back({p, paths[p][position[p]], paths[p][position[p] + 1]});
       ++position[p];
       if (residual(p) == 0) --remaining;
@@ -97,15 +112,19 @@ bool validate_path_schedule(const Graph& host, const HhProblem& problem,
   std::vector<NodeId> at;
   at.reserve(problem.size());
   for (const Demand& d : problem.demands()) at.push_back(d.src);
+  std::vector<std::uint64_t> used;
   for (const auto& step : schedule.moves) {
-    std::map<std::uint64_t, int> used;
+    used.clear();
     for (const auto& [packet, from, to] : step) {
       if (packet >= at.size()) return false;
       if (at[packet] != from) return false;
       if (!host.has_edge(from, to)) return false;
-      if (++used[link_key(from, to)] > 1) return false;
+      used.push_back(link_key(from, to));
       at[packet] = to;
     }
+    // One packet per directed link per step.
+    std::sort(used.begin(), used.end());
+    if (std::adjacent_find(used.begin(), used.end()) != used.end()) return false;
   }
   for (std::size_t p = 0; p < at.size(); ++p) {
     if (at[p] != problem.demands()[p].dst) return false;

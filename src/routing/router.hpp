@@ -95,7 +95,7 @@ class SyncRouter {
 
   /// Routes all packets to their destinations.  Throws on livelock
   /// (no delivery progress within the step limit).
-  [[nodiscard]] RouteResult route(std::vector<Packet> packets, RoutingPolicy& policy,
+  [[nodiscard]] RouteResult route(std::vector<Packet> packets, RoutingPolicy& policy,  // upn-analyze-waive(hotpath-by-value-param: sink parameter, moved into the result in the .cpp)
                                   bool record_transfers = false,
                                   std::uint32_t max_steps = 1u << 22);
 
@@ -108,7 +108,7 @@ class SyncRouter {
   /// `policy` is non-null its choices are used whenever they cross a live
   /// link; detours (and policy == nullptr) fall back to an internal greedy
   /// shortest-path policy computed on the live subgraph.
-  [[nodiscard]] RouteResult route_with_faults(std::vector<Packet> packets,
+  [[nodiscard]] RouteResult route_with_faults(std::vector<Packet> packets,  // upn-analyze-waive(hotpath-by-value-param: sink parameter, moved into the result in the .cpp)
                                               const FaultRouteOptions& faults,
                                               RoutingPolicy* policy = nullptr,
                                               bool record_transfers = false,
@@ -118,7 +118,7 @@ class SyncRouter {
   [[nodiscard]] PortModel port_model() const noexcept { return port_model_; }
 
  private:
-  [[nodiscard]] RouteResult route_impl(std::vector<Packet> packets, RoutingPolicy* policy,
+  [[nodiscard]] RouteResult route_impl(std::vector<Packet> packets, RoutingPolicy* policy,  // upn-analyze-waive(hotpath-by-value-param: sink parameter, moved into the result in the .cpp)
                                        const FaultRouteOptions* faults, bool record_transfers,
                                        std::uint32_t max_steps);
 

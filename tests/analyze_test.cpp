@@ -385,6 +385,287 @@ TEST(AnalyzeHygiene, TransitiveUseCountsAsUse) {
   }
 }
 
+// ---- concurrency safety ---------------------------------------------------
+
+TEST(AnalyzeConcurrency, ByReferenceAccumulationIntoOuterStateFires) {
+  const Unit unit = build_unit(
+      "src/core/sum.cpp",
+      "void f(ThreadPool& pool, const std::vector<long>& in) {\n"
+      "  long total = 0;\n"
+      "  pool.parallel_for(in.size(), [&](std::size_t i) {\n"
+      "    total += in[i];\n"
+      "  });\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(run_concurrency_pass(unit), "par-shared-mutation"));
+}
+
+TEST(AnalyzeConcurrency, IndexDisjointAtomicAndLockedWritesAreQuiet) {
+  const Unit disjoint = build_unit(
+      "src/core/fill.cpp",
+      "void f(ThreadPool& pool, std::vector<long>& out) {\n"
+      "  pool.parallel_for(out.size(), [&](std::size_t i) {\n"
+      "    out[i] = static_cast<long>(i);\n"
+      "  });\n"
+      "}\n");
+  EXPECT_TRUE(run_concurrency_pass(disjoint).empty());
+
+  const Unit atomic = build_unit(
+      "src/core/count.cpp",
+      "void f(ThreadPool& pool, std::size_t n) {\n"
+      "  std::atomic<long> total{0};\n"
+      "  pool.parallel_for(n, [&](std::size_t i) {\n"
+      "    total += static_cast<long>(i);\n"
+      "  });\n"
+      "}\n");
+  EXPECT_TRUE(run_concurrency_pass(atomic).empty());
+
+  const Unit locked = build_unit(
+      "src/core/merge.cpp",
+      "void f(ThreadPool& pool, std::size_t n, std::vector<long>& all) {\n"
+      "  std::mutex m;\n"
+      "  pool.parallel_for(n, [&](std::size_t i) {\n"
+      "    std::lock_guard<std::mutex> hold(m);\n"
+      "    all.push_back(static_cast<long>(i));\n"
+      "  });\n"
+      "}\n");
+  EXPECT_TRUE(run_concurrency_pass(locked).empty());
+}
+
+TEST(AnalyzeConcurrency, OuterRngSharedAcrossTasksFiresButSubStreamsAreQuiet) {
+  const Unit shared = build_unit(
+      "src/core/draw.cpp",
+      "void f(ThreadPool& pool, Rng& rng, std::vector<std::uint64_t>& out) {\n"
+      "  pool.parallel_for(out.size(), [&](std::size_t i) {\n"
+      "    out[i] = rng.next_u64();\n"
+      "  });\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(run_concurrency_pass(shared), "par-shared-rng"));
+
+  const Unit streamed = build_unit(
+      "src/core/draw.cpp",
+      "void f(ThreadPool& pool, std::uint64_t seed, std::vector<std::uint64_t>& out) {\n"
+      "  pool.parallel_for(out.size(), [&](std::size_t i) {\n"
+      "    Rng rng = Rng::stream(seed, i);\n"
+      "    out[i] = rng.next_u64();\n"
+      "  });\n"
+      "}\n");
+  EXPECT_TRUE(run_concurrency_pass(streamed).empty());
+}
+
+// ---- determinism taint ----------------------------------------------------
+
+TEST(AnalyzeTaint, UnorderedOrderFlowsToSinkButSortSanitizes) {
+  const Unit tainted = build_unit(
+      "src/core/stats.cpp",
+      "void f() {\n"
+      "  std::unordered_map<int, int> counts;\n"
+      "  long total = 0;\n"
+      "  for (const auto& [k, v] : counts) {\n"
+      "    total += v;\n"
+      "  }\n"
+      "  UPN_OBS_COUNT(\"demo.total\", total);\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(run_determinism_taint_pass(tainted), "taint-unordered-order"));
+
+  const Unit sorted = build_unit(
+      "src/core/stats.cpp",
+      "void f() {\n"
+      "  std::unordered_map<int, int> counts;\n"
+      "  std::vector<int> values;\n"
+      "  for (const auto& [k, v] : counts) {\n"
+      "    values.push_back(v);\n"
+      "  }\n"
+      "  std::sort(values.begin(), values.end());\n"
+      "  UPN_OBS_COUNT(\"demo.first\", values.empty() ? 0 : values[0]);\n"
+      "}\n");
+  EXPECT_TRUE(run_determinism_taint_pass(sorted).empty());
+}
+
+TEST(AnalyzeTaint, ThreadIdAndAddressSourcesFlowToSinks) {
+  const Unit thread_id = build_unit(
+      "src/core/who.cpp",
+      "void f() {\n"
+      "  const std::size_t me = std::hash<std::thread::id>{}(std::this_thread::get_id());\n"
+      "  UPN_OBS_COUNT(\"demo.me\", me);\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(run_determinism_taint_pass(thread_id), "taint-thread-id"));
+
+  const Unit address = build_unit(
+      "src/core/where.cpp",
+      "void f(const int* p) {\n"
+      "  const auto where = reinterpret_cast<std::uintptr_t>(p);\n"
+      "  UPN_OBS_COUNT(\"demo.where\", where);\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(run_determinism_taint_pass(address), "taint-address"));
+}
+
+TEST(AnalyzeTaint, TimingFlowFiresOutsideObsButObsAndHarnessAreExempt) {
+  const std::string body =
+      "void f() {\n"
+      "  const auto t0 = std::chrono::steady_clock::now();\n"
+      "  UPN_OBS_COUNT(\"demo.t0\", t0.time_since_epoch().count());\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(run_determinism_taint_pass(build_unit("src/core/t.cpp", body)),
+                       "taint-timing"));
+  EXPECT_TRUE(run_determinism_taint_pass(build_unit("src/obs/t.cpp", body)).empty());
+  EXPECT_TRUE(run_determinism_taint_pass(build_unit("bench/harness.cpp", body)).empty());
+}
+
+// ---- hot-path performance -------------------------------------------------
+
+namespace {
+
+Input hotpath_input(const std::string& path, const std::string& text) {
+  Input input;
+  input.layers_path = "docs/ARCHITECTURE.layers";
+  input.layers_text = "layer util\nlayer hot: util\nhotpath hot\n";
+  input.files.push_back({path, text});
+  input.jobs = 1;
+  return input;
+}
+
+}  // namespace
+
+TEST(AnalyzeHotpath, BannedContainerLoopAllocAndVirtualFireOnlyInHotpathModules) {
+  const std::string text =
+      "#pragma once\n"
+      "struct Engine {\n"
+      "  virtual int next_hop(int at) = 0;\n"
+      "  std::map<int, int> table;\n"
+      "};\n"
+      "inline void churn(std::vector<int*>& out) {\n"
+      "  for (int i = 0; i < 8; ++i) {\n"
+      "    out.push_back(new int(i));\n"
+      "  }\n"
+      "}\n";
+  const Report hot = analyze(hotpath_input("src/hot/engine.hpp", text));
+  EXPECT_TRUE(has_rule(hot.findings, "hotpath-container")) << hot.render_text();
+  EXPECT_TRUE(has_rule(hot.findings, "hotpath-alloc"));
+  EXPECT_TRUE(has_rule(hot.findings, "hotpath-virtual"));
+
+  // The identical file in a module with no hotpath directive is quiet.
+  const Report cold = analyze(hotpath_input("src/util/engine.hpp", text));
+  for (const Finding& f : cold.findings) {
+    EXPECT_NE(f.rule.substr(0, 8), "hotpath-") << f.format();
+  }
+}
+
+TEST(AnalyzeHotpath, ByValueContainerParamFiresUnlessItIsAMoveSink) {
+  const Report copied = analyze(hotpath_input(
+      "src/hot/api.hpp",
+      "#pragma once\n"
+      "inline long weigh(std::vector<long> batch) {\n"
+      "  long total = 0;\n"
+      "  for (long v : batch) total += v;\n"
+      "  return total;\n"
+      "}\n"));
+  EXPECT_TRUE(has_rule(copied.findings, "hotpath-by-value-param"))
+      << copied.render_text();
+
+  // The sink idiom -- by-value then moved into place -- is the ONE sanctioned
+  // by-value container signature.
+  const Report sink = analyze(hotpath_input(
+      "src/hot/api.hpp",
+      "#pragma once\n"
+      "struct Holder {\n"
+      "  std::vector<long> owned;\n"
+      "  void adopt(std::vector<long> batch) { owned = std::move(batch); }\n"
+      "};\n"));
+  EXPECT_FALSE(has_rule(sink.findings, "hotpath-by-value-param"))
+      << sink.render_text();
+}
+
+TEST(AnalyzeHotpath, BaselineAbsorbsFindingsAndStaleEntriesFireTheRatchet) {
+  Input input = hotpath_input("src/hot/engine.hpp",
+                              "#pragma once\n"
+                              "struct Engine {\n"
+                              "  std::deque<int> pending;\n"
+                              "};\n");
+  const Report live = analyze(input);
+  std::vector<Finding> hotpath_findings;
+  for (const Finding& f : live.findings) {
+    if (f.rule.compare(0, 8, "hotpath-") == 0) hotpath_findings.push_back(f);
+  }
+  ASSERT_FALSE(hotpath_findings.empty()) << live.render_text();
+
+  // Keyed into the baseline, the finding moves to the baselined bucket.
+  input.hotpath_text = render_hotpath_baseline(hotpath_findings);
+  input.hotpath_path = "tools/analyze/hotpath.baseline";
+  const Report absorbed = analyze(input);
+  EXPECT_FALSE(has_rule(absorbed.findings, "hotpath-container"));
+  EXPECT_TRUE(has_rule(absorbed.baselined, "hotpath-container"));
+  EXPECT_FALSE(has_rule(absorbed.findings, "baseline-stale-entry"));
+
+  // An entry that matches nothing must be deleted: the ratchet only shrinks.
+  input.hotpath_text += "src/hot/gone.hpp:hotpath-container:map\n";
+  const Report stale = analyze(input);
+  ASSERT_TRUE(has_rule(stale.findings, "baseline-stale-entry")) << stale.render_text();
+  for (const Finding& f : stale.findings) {
+    if (f.rule != "baseline-stale-entry") continue;
+    EXPECT_EQ(f.file, "tools/analyze/hotpath.baseline");
+    EXPECT_EQ(f.line, 0u);
+    EXPECT_NE(f.message.find("src/hot/gone.hpp:hotpath-container:map"),
+              std::string::npos);
+  }
+}
+
+TEST(AnalyzeHotpath, KeyUsesTheQuotedDetailAndBaselineRendersSortedUnique) {
+  const Finding f{"src/hot/a.hpp", 12, "hotpath-container",
+                  "'deque' (std::deque) used in hot-path module 'hot'"};
+  EXPECT_EQ(hotpath_key(f), "src/hot/a.hpp:hotpath-container:deque");
+
+  const Finding g{"src/hot/a.hpp", 40, "hotpath-container",
+                  "'deque' (std::deque) used in hot-path module 'hot'"};
+  const Finding h{"src/hot/a.hpp", 7, "hotpath-alloc",
+                  "'new' allocation inside a loop in hot-path module 'hot'"};
+  const std::string rendered = render_hotpath_baseline({f, g, h});
+  // Same file+rule+detail dedupes to one line; keys come out sorted.
+  const std::string expected_keys =
+      "src/hot/a.hpp:hotpath-alloc:new\n"
+      "src/hot/a.hpp:hotpath-container:deque\n";
+  EXPECT_NE(rendered.find(expected_keys), std::string::npos) << rendered;
+  EXPECT_EQ(rendered.find('#'), 0u) << "baseline starts with its comment header";
+}
+
+TEST(AnalyzeHotpath, DirectiveMustNameADeclaredModule) {
+  Input input;
+  input.layers_path = "docs/ARCHITECTURE.layers";
+  input.layers_text = "layer util\nhotpath ghost\n";
+  input.files.push_back({"src/util/a.hpp", "#pragma once\nnamespace upn {}\n"});
+  input.jobs = 1;
+  const Report report = analyze(input);
+  EXPECT_TRUE(has_rule(report.findings, "layering-undeclared-module"))
+      << report.render_text();
+}
+
+TEST(AnalyzeHotpath, DirectiveParsingRejectsMalformedAndDuplicateLines) {
+  const LayerSpec ok = parse_layers("L", "layer util\nhotpath util\n");
+  EXPECT_TRUE(ok.errors.empty());
+  EXPECT_EQ(ok.hotpaths.count("util"), 1u);
+
+  EXPECT_TRUE(has_rule(parse_layers("L", "hotpath \n").errors, "layers-malformed"));
+  EXPECT_TRUE(
+      has_rule(parse_layers("L", "hotpath one two\n").errors, "layers-malformed"));
+  EXPECT_TRUE(has_rule(parse_layers("L", "layer util\nhotpath util\nhotpath util\n").errors,
+                       "layers-malformed"));
+}
+
+// ---- diff restriction -----------------------------------------------------
+
+TEST(AnalyzeDiff, RestrictToFilesKeepsOnlyTheNamedFiles) {
+  Input input;
+  input.files.push_back({"src/util/a.hpp", "namespace upn {}\n"});
+  input.files.push_back({"src/util/b.hpp", "namespace upn {}\n"});
+  input.jobs = 1;
+  Report report = analyze(input);
+  ASSERT_TRUE(has_rule(report.findings, "pragma-once"));
+  restrict_to_files(report, {"src/util/b.hpp"});
+  for (const Finding& f : report.findings) {
+    EXPECT_EQ(f.file, "src/util/b.hpp") << f.format();
+  }
+  EXPECT_TRUE(has_rule(report.findings, "pragma-once"));
+}
+
 // ---- fixture trees --------------------------------------------------------
 
 TEST(AnalyzeFixtures, CleanTreeIsClean) {
@@ -397,8 +678,12 @@ TEST(AnalyzeFixtures, BadTreeFiresEveryPassFamily) {
   const Report report = analyze_tree(UPN_ANALYZE_BAD_DIR);
   for (const char* rule :
        {"layering-declared-cycle", "layering-undeclared-edge", "layering-stale-waiver",
-        "include-cycle", "contract-coverage", "rng-by-value", "narrowing-cast",
-        "no-raw-thread", "thread-detach", "unused-include", "pragma-once"}) {
+        "layering-undeclared-module", "include-cycle", "contract-coverage",
+        "rng-by-value", "narrowing-cast", "no-raw-thread", "thread-detach",
+        "unused-include", "pragma-once", "par-shared-mutation", "par-shared-rng",
+        "taint-unordered-order", "taint-timing", "taint-thread-id", "taint-address",
+        "hotpath-container", "hotpath-alloc", "hotpath-virtual",
+        "hotpath-by-value-param", "baseline-stale-entry"}) {
     EXPECT_TRUE(has_rule(report.findings, rule)) << rule;
   }
 }

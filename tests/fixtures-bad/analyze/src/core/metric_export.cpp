@@ -1,0 +1,17 @@
+namespace demo {
+
+void export_totals(const std::unordered_map<int, long>& table,
+                   std::thread::id worker) {
+  long total = 0;
+  for (const auto& [key, value] : table) {
+    total += value;
+  }
+  UPN_OBS_COUNT("demo.total", total);
+  const auto stamp = std::chrono::steady_clock::now().time_since_epoch().count();
+  UPN_OBS_GAUGE_MAX("demo.stamp", stamp);
+  const auto where = reinterpret_cast<std::uintptr_t>(&table);
+  UPN_OBS_COUNT("demo.where", where);
+  UPN_OBS_COUNT("demo.worker", std::hash<std::thread::id>{}(worker));
+}
+
+}  // namespace demo

@@ -1,0 +1,9 @@
+namespace demo {
+
+void sum_counts(Pool& pool, const std::vector<int>& in, long& total, Rng& rng) {
+  pool.parallel_for(in.size(), [&](std::size_t i) {
+    total += in[i] + static_cast<long>(rng.next_u64());
+  });
+}
+
+}  // namespace demo

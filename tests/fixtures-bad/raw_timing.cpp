@@ -1,13 +1,16 @@
-// NOT compiled: a lint fixture seeded with raw timing calls.  Timing must
-// flow through upn::obs (src/obs/) or the bench harness; ad-hoc clock reads
-// are banned everywhere else so UPN_NDEBUG_OBS can compile all timing out.
+// NOT compiled: a lint fixture where wall-clock readings leak into
+// deterministic outputs.  Reading a clock is fine on its own (the obs layer
+// exists for that); feeding the reading into a metric or protocol artifact
+// makes the output depend on scheduling, so taint-timing rejects it.
 #include <chrono>
 #include <ctime>
 
-double bad_timing() {
-  const auto start = std::chrono::steady_clock::now();     // no-raw-timing
+#include "src/obs/metrics.hpp"
+
+void bad_timing() {
+  const auto start = std::chrono::steady_clock::now();
+  UPN_OBS_COUNT("demo.start_ns", start.time_since_epoch().count());  // taint-timing
   timespec ts{};
-  clock_gettime(CLOCK_MONOTONIC, &ts);                     // no-raw-timing
-  const auto stop = std::chrono::steady_clock::now();      // no-raw-timing
-  return std::chrono::duration<double>(stop - start).count();  // no-raw-timing
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  UPN_OBS_GAUGE_MAX("demo.sec", ts.tv_sec);                    // taint-timing
 }

@@ -1,0 +1,12 @@
+namespace demo {
+
+void export_totals(const std::unordered_map<int, long>& table) {
+  std::vector<long> values;
+  for (const auto& [key, value] : table) {
+    values.push_back(value);
+  }
+  std::sort(values.begin(), values.end());
+  UPN_OBS_COUNT("demo.values", values.size());
+}
+
+}  // namespace demo

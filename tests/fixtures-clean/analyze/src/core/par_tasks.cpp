@@ -1,0 +1,10 @@
+namespace demo {
+
+void fill_counts(Pool& pool, std::vector<int>& out, std::uint64_t seed) {
+  pool.parallel_for(out.size(), [&](std::size_t i) {
+    Rng rng = Rng::stream(seed, i);
+    out[i] = static_cast<int>(rng.next_u64());
+  });
+}
+
+}  // namespace demo

@@ -1,0 +1,13 @@
+#pragma once
+
+namespace demo {
+
+struct Queue {
+  std::deque<int> pending;
+};
+
+inline void consume(std::vector<int> batch) {
+  std::vector<int> sink = std::move(batch);
+}
+
+}  // namespace demo

@@ -67,6 +67,36 @@ TEST(PathSchedule, WorksOnButterflyAndDeBruijn) {
   }
 }
 
+TEST(PathSchedule, GreedyMoveSequenceIsPinned) {
+  // Regression pin for the data-oriented rewrite of the scheduler's link
+  // bookkeeping (std::map -> sort + sweep): the full move sequence for a
+  // fixed torus instance must stay bit-for-bit what the tree-based
+  // implementation produced.  If an intentional algorithm change moves this
+  // fingerprint, re-derive it and update the constants in one commit.
+  Rng rng{1};
+  const Graph host = make_torus(6, 6);
+  const HhProblem problem = random_h_relation(host.num_nodes(), 3, rng);
+  const PathSchedule schedule = schedule_paths(host, problem);
+  ASSERT_TRUE(validate_path_schedule(host, problem, schedule));
+  std::uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](std::uint64_t v) {
+    hash ^= v;
+    hash *= 1099511628211ull;
+  };
+  for (const auto& step : schedule.moves) {
+    for (const auto& move : step) {
+      mix(move[0]);
+      mix(move[1]);
+      mix(move[2]);
+    }
+  }
+  EXPECT_EQ(schedule.makespan, 7u);
+  EXPECT_EQ(schedule.congestion, 7u);
+  EXPECT_EQ(schedule.dilation, 6u);
+  EXPECT_EQ(schedule.total_moves, 320u);
+  EXPECT_EQ(hash, 2435169443490740449ull);
+}
+
 TEST(PathSchedule, ValidatorCatchesCorruption) {
   const Graph p = make_path(4);
   HhProblem problem{4};

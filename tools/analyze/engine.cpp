@@ -53,9 +53,17 @@ Report analyze(const Input& input) {
       input.files.size(), [&](std::size_t i) {
         return build_unit(input.files[i].path, input.files[i].content);
       });
+  // The per-unit pass trio (single-file rules, concurrency safety,
+  // determinism taint) shares one fan-out; each worker owns exactly one unit.
   const std::vector<std::vector<Finding>> per_unit =
-      pool.parallel_map<std::vector<Finding>>(
-          units.size(), [&](std::size_t i) { return run_single_file_rules(units[i]); });
+      pool.parallel_map<std::vector<Finding>>(units.size(), [&](std::size_t i) {
+        std::vector<Finding> findings = run_single_file_rules(units[i]);
+        const std::vector<Finding> conc = run_concurrency_pass(units[i]);
+        const std::vector<Finding> taint = run_determinism_taint_pass(units[i]);
+        findings.insert(findings.end(), conc.begin(), conc.end());
+        findings.insert(findings.end(), taint.begin(), taint.end());
+        return findings;
+      });
 
   std::vector<Finding> all;
   for (const std::vector<Finding>& findings : per_unit) {
@@ -66,7 +74,9 @@ Report analyze(const Input& input) {
     const LayerSpec spec = parse_layers(input.layers_path, input.layers_text);
     const std::vector<Finding> layering =
         run_layering_pass(units, spec, input.layers_path);
+    const std::vector<Finding> hot = run_hotpath_pass(units, spec);
     all.insert(all.end(), layering.begin(), layering.end());
+    all.insert(all.end(), hot.begin(), hot.end());
   }
 
   const std::vector<Finding> coverage = run_contract_coverage_pass(units);
@@ -75,14 +85,32 @@ Report analyze(const Input& input) {
   all.insert(all.end(), hygiene.begin(), hygiene.end());
 
   const std::set<std::string> baseline = parse_baseline(input.baseline_text);
+  const std::set<std::string> hotpath_baseline = parse_baseline(input.hotpath_text);
+  std::set<std::string> hotpath_seen;
   Report report;
   report.files = input.files.size();
   for (Finding& f : all) {
+    const bool is_hotpath = f.rule.compare(0, 8, "hotpath-") == 0;
+    if (is_hotpath) hotpath_seen.insert(hotpath_key(f));
     if (f.rule == "contract-coverage" && baseline.count(baseline_key(f)) != 0) {
+      report.baselined.push_back(std::move(f));
+    } else if (is_hotpath && hotpath_baseline.count(hotpath_key(f)) != 0) {
       report.baselined.push_back(std::move(f));
     } else {
       report.findings.push_back(std::move(f));
     }
+  }
+  // A baseline entry matching no current finding is debt already paid: the
+  // ratchet only shrinks, so a stale entry is itself a finding.
+  const std::string hotpath_path =
+      input.hotpath_path.empty() ? "tools/analyze/hotpath.baseline" : input.hotpath_path;
+  for (const std::string& entry : hotpath_baseline) {
+    if (hotpath_seen.count(entry) != 0) continue;
+    report.findings.push_back(
+        Finding{hotpath_path, 0, "baseline-stale-entry",
+                "hotpath baseline entry '" + entry +
+                    "' matches no current finding; delete it (the ratchet only "
+                    "shrinks)"});
   }
   std::sort(report.findings.begin(), report.findings.end(), finding_less);
   std::sort(report.baselined.begin(), report.baselined.end(), finding_less);
@@ -92,6 +120,16 @@ Report analyze(const Input& input) {
   UPN_OBS_COUNT("analyze.findings_baselined", report.baselined.size());
   UPN_OBS_COUNT("analyze.runs", 1);
   return report;
+}
+
+void restrict_to_files(Report& report, const std::set<std::string>& files) {
+  auto drop = [&](std::vector<Finding>& findings) {
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [&](const Finding& f) { return files.count(f.file) == 0; }),
+                   findings.end());
+  };
+  drop(report.findings);
+  drop(report.baselined);
 }
 
 bool collect_tree(const TreeOptions& options, Input& input, std::string& error) {
@@ -174,6 +212,17 @@ bool collect_tree(const TreeOptions& options, Input& input, std::string& error) 
       error = "cannot read baseline file " + baseline.generic_string();
       return false;
     }
+  }
+
+  fs::path hotpath = options.hotpath_file.empty()
+                         ? root / "tools/analyze/hotpath.baseline"
+                         : fs::path{options.hotpath_file};
+  if (!options.hotpath_file.empty() || fs::exists(hotpath)) {
+    if (!read_file(hotpath, input.hotpath_text)) {
+      error = "cannot read hotpath baseline file " + hotpath.generic_string();
+      return false;
+    }
+    input.hotpath_path = rel_of(hotpath);
   }
   return true;
 }

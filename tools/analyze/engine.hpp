@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -19,9 +20,11 @@ namespace upn::analyze {
 /// the engine without touching disk.
 struct Input {
   std::vector<SourceFile> files;  ///< repo-relative paths, forward slashes
-  std::string layers_path;        ///< "" skips the layering pass
+  std::string layers_path;        ///< "" skips the layering + hotpath passes
   std::string layers_text;
-  std::string baseline_text;      ///< "" means an empty baseline
+  std::string baseline_text;      ///< contract baseline; "" means empty
+  std::string hotpath_text;       ///< hotpath baseline; "" means empty
+  std::string hotpath_path;       ///< reported path for stale-entry findings
   unsigned jobs = 0;              ///< 0 picks ThreadPool::default_threads()
 };
 
@@ -37,6 +40,12 @@ struct Report {
 /// Runs the full analysis.
 [[nodiscard]] Report analyze(const Input& input);
 
+/// Drops every finding (actionable and baselined) whose file is not in
+/// `files`.  Backs the `--diff <git-ref>` fast PR gate: the caller computes
+/// the changed-file set, the filtering itself stays deterministic and
+/// testable.  `report.files` (the analyzed count) is left untouched.
+void restrict_to_files(Report& report, const std::set<std::string>& files);
+
 /// Disk-walking front half: loads .cpp/.hpp files under `paths` (relative to
 /// `root` unless absolute), skipping paths that contain any `excludes`
 /// substring, plus the layers and baseline files when present.  On IO
@@ -46,6 +55,7 @@ struct TreeOptions {
   std::vector<std::string> paths;
   std::string layers_file;    ///< "" -> root/docs/ARCHITECTURE.layers when present
   std::string baseline_file;  ///< "" -> root/tools/analyze/contracts.baseline when present
+  std::string hotpath_file;   ///< "" -> root/tools/analyze/hotpath.baseline when present
   std::vector<std::string> excludes = {"fixtures-bad", "fixtures-clean", "build"};
   unsigned jobs = 0;
 };

@@ -96,7 +96,15 @@ bool contains_word(const std::string& code, const std::string& word) {
 }
 
 bool suppressed(const std::string& raw_line, const std::string& rule) {
-  return raw_line.find("upn-lint-allow(" + rule + ")") != std::string::npos;
+  if (raw_line.find("upn-lint-allow(" + rule + ")") != std::string::npos) return true;
+  // upn-analyze-waive(<rule>: <reason>) -- the reason is mandatory, so a
+  // waiver always records WHY the rule does not apply at this site.
+  const std::string marker = "upn-analyze-waive(" + rule + ":";
+  const auto at = raw_line.find(marker);
+  if (at == std::string::npos) return false;
+  std::size_t p = at + marker.size();
+  while (p < raw_line.size() && raw_line[p] == ' ') ++p;
+  return p < raw_line.size() && raw_line[p] != ')';
 }
 
 std::string module_of(const std::string& path) {

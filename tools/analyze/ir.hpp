@@ -108,8 +108,11 @@ struct Unit {
 /// True iff `word` occurs anywhere in `code` as a whole identifier.
 [[nodiscard]] bool contains_word(const std::string& code, const std::string& word);
 
-/// True iff `raw_line` carries an `upn-lint-allow(<rule>)` suppression for
-/// `rule`.  One syntax for every engine (upn_lint delegates here).
+/// True iff `raw_line` carries a suppression for `rule`.  Two syntaxes, one
+/// engine (upn_lint delegates here):
+///   upn-lint-allow(<rule>)            bare suppression (PR 2 syntax)
+///   upn-analyze-waive(<rule>: <why>)  suppression with a MANDATORY reason;
+///                                     an empty reason does not suppress
 [[nodiscard]] bool suppressed(const std::string& raw_line, const std::string& rule);
 
 /// The module a repo-relative path belongs to: the full directory path under

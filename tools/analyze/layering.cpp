@@ -6,13 +6,15 @@
 //
 //   layer <module>[: <dep> <dep> ...]
 //   waive <from> -> <to>: <reason>
+//   hotpath <module>
 //
 // `layer` declares a module and its DIRECT allowed dependencies (transitive
 // reachability is not inherited: if core may use routing and routing may use
 // topology, core must still declare topology to include it).  `waive`
 // tolerates one observed edge outside the DAG with a recorded reason -- the
 // escape hatch for instrumentation edges like util -> obs that would
-// otherwise be module-level cycles.  Errors:
+// otherwise be module-level cycles.  `hotpath` marks a declared module for
+// the hot-path performance pass (tools/analyze/hotpath.cpp).  Errors:
 //
 //   layers-malformed           unparseable directive
 //   layering-undeclared-module a dep names a module never declared
@@ -151,8 +153,25 @@ LayerSpec parse_layers(const std::string& path, const std::string& content) {
       continue;
     }
 
-    spec.errors.push_back(Finding{path, line_no, "layers-malformed",
-                                  "unknown directive (expected 'layer' or 'waive')"});
+    if (line.compare(0, 8, "hotpath ") == 0) {
+      const std::string name = trim(line.substr(8));
+      if (name.empty() || name.find(' ') != std::string::npos) {
+        spec.errors.push_back(Finding{path, line_no, "layers-malformed",
+                                      "expected 'hotpath <module>'"});
+        continue;
+      }
+      if (spec.hotpaths.count(name) != 0) {
+        spec.errors.push_back(Finding{path, line_no, "layers-malformed",
+                                      "module '" + name + "' declared hotpath twice"});
+        continue;
+      }
+      spec.hotpaths.emplace(name, line_no);
+      continue;
+    }
+
+    spec.errors.push_back(Finding{
+        path, line_no, "layers-malformed",
+        "unknown directive (expected 'layer', 'waive', or 'hotpath')"});
   }
   return spec;
 }
@@ -169,6 +188,14 @@ std::vector<Finding> run_layering_pass(const std::vector<Unit>& units, const Lay
                               "module '" + mod + "' depends on undeclared module '" + dep +
                                   "'"});
       }
+    }
+  }
+
+  // Hotpath directives must name declared modules.
+  for (const auto& [mod, line_no] : spec.hotpaths) {
+    if (spec.deps.count(mod) == 0) {
+      out.push_back(Finding{layers_path, line_no, "layering-undeclared-module",
+                            "hotpath directive names undeclared module '" + mod + "'"});
     }
   }
 

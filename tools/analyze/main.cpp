@@ -1,24 +1,34 @@
 // upn_analyze CLI: whole-program static analysis with layering DAG
 // enforcement, contract-coverage audit (baseline-ratcheted), flow-sensitive
-// token rules, include hygiene, and SARIF 2.1.0 output for CI annotation.
+// token rules, concurrency-safety and determinism-taint passes, the
+// hot-path performance pass (baseline-ratcheted), include hygiene, and
+// SARIF 2.1.0 output for CI annotation.
 //
 // Usage:
 //   upn_analyze [options] PATH...
 //     --root DIR        repo root; reported paths are relative to it (default .)
 //     --layers FILE     module DAG (default ROOT/docs/ARCHITECTURE.layers if present)
 //     --baseline FILE   contract baseline (default ROOT/tools/analyze/contracts.baseline)
+//     --hotpath-baseline FILE
+//                       hot-path baseline (default ROOT/tools/analyze/hotpath.baseline)
 //     --sarif FILE      also write a SARIF 2.1.0 report to FILE
 //     --jobs N          analysis thread count (default: UPN_THREADS, else 1)
 //     --exclude SUBSTR  skip paths containing SUBSTR (repeatable; defaults
 //                       additionally skip fixtures-bad/, fixtures-clean/, build*/)
-//     --write-baseline  rewrite the baseline at the current coverage level
+//     --diff GIT_REF    report only findings in files `git diff --name-only
+//                       GIT_REF` lists (the fast PR gate; analysis itself
+//                       still runs over every PATH so cross-file passes see
+//                       the whole tree)
+//     --write-baseline  rewrite both baselines at the current debt level
 //
 // Exit codes: 0 clean, 1 findings, 2 usage / IO error.  The text report and
 // the SARIF document are byte-identical at every --jobs value.
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -29,9 +39,38 @@ namespace {
 
 int usage() {
   std::cerr << "usage: upn_analyze [--root DIR] [--layers FILE] [--baseline FILE]\n"
-               "                   [--sarif FILE] [--jobs N] [--exclude SUBSTR]...\n"
+               "                   [--hotpath-baseline FILE] [--sarif FILE] [--jobs N]\n"
+               "                   [--exclude SUBSTR]... [--diff GIT_REF]\n"
                "                   [--write-baseline] PATH...\n";
   return 2;
+}
+
+/// The files `git diff --name-only <ref>` reports, repo-relative.  Returns
+/// false (with `error` set) when git itself fails.
+bool changed_files(const std::string& root, const std::string& ref,
+                   std::set<std::string>& files, std::string& error) {
+  const std::string command =
+      "git -C '" + root + "' diff --name-only '" + ref + "' -- 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    error = "cannot run git diff";
+    return false;
+  }
+  std::string line;
+  for (int c = std::fgetc(pipe); c != EOF; c = std::fgetc(pipe)) {
+    if (c == '\n') {
+      if (!line.empty()) files.insert(line);
+      line.clear();
+    } else {
+      line += static_cast<char>(c);
+    }
+  }
+  if (!line.empty()) files.insert(line);
+  if (pclose(pipe) != 0) {
+    error = "git diff --name-only '" + ref + "' failed (bad ref or not a git repo?)";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -39,6 +78,7 @@ int usage() {
 int main(int argc, char** argv) {
   upn::analyze::TreeOptions options;
   std::string sarif_path;
+  std::string diff_ref;
   bool write_baseline = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -57,6 +97,10 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage();
       options.baseline_file = v;
+    } else if (arg == "--hotpath-baseline") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.hotpath_file = v;
     } else if (arg == "--sarif") {
       const char* v = value();
       if (v == nullptr) return usage();
@@ -71,6 +115,10 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage();
       options.excludes.emplace_back(v);
+    } else if (arg == "--diff") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      diff_ref = v;
     } else if (arg == "--write-baseline") {
       write_baseline = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -88,26 +136,50 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const upn::analyze::Report report = upn::analyze::analyze(input);
+  upn::analyze::Report report = upn::analyze::analyze(input);
 
   if (write_baseline) {
-    // The new frozen set is everything currently uncontracted, whether or
-    // not the old baseline covered it.
-    std::vector<upn::analyze::Finding> uncontracted = report.baselined;
-    for (const upn::analyze::Finding& f : report.findings) {
-      if (f.rule == "contract-coverage") uncontracted.push_back(f);
+    // The new frozen sets are everything currently flagged, whether or not
+    // the old baselines covered it.
+    std::vector<upn::analyze::Finding> uncontracted;
+    std::vector<upn::analyze::Finding> hotpath_debt;
+    for (const std::vector<upn::analyze::Finding>* bucket :
+         {&report.baselined, &report.findings}) {
+      for (const upn::analyze::Finding& f : *bucket) {
+        if (f.rule == "contract-coverage") uncontracted.push_back(f);
+        if (f.rule.compare(0, 8, "hotpath-") == 0) hotpath_debt.push_back(f);
+      }
     }
     std::sort(uncontracted.begin(), uncontracted.end(), upn::analyze::finding_less);
-    const std::string path = options.baseline_file.empty()
-                                 ? options.root + "/tools/analyze/contracts.baseline"
-                                 : options.baseline_file;
-    std::ofstream out{path, std::ios::binary};
-    if (!out) {
-      std::cerr << "upn_analyze: cannot write baseline " << path << "\n";
+    std::sort(hotpath_debt.begin(), hotpath_debt.end(), upn::analyze::finding_less);
+    const std::string contracts_path =
+        options.baseline_file.empty() ? options.root + "/tools/analyze/contracts.baseline"
+                                      : options.baseline_file;
+    const std::string hotpath_path =
+        options.hotpath_file.empty() ? options.root + "/tools/analyze/hotpath.baseline"
+                                     : options.hotpath_file;
+    std::ofstream contracts_out{contracts_path, std::ios::binary};
+    std::ofstream hotpath_out{hotpath_path, std::ios::binary};
+    if (!contracts_out || !hotpath_out) {
+      std::cerr << "upn_analyze: cannot write baseline " << contracts_path << " / "
+                << hotpath_path << "\n";
       return 2;
     }
-    out << upn::analyze::render_baseline(uncontracted);
-    std::cerr << "upn_analyze: baseline rewritten: " << path << "\n";
+    contracts_out << upn::analyze::render_baseline(uncontracted);
+    hotpath_out << upn::analyze::render_hotpath_baseline(hotpath_debt);
+    std::cerr << "upn_analyze: baselines rewritten: " << contracts_path << ", "
+              << hotpath_path << "\n";
+  }
+
+  if (!diff_ref.empty()) {
+    std::set<std::string> changed;
+    if (!changed_files(options.root, diff_ref, changed, error)) {
+      std::cerr << "upn_analyze: " << error << "\n";
+      return 2;
+    }
+    upn::analyze::restrict_to_files(report, changed);
+    std::cerr << "upn_analyze: --diff " << diff_ref << " restricted reporting to "
+              << changed.size() << " changed files\n";
   }
 
   if (!sarif_path.empty()) {

@@ -77,104 +77,6 @@ std::string token_after(const std::string& code, std::size_t pos) {
   return code.substr(start, end - start);
 }
 
-// ---- unordered-iteration helpers (moved verbatim from tools/lint) ---------
-
-/// Variable names declared in this file with an OUTERMOST unordered
-/// container type (nested uses like vector<unordered_map<...>> are fine:
-/// iterating the vector is deterministic).
-std::vector<std::string> unordered_decls(const std::vector<std::string>& code) {
-  std::vector<std::string> names;
-  for (const std::string& line : code) {
-    for (const char* type : {"unordered_map", "unordered_set"}) {
-      for (std::size_t pos = line.find(type); pos != std::string::npos;
-           pos = line.find(type, pos + 1)) {
-        if (!word_at(line, pos, type)) continue;
-        // Skip "std::" to find where the full type expression starts.
-        std::size_t type_start = pos;
-        if (type_start >= 5 && line.compare(type_start - 5, 5, "std::") == 0) {
-          type_start -= 5;
-        }
-        // Nested inside another template argument list? Then the iterated
-        // object is the outer container.
-        std::size_t before = type_start;
-        while (before > 0 && line[before - 1] == ' ') --before;
-        if (before > 0 && (line[before - 1] == '<' || line[before - 1] == ',')) continue;
-        // Walk the template argument list to its closing '>'.
-        std::size_t cursor = line.find('<', pos);
-        if (cursor == std::string::npos) continue;
-        int depth = 0;
-        while (cursor < line.size()) {
-          if (line[cursor] == '<') ++depth;
-          if (line[cursor] == '>') {
-            --depth;
-            if (depth == 0) break;
-          }
-          ++cursor;
-        }
-        if (cursor >= line.size()) continue;  // multi-line declaration: give up
-        // The declared name follows (skipping refs and whitespace).
-        std::size_t name_start = cursor + 1;
-        while (name_start < line.size() &&
-               (line[name_start] == ' ' || line[name_start] == '&' || line[name_start] == '*')) {
-          ++name_start;
-        }
-        std::size_t name_end = name_start;
-        while (name_end < line.size() && ident_char(line[name_end])) ++name_end;
-        if (name_end > name_start) {
-          names.push_back(line.substr(name_start, name_end - name_start));
-        }
-      }
-    }
-  }
-  std::sort(names.begin(), names.end());
-  names.erase(std::unique(names.begin(), names.end()), names.end());
-  return names;
-}
-
-/// The identifier a range-for iterates, or "" if the line has none.
-std::string range_for_target(const std::string& code) {
-  for (std::size_t pos = code.find("for"); pos != std::string::npos;
-       pos = code.find("for", pos + 1)) {
-    if (!word_at(code, pos, "for")) continue;
-    const std::size_t open = code.find('(', pos);
-    if (open == std::string::npos) return "";
-    int depth = 0;
-    std::size_t colon = std::string::npos;
-    std::size_t close = std::string::npos;
-    for (std::size_t i = open; i < code.size(); ++i) {
-      if (code[i] == '(') ++depth;
-      if (code[i] == ')') {
-        --depth;
-        if (depth == 0) {
-          close = i;
-          break;
-        }
-      }
-      if (code[i] == ':' && depth == 1 && colon == std::string::npos) {
-        // Skip '::' scope operators.
-        if ((i + 1 < code.size() && code[i + 1] == ':') || (i > 0 && code[i - 1] == ':')) {
-          continue;
-        }
-        colon = i;
-      }
-    }
-    if (colon == std::string::npos || close == std::string::npos) continue;
-    std::string expr = code.substr(colon + 1, close - colon - 1);
-    // Strip whitespace and take the leading identifier of the range.
-    std::size_t start = 0;
-    while (start < expr.size() && expr[start] == ' ') ++start;
-    std::size_t end = start;
-    while (end < expr.size() && ident_char(expr[end])) ++end;
-    // `obj.member()` / `obj->x` ranges iterate what the call returns; only a
-    // bare identifier (possibly the whole expr) maps back to a declaration.
-    std::string rest = expr.substr(end);
-    rest.erase(std::remove(rest.begin(), rest.end(), ' '), rest.end());
-    if (!rest.empty()) continue;
-    return expr.substr(start, end - start);
-  }
-  return "";
-}
-
 // ---- flow-sensitive token rules -------------------------------------------
 
 /// Narrow integer destination types for `narrowing-cast`.  Casts to 32-bit
@@ -295,15 +197,6 @@ std::vector<Finding> run_single_file_rules(const Unit& unit) {
     }
   }
 
-  const std::vector<std::string> unordered = unordered_decls(code);
-
-  // Raw clock reads outside the obs layer and the bench harness bypass the
-  // deterministic/timing metric split (docs/OBSERVABILITY.md): timing taken
-  // ad hoc cannot be compiled out by UPN_NDEBUG_OBS and tends to leak into
-  // outputs that must be byte-stable across runs.
-  const bool timing_exempt = path.find("src/obs/") != std::string::npos ||
-                             path.find("bench/harness.") != std::string::npos;
-
   for (std::size_t i = 0; i < code.size(); ++i) {
     const std::string& line = code[i];
     const std::size_t line_no = i + 1;
@@ -325,22 +218,6 @@ std::vector<Finding> run_single_file_rules(const Unit& unit) {
       emit(line_no, "no-endl",
            "std::endl flushes on every call (quadratic in emission loops); use '\\n'");
     }
-    if (!timing_exempt) {
-      if (line.find("std::chrono") != std::string::npos ||
-          contains_word(line, "steady_clock") || contains_word(line, "system_clock") ||
-          contains_word(line, "high_resolution_clock")) {
-        emit(line_no, "no-raw-timing",
-             "raw std::chrono timing outside src/obs/ and the bench harness; use "
-             "upn::obs::now_ns() / UPN_OBS_SPAN so timing stays on the kTiming side "
-             "of the determinism split");
-      } else if (contains_word(line, "clock_gettime") ||
-                 contains_word(line, "gettimeofday")) {
-        emit(line_no, "no-raw-timing",
-             "raw OS clock call outside src/obs/ and the bench harness; use "
-             "upn::obs::now_ns() / UPN_OBS_SPAN so timing stays on the kTiming side "
-             "of the determinism split");
-      }
-    }
     for (std::size_t pos = 0; pos + 1 < line.size(); ++pos) {
       const bool eq = line[pos] == '=' && line[pos + 1] == '=';
       const bool neq = line[pos] == '!' && line[pos + 1] == '=';
@@ -360,16 +237,6 @@ std::vector<Finding> run_single_file_rules(const Unit& unit) {
              "exact comparison against a floating-point literal; compare with a "
              "tolerance or restructure");
         break;
-      }
-    }
-    if (!unordered.empty()) {
-      const std::string target = range_for_target(line);
-      if (!target.empty() &&
-          std::binary_search(unordered.begin(), unordered.end(), target)) {
-        emit(line_no, "unordered-iteration",
-             "iteration order over std::unordered_{map,set} '" + target +
-                 "' is unspecified; protocol/schedule emission must be deterministic "
-                 "(sort first or use std::map)");
       }
     }
   }

@@ -238,11 +238,18 @@ std::vector<Diagnostic> check_fault_plan(const std::string& path, const std::str
 }  // namespace
 
 std::vector<Diagnostic> lint_source(const std::string& path, const std::string& content) {
-  // One engine, one suppression syntax: the source rules live in
-  // tools/analyze (shared IR); upn_lint is a thin per-file alias.
+  // One engine, one suppression syntax: the per-file passes live in
+  // tools/analyze (shared IR); upn_lint is a thin alias running every pass
+  // that needs only one translation unit.
+  const analyze::Unit unit = analyze::build_unit(path, content);
+  std::vector<analyze::Finding> findings = analyze::run_single_file_rules(unit);
+  for (const std::vector<analyze::Finding>& extra :
+       {analyze::run_concurrency_pass(unit), analyze::run_determinism_taint_pass(unit)}) {
+    findings.insert(findings.end(), extra.begin(), extra.end());
+  }
+  std::sort(findings.begin(), findings.end(), analyze::finding_less);
   std::vector<Diagnostic> out;
-  for (const analyze::Finding& f :
-       analyze::run_single_file_rules(analyze::build_unit(path, content))) {
+  for (const analyze::Finding& f : findings) {
     out.push_back(Diagnostic{f.file, f.line, f.rule, f.message});
   }
   return out;

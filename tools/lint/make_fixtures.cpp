@@ -39,18 +39,34 @@ struct AnalyzeFixture {
 };
 
 const AnalyzeFixture kAnalyzeFixtures[] = {
-    // Declared module DAG.  The bad variant declares a cycle (alpha <-> beta)
-    // and carries a stale waiver for an edge that never occurs.
+    // Declared module DAG.  The bad variant declares a cycle (alpha <-> beta),
+    // carries a stale waiver for an edge that never occurs, and points a
+    // hotpath directive at a module that was never declared.
     {"docs/ARCHITECTURE.layers",
-     "# fixture DAG: two modules, one declared edge\n"
-     "layer util\n"
-     "layer core: util\n",
-     "# fixture DAG: declared cycle + stale waiver\n"
+     "# fixture DAG: two modules, one declared edge, one hot-path module\n"
      "layer util\n"
      "layer core: util\n"
+     "layer hot: util\n"
+     "hotpath hot\n",
+     "# fixture DAG: declared cycle + stale waiver + dangling hotpath\n"
+     "layer util\n"
+     "layer core: util\n"
+     "layer hot: util\n"
      "layer alpha: beta\n"
      "layer beta: alpha\n"
-     "waive core -> alpha: legacy shim, removed long ago\n"},
+     "waive core -> alpha: legacy shim, removed long ago\n"
+     "hotpath hot\n"
+     "hotpath ghost\n"},
+
+    // Hot-path performance baseline for the `hot` module.  The clean tree
+    // freezes real deque debt (the finding moves to the baselined bucket);
+    // the bad tree lists debt that no longer exists, so the shrink-only
+    // ratchet itself fires (baseline-stale-entry).
+    {"tools/analyze/hotpath.baseline",
+     "# fixture hot-path baseline: frozen deque debt in the demo engine\n"
+     "src/hot/engine_demo.hpp:hotpath-container:deque\n",
+     "# fixture hot-path baseline: this debt was paid off long ago\n"
+     "src/hot/engine_demo.hpp:hotpath-container:deque\n"},
 
     // Contracted leaf header (util).
     {"src/util/checked_math.hpp",
@@ -169,6 +185,107 @@ const AnalyzeFixture kAnalyzeFixtures[] = {
      "namespace demo {\n"
      "\n"
      "struct Empty {};\n"
+     "\n"
+     "}  // namespace demo\n"},
+
+    // Concurrency-safety pass.  Clean: index-disjoint writes and a per-task
+    // Rng sub-stream.  Bad: a by-reference accumulation race plus one Rng
+    // advanced from every task.
+    {"src/core/par_tasks.cpp",
+     "namespace demo {\n"
+     "\n"
+     "void fill_counts(Pool& pool, std::vector<int>& out, std::uint64_t seed) {\n"
+     "  pool.parallel_for(out.size(), [&](std::size_t i) {\n"
+     "    Rng rng = Rng::stream(seed, i);\n"
+     "    out[i] = static_cast<int>(rng.next_u64());\n"
+     "  });\n"
+     "}\n"
+     "\n"
+     "}  // namespace demo\n",
+     "namespace demo {\n"
+     "\n"
+     "void sum_counts(Pool& pool, const std::vector<int>& in, long& total, Rng& rng) {\n"
+     "  pool.parallel_for(in.size(), [&](std::size_t i) {\n"
+     "    total += in[i] + static_cast<long>(rng.next_u64());\n"
+     "  });\n"
+     "}\n"
+     "\n"
+     "}  // namespace demo\n"},
+
+    // Determinism-taint pass.  Clean: unordered iteration is collected and
+    // std::sort'ed before reaching the obs counter (sanitized).  Bad: four
+    // nondeterminism sources each flow into a deterministic sink.
+    {"src/core/metric_export.cpp",
+     "namespace demo {\n"
+     "\n"
+     "void export_totals(const std::unordered_map<int, long>& table) {\n"
+     "  std::vector<long> values;\n"
+     "  for (const auto& [key, value] : table) {\n"
+     "    values.push_back(value);\n"
+     "  }\n"
+     "  std::sort(values.begin(), values.end());\n"
+     "  UPN_OBS_COUNT(\"demo.values\", values.size());\n"
+     "}\n"
+     "\n"
+     "}  // namespace demo\n",
+     "namespace demo {\n"
+     "\n"
+     "void export_totals(const std::unordered_map<int, long>& table,\n"
+     "                   std::thread::id worker) {\n"
+     "  long total = 0;\n"
+     "  for (const auto& [key, value] : table) {\n"
+     "    total += value;\n"
+     "  }\n"
+     "  UPN_OBS_COUNT(\"demo.total\", total);\n"
+     "  const auto stamp = std::chrono::steady_clock::now().time_since_epoch().count();\n"
+     "  UPN_OBS_GAUGE_MAX(\"demo.stamp\", stamp);\n"
+     "  const auto where = reinterpret_cast<std::uintptr_t>(&table);\n"
+     "  UPN_OBS_COUNT(\"demo.where\", where);\n"
+     "  UPN_OBS_COUNT(\"demo.worker\", std::hash<std::thread::id>{}(worker));\n"
+     "}\n"
+     "\n"
+     "}  // namespace demo\n"},
+
+    // Hot-path performance pass over the `hot` module.  Clean: the deque is
+    // frozen in the fixture baseline, and the by-value parameter is the
+    // sanctioned sink idiom (moved in the same unit).  Bad: a banned
+    // container, virtual dispatch, allocation in a loop, and a genuine
+    // by-value container parameter -- plus the stale baseline entry.
+    {"src/hot/engine_demo.hpp",
+     "#pragma once\n"
+     "\n"
+     "namespace demo {\n"
+     "\n"
+     "struct Queue {\n"
+     "  std::deque<int> pending;\n"
+     "};\n"
+     "\n"
+     "inline void consume(std::vector<int> batch) {\n"
+     "  std::vector<int> sink = std::move(batch);\n"
+     "}\n"
+     "\n"
+     "}  // namespace demo\n",
+     "#pragma once\n"
+     "\n"
+     "namespace demo {\n"
+     "\n"
+     "struct Queue {\n"
+     "  std::list<int> pending;\n"
+     "};\n"
+     "\n"
+     "struct Policy {\n"
+     "  virtual int next_hop(int at) = 0;\n"
+     "};\n"
+     "\n"
+     "inline long drain(std::vector<long> batch) {\n"
+     "  long total = 0;\n"
+     "  for (std::size_t i = 0; i < batch.size(); ++i) {\n"
+     "    auto* cell = new long(batch[i]);\n"
+     "    total += *cell;\n"
+     "    delete cell;\n"
+     "  }\n"
+     "  return total;\n"
+     "}\n"
      "\n"
      "}  // namespace demo\n"},
 };
