@@ -1,7 +1,7 @@
 #include "src/core/universal_sim.hpp"
 
+#include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "src/core/embedding.hpp"
 #include "src/obs/obs.hpp"
@@ -26,6 +26,8 @@ UniversalSimulator::UniversalSimulator(const Graph& guest, const Graph& host,
   UPN_OBS_GAUGE_MAX("sim.universal.embedding_load", load_);
 }
 
+UniversalSimulator::~UniversalSimulator() = default;
+
 UniversalSimResult UniversalSimulator::run(std::uint32_t guest_steps,
                                            const UniversalSimOptions& options) {
   UPN_OBS_SPAN("sim.universal.run");
@@ -33,11 +35,13 @@ UniversalSimResult UniversalSimulator::run(std::uint32_t guest_steps,
   const Graph& host = *host_;
   const std::uint32_t n = guest.num_nodes();
 
-  std::unique_ptr<GreedyPolicy> default_policy;
   RoutingPolicy* policy = options.policy;
   if (policy == nullptr) {
-    default_policy = std::make_unique<GreedyPolicy>(host);
-    policy = default_policy.get();
+    // Lazily built once per simulator, not per run: the greedy policy's BFS
+    // distance tables depend only on the host graph, so repeated runs reuse
+    // them instead of re-deriving every destination's distances.
+    if (default_policy_ == nullptr) default_policy_ = std::make_unique<GreedyPolicy>(host);
+    policy = default_policy_.get();
   }
   SyncRouter router{host, options.port_model};
 
@@ -58,8 +62,19 @@ UniversalSimResult UniversalSimulator::run(std::uint32_t guest_steps,
   std::vector<Config> configs(n), next(n);
   for (NodeId u = 0; u < n; ++u) configs[u] = initial_config(options.seed, u);
 
-  // received[v] -> (neighbor u -> u's configuration) for the current step.
-  std::vector<std::unordered_map<NodeId, Config>> received(n);
+  // Routed configurations for the current step, flat on the guest's CSR
+  // directed-edge slots: slot s in guest_off[v]..guest_off[v+1] holds the
+  // configuration sent to v by its neighbor guest_adj[s].
+  const std::uint32_t* guest_off = guest.offsets().data();
+  const NodeId* guest_adj = guest.adjacency().data();
+  std::vector<Config> received(guest.adjacency().size());
+  std::vector<char> received_ok(guest.adjacency().size(), 0);
+  // Directed guest edge (v <- u) to v's CSR slot for u.
+  auto slot_in = [&](NodeId v, NodeId u) -> std::uint32_t {
+    const NodeId* first = guest_adj + guest_off[v];
+    const NodeId* last = guest_adj + guest_off[v + 1];
+    return guest_off[v] + static_cast<std::uint32_t>(std::lower_bound(first, last, u) - first);
+  };
 
   for (std::uint32_t t = 1; t <= guest_steps; ++t) {
     UPN_OBS_STEP(t);
@@ -83,7 +98,7 @@ UniversalSimResult UniversalSimulator::run(std::uint32_t guest_steps,
     }
     result.packets_routed += packets.size();
     UPN_OBS_COUNT("sim.universal.packets_routed", packets.size());
-    for (auto& bucket : received) bucket.clear();
+    std::fill(received_ok.begin(), received_ok.end(), 0);
 
     if (!packets.empty()) {
       const bool log_transfers = options.emit_protocol;
@@ -92,7 +107,9 @@ UniversalSimResult UniversalSimulator::run(std::uint32_t guest_steps,
       UPN_INVARIANT(routed.packets_lost == 0,
                     "fault-free routing must deliver every packet");
       for (const Packet& p : routed.packets) {
-        received[p.tag2].emplace(p.tag, p.payload);
+        const std::uint32_t slot = slot_in(p.tag2, p.tag);
+        received[slot] = p.payload;
+        received_ok[slot] = 1;
       }
       if (options.emit_protocol) {
         // Each router step becomes one protocol step: every transfer is a
@@ -122,15 +139,15 @@ UniversalSimResult UniversalSimulator::run(std::uint32_t guest_steps,
     neighbor_configs.reserve(guest.max_degree());
     for (NodeId v = 0; v < n; ++v) {
       neighbor_configs.clear();
-      for (const NodeId w : guest.neighbors(v)) {
+      for (std::uint32_t s = guest_off[v]; s < guest_off[v + 1]; ++s) {
+        const NodeId w = guest_adj[s];
         if (embedding_[w] == embedding_[v]) {
           neighbor_configs.push_back(configs[w]);  // local guest, no packet
         } else {
-          const auto it = received[v].find(w);
-          UPN_INVARIANT(it != received[v].end(),
+          UPN_INVARIANT(received_ok[s] != 0,
                         "UniversalSimulator: missing routed configuration");
-          if (it == received[v].end()) continue;  // log-and-continue: skip the neighbor
-          neighbor_configs.push_back(it->second);
+          if (received_ok[s] == 0) continue;  // log-and-continue: skip the neighbor
+          neighbor_configs.push_back(received[s]);
         }
       }
       next[v] = next_config(configs[v], neighbor_configs);

@@ -34,7 +34,8 @@
 namespace upn {
 
 struct UniversalSimOptions {
-  /// Routing policy; nullptr = a fresh GreedyPolicy per run.
+  /// Routing policy; nullptr = the simulator's internal GreedyPolicy (built
+  /// lazily on first use and reused across runs, so its BFS tables amortize).
   RoutingPolicy* policy = nullptr;
   PortModel port_model = PortModel::kSinglePort;
   bool emit_protocol = false;
@@ -54,11 +55,14 @@ struct UniversalSimResult {
   std::optional<Protocol> protocol;
 };
 
+class GreedyPolicy;
+
 class UniversalSimulator {
  public:
   /// `embedding[u]` = host processor simulating guest u.  Graphs must
   /// outlive the simulator.
   UniversalSimulator(const Graph& guest, const Graph& host, std::vector<NodeId> embedding);
+  ~UniversalSimulator();
 
   /// Simulates T guest steps.
   [[nodiscard]] UniversalSimResult run(std::uint32_t guest_steps,
@@ -72,6 +76,7 @@ class UniversalSimulator {
   std::vector<NodeId> embedding_;
   std::vector<std::vector<NodeId>> guests_of_;
   std::uint32_t load_;
+  std::unique_ptr<GreedyPolicy> default_policy_;  ///< lazy, shared across runs
 };
 
 }  // namespace upn

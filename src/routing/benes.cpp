@@ -11,70 +11,74 @@ namespace upn {
 
 namespace {
 
-/// Recursive Waksman switch assignment.  `ids` are packet indices; `lin` /
-/// `lout` their local input/output rows within this subnetwork; `depth` is
-/// the recursion depth (the global bit being decided).  Writes the chosen
-/// subnetwork bit into choice[packet][depth].
-void solve(const std::vector<std::uint32_t>& ids, const std::vector<std::uint32_t>& lin,
-           const std::vector<std::uint32_t>& lout, std::uint32_t depth,
-           std::vector<std::vector<std::uint8_t>>& choice) {
-  const std::size_t size = ids.size();
-  if (size == 2) {
-    // Base case: one switch; send each packet to its target bit.
-    // Masked to one bit before each cast.
-    choice[ids[0]][depth] = static_cast<std::uint8_t>(lout[0] & 1u);  // upn-lint-allow(narrowing-cast)
-    choice[ids[1]][depth] = static_cast<std::uint8_t>(lout[1] & 1u);  // upn-lint-allow(narrowing-cast)
-    return;
-  }
-
-  // Positions of packets by local input row and by local output row.
-  std::vector<std::uint32_t> by_lin(size), by_lout(size);
-  for (std::uint32_t x = 0; x < size; ++x) {
-    by_lin[lin[x]] = x;
-    by_lout[lout[x]] = x;
-  }
-
-  // 2-color the constraint cycles: input partners and output partners must
-  // take different subnetworks.
-  std::vector<std::int8_t> color(size, -1);
+/// Waksman switch assignment, processed one depth at a time.  At depth t the
+/// packets sit in contiguous segments of size n>>t inside ids/lin/lout; each
+/// segment is 2-colored (input partners and output partners must take
+/// different subnetworks), the chosen bit recorded in choice[id*d + t], and
+/// the segment stably partitioned into its two half-size subnetworks for the
+/// next depth.  Identical colors and segment orders to the natural recursion,
+/// but every scratch buffer is allocated once and reused across depths.
+void solve(std::uint32_t n, std::uint32_t d, std::vector<std::uint32_t>& ids,
+           std::vector<std::uint32_t>& lin, std::vector<std::uint32_t>& lout,
+           std::vector<std::uint8_t>& choice) {
+  std::vector<std::uint32_t> next_ids(n), next_lin(n), next_lout(n);
+  std::vector<std::uint32_t> by_lin(n), by_lout(n);
+  std::vector<std::int8_t> color(n);
   std::vector<std::uint32_t> stack;
-  for (std::uint32_t seed = 0; seed < size; ++seed) {
-    if (color[seed] != -1) continue;
-    color[seed] = 0;
-    stack.push_back(seed);
-    while (!stack.empty()) {
-      const std::uint32_t x = stack.back();
-      stack.pop_back();
-      const std::uint32_t partners[2] = {by_lin[lin[x] ^ 1u], by_lout[lout[x] ^ 1u]};
-      for (const std::uint32_t y : partners) {
-        if (color[y] == -1) {
-          UPN_REQUIRE(color[x] == 0 || color[x] == 1);
-          color[y] = static_cast<std::int8_t>(1 - color[x]);
-          stack.push_back(y);
-        } else if (color[y] == color[x]) {
-          throw std::logic_error{"benes_route: constraint cycle is not 2-colorable"};
+  for (std::uint32_t depth = 0; depth < d; ++depth) {
+    const std::uint32_t size = n >> depth;
+    if (size == 2) {
+      // Base case: one switch per pair; send each packet to its target bit.
+      // Masked to one bit before each cast.
+      for (std::uint32_t base = 0; base < n; base += 2) {
+        choice[ids[base] * d + depth] = static_cast<std::uint8_t>(lout[base] & 1u);          // upn-lint-allow(narrowing-cast)
+        choice[ids[base + 1] * d + depth] = static_cast<std::uint8_t>(lout[base + 1] & 1u);  // upn-lint-allow(narrowing-cast)
+      }
+      break;
+    }
+    for (std::uint32_t base = 0; base < n; base += size) {
+      // Positions of packets by local input row and by local output row,
+      // local to this segment.
+      for (std::uint32_t x = 0; x < size; ++x) {
+        by_lin[lin[base + x]] = x;
+        by_lout[lout[base + x]] = x;
+      }
+      std::fill(color.begin(), color.begin() + size, std::int8_t{-1});
+      for (std::uint32_t seed = 0; seed < size; ++seed) {
+        if (color[seed] != -1) continue;
+        color[seed] = 0;
+        stack.push_back(seed);
+        while (!stack.empty()) {
+          const std::uint32_t x = stack.back();
+          stack.pop_back();
+          const std::uint32_t partners[2] = {by_lin[lin[base + x] ^ 1u],
+                                             by_lout[lout[base + x] ^ 1u]};
+          for (const std::uint32_t y : partners) {
+            if (color[y] == -1) {
+              UPN_REQUIRE(color[x] == 0 || color[x] == 1);
+              color[y] = static_cast<std::int8_t>(1 - color[x]);
+              stack.push_back(y);
+            } else if (color[y] == color[x]) {
+              throw std::logic_error{"benes_route: constraint cycle is not 2-colorable"};
+            }
+          }
         }
       }
+      // Record choices and stably partition into the two half subnetworks.
+      std::uint32_t out[2] = {base, base + size / 2};
+      for (std::uint32_t x = 0; x < size; ++x) {
+        const int s = color[x];
+        UPN_REQUIRE(s == 0 || s == 1);
+        choice[ids[base + x] * d + depth] = static_cast<std::uint8_t>(s);
+        const std::uint32_t at = out[s]++;
+        next_ids[at] = ids[base + x];
+        next_lin[at] = lin[base + x] >> 1;
+        next_lout[at] = lout[base + x] >> 1;
+      }
     }
-  }
-
-  // Record choices and split into the two half-size subnetworks.
-  std::vector<std::uint32_t> sub_ids[2], sub_lin[2], sub_lout[2];
-  for (int s = 0; s < 2; ++s) {
-    sub_ids[s].reserve(size / 2);
-    sub_lin[s].reserve(size / 2);
-    sub_lout[s].reserve(size / 2);
-  }
-  for (std::uint32_t x = 0; x < size; ++x) {
-    const int s = color[x];
-    UPN_REQUIRE(s == 0 || s == 1);
-    choice[ids[x]][depth] = static_cast<std::uint8_t>(s);
-    sub_ids[s].push_back(ids[x]);
-    sub_lin[s].push_back(lin[x] >> 1);
-    sub_lout[s].push_back(lout[x] >> 1);
-  }
-  for (int s = 0; s < 2; ++s) {
-    solve(sub_ids[s], sub_lin[s], sub_lout[s], depth + 1, choice);
+    ids.swap(next_ids);
+    lin.swap(next_lin);
+    lout.swap(next_lout);
   }
 }
 
@@ -96,7 +100,7 @@ BenesPaths benes_route(const std::vector<std::uint32_t>& perm) {
     }
   }
 
-  std::vector<std::vector<std::uint8_t>> choice(n, std::vector<std::uint8_t>(d, 0));
+  std::vector<std::uint8_t> choice(static_cast<std::size_t>(n) * d, 0);
   {
     std::vector<std::uint32_t> ids(n), lin(n), lout(n);
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -104,7 +108,7 @@ BenesPaths benes_route(const std::vector<std::uint32_t>& perm) {
       lin[i] = i;
       lout[i] = perm[i];
     }
-    solve(ids, lin, lout, 0, choice);
+    solve(n, d, ids, lin, lout, choice);
   }
 
   // Reconstruct row positions per wire level.
@@ -118,7 +122,7 @@ BenesPaths benes_route(const std::vector<std::uint32_t>& perm) {
   for (std::uint32_t i = 0; i < n; ++i) {
     std::uint32_t chosen = 0;
     for (std::uint32_t j = 0; j < d; ++j) {
-      chosen |= static_cast<std::uint32_t>(choice[i][j]) << j;
+      chosen |= static_cast<std::uint32_t>(choice[static_cast<std::size_t>(i) * d + j]) << j;
     }
     for (std::uint32_t level = 0; level <= d; ++level) {
       const std::uint32_t low_mask = (level == 0) ? 0u : ((1u << level) - 1u);

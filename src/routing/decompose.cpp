@@ -21,34 +21,49 @@ struct Edge {
 std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>> euler_split(
     const std::vector<Edge>& edges, const std::vector<std::uint32_t>& subset,
     std::uint32_t num_nodes) {
-  // Bipartite vertices: sources 0..n-1, destinations n..2n-1.
+  // Bipartite vertices: sources 0..n-1, destinations n..2n-1.  The incidence
+  // lists live in one flat CSR array (same per-vertex order as repeated
+  // push_backs would give) so a split allocates three arrays, not 2n lists.
   const std::uint32_t total_vertices = 2 * num_nodes;
-  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adj(total_vertices);
+  std::vector<std::uint32_t> off(total_vertices + 1, 0);
   for (const std::uint32_t e : subset) {
-    adj[edges[e].src].emplace_back(edges[e].dst + num_nodes, e);
-    adj[edges[e].dst + num_nodes].emplace_back(edges[e].src, e);
+    ++off[edges[e].src + 1];
+    ++off[edges[e].dst + num_nodes + 1];
+  }
+  for (std::uint32_t v = 0; v < total_vertices; ++v) off[v + 1] += off[v];
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> inc(2 * subset.size());
+  {
+    std::vector<std::uint32_t> fill(off.begin(), off.end() - 1);
+    for (const std::uint32_t e : subset) {
+      inc[fill[edges[e].src]++] = {edges[e].dst + num_nodes, e};
+      inc[fill[edges[e].dst + num_nodes]++] = {edges[e].src, e};
+    }
   }
   std::vector<char> used(edges.size(), 0);
-  std::vector<std::uint32_t> cursor(total_vertices, 0);
+  std::vector<std::uint32_t> cursor(off.begin(), off.end() - 1);
   std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>> halves;
+  halves.first.reserve(subset.size() / 2);
+  halves.second.reserve(subset.size() / 2);
 
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;
+  std::vector<std::uint32_t> circuit;
   for (std::uint32_t start = 0; start < total_vertices; ++start) {
-    while (cursor[start] < adj[start].size()) {
-      if (used[adj[start][cursor[start]].second]) {
+    while (cursor[start] < off[start + 1]) {
+      if (used[inc[cursor[start]].second]) {
         ++cursor[start];
         continue;
       }
       // Hierholzer: trace one circuit from `start`, collecting edge ids.
-      std::vector<std::pair<std::uint32_t, std::uint32_t>> stack{{start, 0}};
-      std::vector<std::uint32_t> circuit;
+      stack.assign(1, {start, 0});
+      circuit.clear();
       while (!stack.empty()) {
         const std::uint32_t v = stack.back().first;
-        while (cursor[v] < adj[v].size() && used[adj[v][cursor[v]].second]) ++cursor[v];
-        if (cursor[v] == adj[v].size()) {
+        while (cursor[v] < off[v + 1] && used[inc[cursor[v]].second]) ++cursor[v];
+        if (cursor[v] == off[v + 1]) {
           if (stack.back().second != 0) circuit.push_back(stack.back().second - 1);
           stack.pop_back();
         } else {
-          const auto [next, edge_id] = adj[v][cursor[v]];
+          const auto [next, edge_id] = inc[cursor[v]];
           used[edge_id] = 1;
           stack.push_back({next, edge_id + 1});
         }

@@ -1,8 +1,6 @@
 #include "src/routing/offline_butterfly.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <map>
 #include <stdexcept>
 #include <vector>
 
@@ -20,38 +18,61 @@ struct Tracked {
   std::uint32_t batch = 0;  ///< Benes batch index (phase 2)
 };
 
+constexpr std::uint32_t kNoIndex = 0xffffffffu;
+
 /// Pipelined column traffic: moves every queued packet one level toward
 /// level 0 (gather) or toward its destination level (scatter), one packet
 /// per directed straight edge per step.  Appends moves and returns the step
 /// at which the phase completed.
+///
+/// The per-node FIFO is a flat intrusive linked list (head/tail cursor per
+/// node, one next-pointer per packet) -- each packet waits in at most one
+/// queue, so a single qnext array threads every queue at once and the whole
+/// phase runs without heap traffic inside the step loop.
 std::uint32_t run_column_phase(const ButterflyLayout& layout, std::vector<Tracked>& packets,
                                std::vector<NodeId>& position, bool gather,
                                std::uint32_t start_step, std::vector<ScheduledMove>& moves) {
   const std::uint32_t levels = layout.levels();
-  // Per-node FIFO of packet ids waiting to move through this phase.
-  std::vector<std::deque<std::uint32_t>> queue(layout.num_nodes());
+  std::vector<std::uint32_t> qhead(layout.num_nodes(), kNoIndex);
+  std::vector<std::uint32_t> qtail(layout.num_nodes(), kNoIndex);
+  std::vector<std::uint32_t> qnext(packets.size(), kNoIndex);
+  auto push_back = [&](NodeId node, std::uint32_t p) {
+    qnext[p] = kNoIndex;
+    if (qtail[node] == kNoIndex) {
+      qhead[node] = p;
+    } else {
+      qnext[qtail[node]] = p;
+    }
+    qtail[node] = p;
+  };
+  auto pop_front = [&](NodeId node) -> std::uint32_t {
+    const std::uint32_t p = qhead[node];
+    qhead[node] = qnext[p];
+    if (qhead[node] == kNoIndex) qtail[node] = kNoIndex;
+    return p;
+  };
   std::uint32_t pending = 0;
   for (std::uint32_t p = 0; p < packets.size(); ++p) {
     const std::uint32_t target_level =
         gather ? 0u : layout.level_of(packets[p].dst);
     if (layout.level_of(position[p]) != target_level) {
-      queue[position[p]].push_back(p);
+      push_back(position[p], p);
       ++pending;
     }
   }
   std::uint32_t step = start_step;
+  std::vector<ScheduledMove> this_step;
   while (pending > 0) {
     // Collect this step's moves first, then apply, so a packet moves at most
     // one level per step.
-    std::vector<ScheduledMove> this_step;
+    this_step.clear();
     for (std::uint32_t level = 0; level < levels; ++level) {
       for (std::uint32_t row = 0; row < layout.rows(); ++row) {
         const NodeId node = layout.id(level, row);
-        if (queue[node].empty()) continue;
+        if (qhead[node] == kNoIndex) continue;
         const std::uint32_t next_level = gather ? level - 1 : level + 1;
         const NodeId next = layout.id(next_level, row);
-        const std::uint32_t p = queue[node].front();
-        queue[node].pop_front();
+        const std::uint32_t p = pop_front(node);
         this_step.push_back(ScheduledMove{step, node, next, p});
       }
     }
@@ -62,7 +83,7 @@ std::uint32_t run_column_phase(const ButterflyLayout& layout, std::vector<Tracke
       if (layout.level_of(move.to) == target_level) {
         --pending;
       } else {
-        queue[move.to].push_back(move.packet);
+        push_back(move.to, move.packet);
       }
       moves.push_back(move);
     }
@@ -70,6 +91,48 @@ std::uint32_t run_column_phase(const ButterflyLayout& layout, std::vector<Tracke
   }
   return step;
 }
+
+/// FIFO buckets of packet ids keyed by (src row, dst row), backed by one
+/// stable-sorted index array: packets sharing a key stay in insertion
+/// (ascending id) order, and each bucket is a cursor into its contiguous
+/// slice.  Replaces a std::map of std::deques with two flat arrays and a
+/// binary search per take().
+class RowBuckets {
+ public:
+  RowBuckets(const std::vector<Tracked>& packets, const ButterflyLayout& layout) {
+    order_.resize(packets.size());
+    std::vector<std::uint64_t> key(packets.size());
+    for (std::uint32_t p = 0; p < packets.size(); ++p) {
+      order_[p] = p;
+      key[p] = (static_cast<std::uint64_t>(layout.row_of(packets[p].src)) << 32) |
+               layout.row_of(packets[p].dst);
+    }
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](std::uint32_t a, std::uint32_t b) { return key[a] < key[b]; });
+    for (std::uint32_t i = 0; i < order_.size(); ++i) {
+      const std::uint64_t k = key[order_[i]];
+      if (keys_.empty() || keys_.back() != k) {
+        keys_.push_back(k);
+        cursor_.push_back(i);
+      }
+    }
+  }
+
+  /// Pops the oldest packet bucketed under (src_row, dst_row).  Every round
+  /// demand comes from decomposing exactly these packets, so the bucket is
+  /// never empty when asked.
+  [[nodiscard]] std::uint32_t take(std::uint32_t src_row, std::uint32_t dst_row) {
+    const std::uint64_t k = (static_cast<std::uint64_t>(src_row) << 32) | dst_row;
+    const auto it = std::lower_bound(keys_.begin(), keys_.end(), k);
+    const std::size_t bucket = static_cast<std::size_t>(it - keys_.begin());
+    return order_[cursor_[bucket]++];
+  }
+
+ private:
+  std::vector<std::uint32_t> order_;    // packet ids, stably sorted by key
+  std::vector<std::uint64_t> keys_;     // distinct keys, ascending
+  std::vector<std::uint32_t> cursor_;   // next unconsumed index per key
+};
 
 }  // namespace
 
@@ -89,6 +152,10 @@ OfflineSchedule route_relation_offline(std::uint32_t dimension, const HhProblem&
     packets.push_back(Tracked{d.src, d.dst});
     position.push_back(d.src);
   }
+  // Every packet makes at most (levels-1) gather + 2d Benes + (levels-1)
+  // scatter hops; reserving up front keeps the emission loops realloc-free.
+  schedule.moves.reserve(problem.size() *
+                         (2 * static_cast<std::size_t>(layout.levels() - 1) + 2 * dimension));
 
   // ---- Phase 1: gather every packet to level 0 of its source column. ----
   std::uint32_t step =
@@ -104,25 +171,22 @@ OfflineSchedule route_relation_offline(std::uint32_t dimension, const HhProblem&
   schedule.num_batches = static_cast<std::uint32_t>(rounds.size());
 
   // Assign concrete packets to rounds: bucket packets by (src row, dst row).
-  std::map<std::pair<std::uint32_t, std::uint32_t>, std::deque<std::uint32_t>> buckets;
-  for (std::uint32_t p = 0; p < packets.size(); ++p) {
-    buckets[{layout.row_of(packets[p].src), layout.row_of(packets[p].dst)}].push_back(p);
-  }
+  RowBuckets buckets{packets, layout};
   // batch_rows[b]: for each participating packet, its Benes path.
   const std::uint32_t d = dimension;
   const std::uint32_t rows = layout.rows();
+  std::vector<std::uint32_t> perm(rows);
+  std::vector<char> dst_used(rows);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> packet_of_row(rows);
   for (std::uint32_t b = 0; b < rounds.size(); ++b) {
     // Pad the partial permutation to a full one.
-    std::vector<std::uint32_t> perm(rows, 0xffffffffu);
-    std::vector<char> dst_used(rows, 0);
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> packet_of_row(rows,
-                                                                       {0xffffffffu, 0u});
+    std::fill(perm.begin(), perm.end(), 0xffffffffu);
+    std::fill(dst_used.begin(), dst_used.end(), char{0});
+    std::fill(packet_of_row.begin(), packet_of_row.end(), std::pair{0xffffffffu, 0u});
     for (const Demand& demand : rounds[b]) {
       perm[demand.src] = demand.dst;
       dst_used[demand.dst] = 1;
-      auto& bucket = buckets[{demand.src, demand.dst}];
-      packet_of_row[demand.src] = {bucket.front(), 1u};
-      bucket.pop_front();
+      packet_of_row[demand.src] = {buckets.take(demand.src, demand.dst), 1u};
     }
     std::uint32_t free_dst = 0;
     for (std::uint32_t r = 0; r < rows; ++r) {
@@ -155,10 +219,16 @@ OfflineSchedule route_relation_offline(std::uint32_t dimension, const HhProblem&
   step = run_column_phase(layout, packets, position, /*gather=*/false, step, schedule.moves);
 
   schedule.num_steps = step;
-  std::stable_sort(schedule.moves.begin(), schedule.moves.end(),
-                   [](const ScheduledMove& a, const ScheduledMove& b) {
-                     return a.step < b.step;
-                   });
+  // Stable counting sort by step: steps are dense small integers, so this
+  // beats a comparison sort and preserves the emission order within a step.
+  {
+    std::vector<std::uint32_t> start(step + 2, 0);
+    for (const ScheduledMove& move : schedule.moves) ++start[move.step + 1];
+    for (std::uint32_t s = 1; s < start.size(); ++s) start[s] += start[s - 1];
+    std::vector<ScheduledMove> sorted(schedule.moves.size());
+    for (const ScheduledMove& move : schedule.moves) sorted[start[move.step]++] = move;
+    schedule.moves = std::move(sorted);
+  }
   return schedule;
 }
 
@@ -168,12 +238,14 @@ bool validate_schedule(const OfflineSchedule& schedule, const HhProblem& problem
   position.reserve(problem.size());
   for (const Demand& d : problem.demands()) position.push_back(d.src);
 
-  // Group moves by step (they are sorted).
+  // Group moves by step (they are sorted).  Per-step directed-link loads are
+  // checked by sorting the step's link keys and scanning for duplicates --
+  // no associative container needed.
   std::size_t i = 0;
-  std::map<std::uint64_t, std::uint32_t> link_load;  // (from, to) within a step
+  std::vector<std::uint64_t> used_links;
   while (i < schedule.moves.size()) {
     const std::uint32_t step = schedule.moves[i].step;
-    link_load.clear();
+    used_links.clear();
     for (; i < schedule.moves.size() && schedule.moves[i].step == step; ++i) {
       const ScheduledMove& move = schedule.moves[i];
       if (move.packet >= position.size()) return false;
@@ -186,10 +258,12 @@ bool validate_schedule(const OfflineSchedule& schedule, const HhProblem& problem
       const std::uint32_t low = std::min(lf, lt);
       const std::uint32_t delta = layout.row_of(move.from) ^ layout.row_of(move.to);
       if (delta != 0 && delta != (1u << low)) return false;
-      const std::uint64_t key =
-          (static_cast<std::uint64_t>(move.from) << 32) | move.to;
-      if (++link_load[key] > 1) return false;  // directed link overload
+      used_links.push_back((static_cast<std::uint64_t>(move.from) << 32) | move.to);
       position[move.packet] = move.to;
+    }
+    std::sort(used_links.begin(), used_links.end());
+    if (std::adjacent_find(used_links.begin(), used_links.end()) != used_links.end()) {
+      return false;  // directed link overload within one step
     }
   }
   for (std::size_t p = 0; p < position.size(); ++p) {

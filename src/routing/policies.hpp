@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/routing/router.hpp"
@@ -23,14 +22,40 @@ namespace upn {
 /// Lazily built per-destination BFS distance tables shared by policies.
 class DistanceOracle {
  public:
-  explicit DistanceOracle(const Graph& graph) : graph_(&graph) {}
+  explicit DistanceOracle(const Graph& graph)
+      : graph_(&graph),
+        masks_(graph.num_nodes() > 0 && graph.num_nodes() <= 8192 &&
+               graph.max_degree() <= 8) {}
 
-  /// Distance vector from every node to `dst` (BFS, cached).
-  [[nodiscard]] const std::vector<std::uint16_t>& to(NodeId dst);
+  /// Distance vector from every node to `dst` (BFS, cached).  The cache is
+  /// indexed directly by destination -- one hot next_hop call per packet hop
+  /// lands here, so the lookup must be a load, not a hash probe.
+  [[nodiscard]] const std::vector<std::uint16_t>& to(NodeId dst) {
+    if (dst < cache_.size() && !cache_[dst].empty()) return cache_[dst];
+    return compute(dst);
+  }
+
+  /// Per-node bitmask of the ports (neighbor ranks) minimizing the distance
+  /// to `dst`: bit p of `minimizer_masks(dst)[at]` is set iff neighbors(at)[p]
+  /// lies on a shortest at->dst path.  One byte encodes the whole greedy
+  /// choice set, so the hot next_hop path costs a single load instead of a
+  /// gather over the distance row.  The table is one flat n*n array with a
+  /// byte of built-flags per destination -- no per-row vector headers to
+  /// chase.  nullptr when a degree exceeds 8 or the graph is too large.
+  [[nodiscard]] const std::uint8_t* minimizer_masks(NodeId dst) {
+    if (!masks_) return nullptr;
+    if (mask_built_.empty() || mask_built_[dst] == 0) static_cast<void>(compute(dst));
+    return mask_flat_.data() + static_cast<std::size_t>(dst) * graph_->num_nodes();
+  }
 
  private:
+  [[nodiscard]] const std::vector<std::uint16_t>& compute(NodeId dst);
+
   const Graph* graph_;
-  std::unordered_map<NodeId, std::vector<std::uint16_t>> cache_;
+  bool masks_;  ///< port masks fit u8 and the flat table fits memory
+  std::vector<std::vector<std::uint16_t>> cache_;  // by dst; empty = unbuilt
+  std::vector<std::uint8_t> mask_flat_;   // n*n, row dst = masks toward dst
+  std::vector<std::uint8_t> mask_built_;  // by dst; 1 = row of mask_flat_ valid
 };
 
 class GreedyPolicy final : public RoutingPolicy {
@@ -39,6 +64,10 @@ class GreedyPolicy final : public RoutingPolicy {
 
   [[nodiscard]] NodeId next_hop(const Graph& graph, NodeId at, const Packet& packet) override;
   [[nodiscard]] std::string name() const override { return "greedy"; }
+
+  /// The policy's distance oracle, exposed so the router's devirtualized
+  /// fast path can call greedy_next_port() without the virtual dispatch.
+  [[nodiscard]] DistanceOracle& oracle() noexcept { return oracle_; }
 
  private:
   DistanceOracle oracle_;
@@ -53,6 +82,9 @@ class ValiantPolicy final : public RoutingPolicy {
   [[nodiscard]] NodeId next_hop(const Graph& graph, NodeId at, const Packet& packet) override;
   [[nodiscard]] std::string name() const override { return "valiant"; }
 
+  /// See GreedyPolicy::oracle().
+  [[nodiscard]] DistanceOracle& oracle() noexcept { return oracle_; }
+
  private:
   DistanceOracle oracle_;
   Rng rng_;
@@ -62,5 +94,12 @@ class ValiantPolicy final : public RoutingPolicy {
 /// with hash-based tie-breaking among equally good neighbors.
 [[nodiscard]] NodeId greedy_next_hop(const Graph& graph, DistanceOracle& oracle, NodeId at,
                                      NodeId target, std::uint32_t salt);
+
+/// Port-index variant of greedy_next_hop: returns p such that
+/// graph.neighbors(at)[p] == greedy_next_hop(...).  Graphs are simple (no
+/// parallel edges), so the chosen neighbor's port is unique and the caller
+/// can derive its directed-link slot without re-scanning the adjacency row.
+[[nodiscard]] std::uint32_t greedy_next_port(const Graph& graph, DistanceOracle& oracle,
+                                             NodeId at, NodeId target, std::uint32_t salt);
 
 }  // namespace upn

@@ -1,7 +1,37 @@
+// Data-oriented fast-path packet engine (docs/ROUTER_ENGINE.md).
+//
+// This is the rewrite of the node-based store-and-forward loop that ROADMAP
+// item 1 calls for: the per-step state lives in flat arrays indexed by node,
+// directed-link slot, and packet -- no per-node containers, no allocation
+// inside the step loop, no adjacency span construction per query.
+//
+//  * CSR view      The router caches the Graph's flat offset/adjacency
+//                  arrays once at construction; every kernel walks raw
+//                  pointers (`off[v] .. off[v+1]` delimits v's ports).
+//  * SoA packets   Hot packet fields (dst/via/phase/current target/retries)
+//                  are split into parallel arrays; the cold Packet structs
+//                  are only touched on rare events (phase flip, loss,
+//                  delivery) and synced back before returning.
+//  * Flat queues   The per-(node, port) FIFO is an intrusive linked list
+//                  threaded through one `qnext` array -- a packet sits in at
+//                  most one port queue at a time -- with head/tail cursors
+//                  per directed-link slot.  push/pop are two array writes.
+//  * Step kernels  The MultiPort kernel is a branch-light sweep over the
+//                  occupied slots of occupied nodes; the SinglePort matching
+//                  pass batches the greedy maximal matching over flat busy /
+//                  buffered / round-robin-cursor arrays.
+//
+// The engine is bit-identical to the pre-rewrite implementation, which is
+// preserved verbatim as tests/support/reference_router.{hpp,cpp}: the
+// differential suites (tests/router_differential_test.cpp and the fuzzer in
+// tests/router_fuzz_test.cpp) execute both engines on identical inputs and
+// assert equal RouteResults including the full transfer log, and the golden
+// `routing.sync.*` snapshots pin every counter byte-for-byte.  Any change
+// here must keep the placement order, matching order, tie-breaking, and obs
+// instrumentation sequence exactly as the reference computes them.
 #include "src/routing/router.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
 #include <optional>
 #include <stdexcept>
@@ -10,6 +40,7 @@
 #include "src/fault/fault_plan.hpp"
 #include "src/obs/obs.hpp"
 #include "src/routing/hh_problem.hpp"
+#include "src/routing/policies.hpp"
 #include "src/util/contracts.hpp"
 #include "src/util/rng.hpp"
 
@@ -18,16 +49,16 @@ namespace upn {
 void RoutingPolicy::prepare(const Graph& /*graph*/, std::vector<Packet>& /*packets*/) {}
 
 SyncRouter::SyncRouter(const Graph& graph, PortModel port_model)
-    : graph_(&graph), port_model_(port_model) {}
+    : graph_(&graph), port_model_(port_model) {
+  // CSR view, materialized once per router: raw pointers into the graph's
+  // flat offset/adjacency storage (the Graph outlives the router by
+  // contract, as before).
+  csr_offsets_ = graph.offsets().data();
+  csr_adjacency_ = graph.adjacency().data();
+  csr_slots_ = static_cast<std::uint32_t>(graph.adjacency().size());
+}
 
 namespace {
-
-/// Per-node FIFO queues, one per outgoing port (= neighbor index).
-struct NodeState {
-  std::vector<std::deque<std::uint32_t>> ports;  // packet indices
-  std::uint32_t buffered = 0;
-  std::uint32_t rr_cursor = 0;  // round-robin port scan start (single-port)
-};
 
 /// A packet waiting out a retransmission backoff at `holder`.
 struct DelayedPacket {
@@ -37,13 +68,17 @@ struct DelayedPacket {
 };
 
 constexpr NodeId kNoHop = std::numeric_limits<NodeId>::max();
+constexpr std::uint32_t kNoIndex = 0xffffffffu;
 
 /// Shortest-path next hops on the LIVE subgraph defined by a FaultClock.
 /// Distance vectors are cached per target and invalidated when permanent
-/// faults activate (the live subgraph only ever shrinks).
+/// faults activate (the live subgraph only ever shrinks).  Walks the flat
+/// CSR arrays directly.
 class LiveRouteOracle {
  public:
-  explicit LiveRouteOracle(const Graph& graph) : graph_(&graph) {}
+  LiveRouteOracle(const std::uint32_t* offsets, const NodeId* adjacency,
+                  std::uint32_t num_nodes)
+      : off_(offsets), adj_(adjacency), n_(num_nodes) {}
 
   void invalidate() { cache_.clear(); }
 
@@ -55,19 +90,24 @@ class LiveRouteOracle {
     if (dist[at] == std::numeric_limits<std::uint32_t>::max()) return kNoHop;
     std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
     std::uint32_t count = 0;
-    for (const NodeId u : graph_->neighbors(at)) {
+    NodeId first = kNoHop;
+    for (std::uint32_t slot = off_[at]; slot < off_[at + 1]; ++slot) {
+      const NodeId u = adj_[slot];
       if (!clock.link_alive(at, u)) continue;
       if (dist[u] < best) {
         best = dist[u];
         count = 1;
+        first = u;
       } else if (dist[u] == best) {
         ++count;
       }
     }
     if (count == 0) return kNoHop;
+    if (count == 1) return first;  // hash % 1 == 0: the sole minimizer wins
     const std::uint64_t hash = mix64((static_cast<std::uint64_t>(salt) << 32) | at);
     std::uint32_t skip = static_cast<std::uint32_t>(hash % count);
-    for (const NodeId u : graph_->neighbors(at)) {
+    for (std::uint32_t slot = off_[at]; slot < off_[at + 1]; ++slot) {
+      const NodeId u = adj_[slot];
       if (!clock.link_alive(at, u) || dist[u] != best) continue;
       if (skip == 0) return u;
       --skip;
@@ -80,7 +120,7 @@ class LiveRouteOracle {
     const auto it = cache_.find(target);
     if (it != cache_.end()) return it->second;
     constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
-    std::vector<std::uint32_t> dist(graph_->num_nodes(), kInf);
+    std::vector<std::uint32_t> dist(n_, kInf);
     std::vector<NodeId> frontier;
     if (clock.node_alive(target)) {
       dist[target] = 0;
@@ -92,7 +132,8 @@ class LiveRouteOracle {
       ++level;
       next.clear();
       for (const NodeId v : frontier) {
-        for (const NodeId u : graph_->neighbors(v)) {
+        for (std::uint32_t slot = off_[v]; slot < off_[v + 1]; ++slot) {
+          const NodeId u = adj_[slot];
           if (dist[u] == kInf && clock.link_alive(v, u)) {
             dist[u] = level;
             next.push_back(u);
@@ -104,7 +145,9 @@ class LiveRouteOracle {
     return cache_.emplace(target, std::move(dist)).first->second;
   }
 
-  const Graph* graph_;
+  const std::uint32_t* off_;
+  const NodeId* adj_;
+  std::uint32_t n_;
   std::unordered_map<NodeId, std::vector<std::uint32_t>> cache_;
 };
 
@@ -144,27 +187,99 @@ RouteResult SyncRouter::route_impl(std::vector<Packet> packets, RoutingPolicy* p
   }
   if (policy != nullptr) policy->prepare(g, packets);
 
+  const std::uint32_t num_packets = static_cast<std::uint32_t>(packets.size());
+  const std::uint32_t* off = csr_offsets_;
+  const NodeId* adj = csr_adjacency_;
+
   RouteResult result;
-  std::vector<NodeState> nodes(n);
-  for (NodeId v = 0; v < n; ++v) nodes[v].ports.resize(g.degree(v));
+
+  // Per-(node, port) FIFO queues as one intrusive linked list: slot s is the
+  // directed link adj[s] out of its owning node; each slot carries its
+  // head/tail cursor pair on one 8-byte record (so push and pop touch one
+  // cache line) and qnext threads the waiting packets.  A packet is in at
+  // most one port queue at a time, so one next-pointer array suffices.
+  struct QueueEnds {
+    std::uint32_t head;
+    std::uint32_t tail;
+  };
+  std::vector<QueueEnds> queue(csr_slots_, QueueEnds{kNoIndex, kNoIndex});
+  std::vector<std::uint32_t> qnext(num_packets, kNoIndex);
+  std::vector<std::uint32_t> buffered(n, 0);   // packets queued per node
+  std::vector<std::uint32_t> rr_cursor(n, 0);  // round-robin port scan start
+
+  // Structure-of-arrays packet state: the hot fields the kernels touch every
+  // hop, split out of the cold 48-byte Packet records.  `target` caches the
+  // phase-dependent destination so placement never re-derives it; `phase`
+  // flips are written through to the Packet (policies read it), every other
+  // hot field is synced back once at the end.
+  std::vector<NodeId> pk_dst(num_packets);
+  std::vector<NodeId> pk_via(num_packets);
+  std::vector<NodeId> pk_target(num_packets);
+  std::vector<std::uint8_t> pk_phase(num_packets);
+  std::vector<std::uint16_t> pk_retries(num_packets, 0);
+  for (std::uint32_t i = 0; i < num_packets; ++i) {
+    Packet& p = packets[i];
+    p.id = i;
+    p.delivered_at = -1;
+    p.lost = 0;
+    p.retries = 0;
+    pk_dst[i] = p.dst;
+    pk_via[i] = p.via;
+    pk_phase[i] = p.phase;
+    pk_target[i] = p.phase == 0 ? p.via : p.dst;
+  }
+
+  // Devirtualized routing decision: the stock greedy/Valiant policies both
+  // reduce to greedy_next_port over their distance oracle, and its port
+  // result names the directed-link slot for free (graphs are simple, so a
+  // neighbor's port is unique).  Equivalent to policy->next_hop() followed
+  // by slot_of() -- GreedyPolicy/ValiantPolicy::next_hop are exactly
+  // greedy_next_hop(g, oracle, at, packet.current_target(), packet.id), and
+  // pk_target / the loop index mirror current_target() / id.
+  DistanceOracle* direct_oracle = nullptr;
+  if (auto* greedy = dynamic_cast<GreedyPolicy*>(policy)) {
+    direct_oracle = &greedy->oracle();
+  } else if (auto* valiant = dynamic_cast<ValiantPolicy*>(policy)) {
+    direct_oracle = &valiant->oracle();
+  }
 
   std::optional<FaultClock> clock;
-  LiveRouteOracle oracle{g};
+  LiveRouteOracle oracle{off, adj, n};
   std::vector<DelayedPacket> delayed;
   if (faults != nullptr) {
     clock.emplace(*faults->plan, n);
     if (clock->advance(faults->step_offset)) oracle.invalidate();
   }
 
-  // Port index of neighbor `to` within `from`'s sorted adjacency.
-  auto port_of = [&g](NodeId from, NodeId to) -> std::uint32_t {
-    const auto nbrs = g.neighbors(from);
-    const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), to);
-    if (it == nbrs.end() || *it != to) {
-      throw std::logic_error{"SyncRouter: policy returned a non-neighbor" +
-                             obs::context_suffix()};
+  // Directed-link slot of neighbor `to` within `from`'s sorted CSR slice.
+  // Host degrees are small constants, so a linear scan beats binary search.
+  auto slot_of = [&](NodeId from, NodeId to) -> std::uint32_t {
+    for (std::uint32_t slot = off[from]; slot < off[from + 1]; ++slot) {
+      if (adj[slot] == to) return slot;
     }
-    return static_cast<std::uint32_t>(it - nbrs.begin());
+    throw std::logic_error{"SyncRouter: policy returned a non-neighbor" +
+                           obs::context_suffix()};
+  };
+
+  auto enqueue = [&](NodeId at, std::uint32_t slot, std::uint32_t packet_index) {
+    qnext[packet_index] = kNoIndex;
+    QueueEnds& q = queue[slot];
+    if (q.tail == kNoIndex) {
+      q.head = packet_index;
+    } else {
+      qnext[q.tail] = packet_index;
+    }
+    q.tail = packet_index;
+    ++buffered[at];
+  };
+
+  auto pop_front = [&](NodeId at, std::uint32_t slot) -> std::uint32_t {
+    QueueEnds& q = queue[slot];
+    const std::uint32_t packet_index = q.head;
+    q.head = qnext[packet_index];
+    if (q.head == kNoIndex) q.tail = kNoIndex;
+    --buffered[at];
+    return packet_index;
   };
 
   std::uint32_t undelivered = 0;
@@ -175,31 +290,47 @@ RouteResult SyncRouter::route_impl(std::vector<Packet> packets, RoutingPolicy* p
   // deliver, advance its Valiant phase, or enqueue it on the port the
   // routing decision selects.  `detour` forces the fault-aware oracle even
   // when an external policy is present (used after a policy choice died).
+  // The fast path reads the hot fields through the one Packet cache line the
+  // policy call is about to touch anyway; the SoA mirrors are kept in sync
+  // on phase flips and drive the fault-aware branches (epoch requeues, the
+  // oracle, retry budgets), where their batched layout pays off.
   auto place = [&](std::uint32_t packet_index, NodeId at, bool detour) -> Placement {
-    Packet& p = packets[packet_index];
     if (clock && !clock->node_alive(at)) return Placement::kLost;
-    if (p.phase == 0 && (at == p.via || (clock && !clock->node_alive(p.via)))) {
-      p.phase = 1;  // via reached -- or dead, in which case skip the detour
+    Packet& p = packets[packet_index];
+    if (p.phase == 0 &&
+        (at == pk_via[packet_index] || (clock && !clock->node_alive(pk_via[packet_index])))) {
+      pk_phase[packet_index] = 1;  // via reached -- or dead: skip the detour
+      pk_target[packet_index] = pk_dst[packet_index];
+      p.phase = 1;  // write-through: policies read phase
     }
     if (at == p.dst && p.phase == 1) {
       return Placement::kDelivered;
     }
-    if (clock && !clock->node_alive(p.dst)) return Placement::kLost;
     NodeId next = kNoHop;
     if (!clock) {
+      if (direct_oracle != nullptr) {
+        const std::uint32_t port =
+            greedy_next_port(g, *direct_oracle, at, pk_target[packet_index], packet_index);
+        enqueue(at, off[at] + port, packet_index);
+        return Placement::kQueued;
+      }
       next = policy->next_hop(g, at, p);
     } else {
+      if (!clock->node_alive(pk_dst[packet_index])) return Placement::kLost;
       if (policy != nullptr && !detour) {
-        const NodeId choice = policy->next_hop(g, at, p);
+        const NodeId choice =
+            direct_oracle != nullptr
+                ? adj[off[at] + greedy_next_port(g, *direct_oracle, at,
+                                                 pk_target[packet_index], packet_index)]
+                : policy->next_hop(g, at, p);
         if (clock->link_alive(at, choice)) next = choice;
       }
       if (next == kNoHop) {
-        next = oracle.next_hop(*clock, at, p.current_target(), p.id);
+        next = oracle.next_hop(*clock, at, pk_target[packet_index], packet_index);
         if (next == kNoHop) return Placement::kLost;  // unreachable survivor
       }
     }
-    nodes[at].ports[port_of(at, next)].push_back(packet_index);
-    ++nodes[at].buffered;
+    enqueue(at, slot_of(at, next), packet_index);
     return Placement::kQueued;
   };
 
@@ -209,12 +340,8 @@ RouteResult SyncRouter::route_impl(std::vector<Packet> packets, RoutingPolicy* p
     ++result.packets_lost;
   };
 
-  for (std::uint32_t i = 0; i < packets.size(); ++i) {
-    packets[i].id = i;
-    packets[i].delivered_at = -1;
-    packets[i].lost = 0;
-    packets[i].retries = 0;
-    if (packets[i].phase == 1 && packets[i].src == packets[i].dst) {
+  for (std::uint32_t i = 0; i < num_packets; ++i) {
+    if (pk_phase[i] == 1 && packets[i].src == pk_dst[i]) {
       if (clock && !clock->node_alive(packets[i].src)) {
         mark_lost(i);
       } else {
@@ -234,40 +361,32 @@ RouteResult SyncRouter::route_impl(std::vector<Packet> packets, RoutingPolicy* p
         break;
     }
   }
-  for (NodeId v = 0; v < n; ++v) result.max_queue = std::max(result.max_queue, nodes[v].buffered);
+  for (NodeId v = 0; v < n; ++v) result.max_queue = std::max(result.max_queue, buffered[v]);
 
   std::uint32_t step = 0;
 
   // Flushes queues invalidated by newly activated permanent faults: queues
   // at dead nodes are lost wholesale; queues on dead ports are re-routed.
+  std::vector<std::uint32_t> requeue;
   auto apply_epoch = [&]() {
     oracle.invalidate();
-    std::vector<std::uint32_t> requeue;
     for (NodeId v = 0; v < n; ++v) {
-      if (nodes[v].buffered == 0) continue;
-      const auto nbrs = g.neighbors(v);
+      if (buffered[v] == 0) continue;
       if (!clock->node_alive(v)) {
-        for (auto& queue : nodes[v].ports) {
-          for (const std::uint32_t packet_index : queue) {
-            mark_lost(packet_index);
+        for (std::uint32_t slot = off[v]; slot < off[v + 1]; ++slot) {
+          while (queue[slot].head != kNoIndex) {
+            mark_lost(pop_front(v, slot));
             --undelivered;
           }
-          queue.clear();
         }
-        nodes[v].buffered = 0;
         continue;
       }
-      for (std::uint32_t port = 0; port < nbrs.size(); ++port) {
-        if (clock->link_alive(v, nbrs[port])) continue;
-        auto& queue = nodes[v].ports[port];
-        while (!queue.empty()) {
-          requeue.push_back(queue.front());
-          queue.pop_front();
-          --nodes[v].buffered;
-        }
+      for (std::uint32_t slot = off[v]; slot < off[v + 1]; ++slot) {
+        if (clock->link_alive(v, adj[slot])) continue;
+        while (queue[slot].head != kNoIndex) requeue.push_back(pop_front(v, slot));
         for (const std::uint32_t packet_index : requeue) {
           ++result.reroutes;
-          ++packets[packet_index].retries;
+          ++pk_retries[packet_index];
           switch (place(packet_index, v, true)) {
             case Placement::kDelivered:  // via skipped and v == dst
               packets[packet_index].delivered_at = step;
@@ -323,17 +442,14 @@ RouteResult SyncRouter::route_impl(std::vector<Packet> packets, RoutingPolicy* p
 
     arrivals.clear();
 
-    // Selects the transfer (v --port--> w, packet) for this step, honoring
+    // Selects the transfer (v --slot--> w, packet) for this step, honoring
     // transient drop windows: a dropped transfer consumes the link (and, in
     // the single-port model, both endpoints' operations) but the packet is
     // lost in flight and retransmitted by the sender after a backoff.
-    auto move_packet = [&](NodeId v, std::uint32_t port, NodeId w) {
-      auto& queue = nodes[v].ports[port];
-      const std::uint32_t packet_index = queue.front();
-      queue.pop_front();
-      --nodes[v].buffered;
+    auto move_packet = [&](NodeId v, std::uint32_t slot, NodeId w) {
+      const std::uint32_t packet_index = pop_front(v, slot);
       ++result.total_transfers;
-      const bool dropped = clock && clock->drops_packet(v, w, packets[packet_index].id);
+      const bool dropped = clock && clock->drops_packet(v, w, packet_index);
       if (record_transfers) {
         result.transfers.push_back(
             Transfer{step, v, w, packet_index,
@@ -341,18 +457,23 @@ RouteResult SyncRouter::route_impl(std::vector<Packet> packets, RoutingPolicy* p
                      static_cast<std::uint8_t>(dropped ? 1 : 0)});  // upn-lint-allow(narrowing-cast)
       }
       if (!dropped) {
+#if defined(__GNUC__) || defined(__clang__)
+        // The arrival pass (after this kernel sweep) reads this packet's
+        // record; fetching it now overlaps the miss with the rest of the
+        // sweep instead of stalling the placement loop.
+        __builtin_prefetch(&packets[packet_index]);
+#endif
         arrivals.emplace_back(packet_index, w);
         return;
       }
       ++result.retransmissions;
-      Packet& p = packets[packet_index];
-      ++p.retries;
-      if (faults != nullptr && p.retries > faults->max_retries) {
+      ++pk_retries[packet_index];
+      if (faults != nullptr && pk_retries[packet_index] > faults->max_retries) {
         mark_lost(packet_index);
         --undelivered;
         return;
       }
-      const std::uint32_t shift = std::min<std::uint32_t>(p.retries, 6u);
+      const std::uint32_t shift = std::min<std::uint32_t>(pk_retries[packet_index], 6u);
       const std::uint32_t backoff =
           faults == nullptr ? 1u : std::max(1u, faults->backoff_base << shift);
       UPN_OBS_COUNT("routing.sync.backoff_delays", 1);
@@ -361,34 +482,39 @@ RouteResult SyncRouter::route_impl(std::vector<Packet> packets, RoutingPolicy* p
     };
 
     if (port_model_ == PortModel::kMultiPort) {
-      // Every directed link moves one packet.
+      // MultiPort kernel: every occupied directed-link slot of every
+      // occupied node moves its head packet -- a single branch-light sweep
+      // over the flat queue-cursor array in CSR order.
       for (NodeId v = 0; v < n; ++v) {
-        if (nodes[v].buffered == 0) continue;
-        const auto nbrs = g.neighbors(v);
-        for (std::uint32_t port = 0; port < nbrs.size(); ++port) {
-          if (nodes[v].ports[port].empty()) continue;
-          move_packet(v, port, nbrs[port]);
+        if (buffered[v] == 0) continue;
+        const std::uint32_t hi = off[v + 1];
+        for (std::uint32_t slot = off[v]; slot < hi; ++slot) {
+          if (queue[slot].head == kNoIndex) continue;
+          move_packet(v, slot, adj[slot]);
         }
       }
     } else {
-      // Single-port: transfers form a matching; a node either sends or
-      // receives.  Greedy maximal matching with a rotating scan start for
-      // fairness.
+      // SinglePort matching pass: transfers form a matching; a node either
+      // sends or receives.  Greedy maximal matching with a rotating scan
+      // start for fairness, batched over the flat busy/buffered/rr arrays.
       std::fill(busy.begin(), busy.end(), 0);
-      const NodeId offset = static_cast<NodeId>(step % std::max(1u, n));
-      for (std::uint32_t scan = 0; scan < n; ++scan) {
-        const NodeId v = static_cast<NodeId>((scan + offset) % n);
-        if (busy[v] || nodes[v].buffered == 0) continue;
-        const auto nbrs = g.neighbors(v);
-        const std::uint32_t degree = static_cast<std::uint32_t>(nbrs.size());
+      // Rotations below are increment-and-wrap rather than modulo: this loop
+      // runs n times per step and integer division would dominate it.
+      NodeId v = static_cast<NodeId>(step % std::max(1u, n));
+      for (std::uint32_t scan = 0; scan < n; ++scan, v = (v + 1 == n ? 0 : v + 1)) {
+        if (busy[v] || buffered[v] == 0) continue;
+        const std::uint32_t lo = off[v];
+        const std::uint32_t degree = off[v + 1] - lo;
         // Round-robin over ports so no queue starves.
-        for (std::uint32_t offs = 0; offs < degree; ++offs) {
-          const std::uint32_t port = (nodes[v].rr_cursor + offs) % degree;
-          if (nodes[v].ports[port].empty() || busy[nbrs[port]]) continue;
+        std::uint32_t port = rr_cursor[v];
+        for (std::uint32_t offs = 0; offs < degree;
+             ++offs, port = (port + 1 == degree ? 0 : port + 1)) {
+          const std::uint32_t slot = lo + port;
+          if (queue[slot].head == kNoIndex || busy[adj[slot]]) continue;
           busy[v] = 1;
-          busy[nbrs[port]] = 1;
-          nodes[v].rr_cursor = (port + 1) % degree;
-          move_packet(v, port, nbrs[port]);
+          busy[adj[slot]] = 1;
+          rr_cursor[v] = (port + 1 == degree ? 0 : port + 1);
+          move_packet(v, slot, adj[slot]);
           break;
         }
       }
@@ -410,7 +536,7 @@ RouteResult SyncRouter::route_impl(std::vector<Packet> packets, RoutingPolicy* p
     }
     std::uint32_t step_max_queue = 0;
     for (NodeId v = 0; v < n; ++v) {
-      step_max_queue = std::max(step_max_queue, nodes[v].buffered);
+      step_max_queue = std::max(step_max_queue, buffered[v]);
     }
     result.max_queue = std::max(result.max_queue, step_max_queue);
     // Queue-depth-per-step distribution: bucket adds commute, so the merged
@@ -420,6 +546,7 @@ RouteResult SyncRouter::route_impl(std::vector<Packet> packets, RoutingPolicy* p
   }
 
   result.steps = step;
+  for (std::uint32_t i = 0; i < num_packets; ++i) packets[i].retries = pk_retries[i];
   result.packets = std::move(packets);
   UPN_ENSURE(result.steps <= max_steps, "router must respect its step budget");
   std::uint64_t delivered = 0;

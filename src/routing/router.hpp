@@ -13,6 +13,13 @@
 //                  perform one of the following operations": send a copy,
 //                  or receive, or generate) and is what the universal
 //                  simulator uses when it emits machine-checkable protocols.
+//
+// The implementation behind this API is the data-oriented fast-path engine
+// (see docs/ROUTER_ENGINE.md): a CSR adjacency view cached per router,
+// structure-of-arrays packet state, and flat intrusive per-port FIFO queues.
+// It is proven bit-identical to the pre-rewrite node-based engine, which is
+// preserved as tests/support/reference_router.{hpp,cpp} and exercised against
+// this one by tests/router_differential_test.cpp and the differential fuzzer.
 #pragma once
 
 #include <cstdint>
@@ -65,11 +72,11 @@ struct RouteResult {
 /// state; prepare() is called once with all packets before routing begins.
 class RoutingPolicy {
  public:
-  virtual ~RoutingPolicy() = default;
-  virtual void prepare(const Graph& graph, std::vector<Packet>& packets);
+  virtual ~RoutingPolicy() = default;  // upn-analyze-waive(hotpath-virtual: frozen public API; dispatch is per-placement, outside the per-step scan kernels)
+  virtual void prepare(const Graph& graph, std::vector<Packet>& packets);  // upn-analyze-waive(hotpath-virtual: called once per route call, not per step)
   /// Next neighbor of `at` for this packet; must be adjacent to `at`.
-  [[nodiscard]] virtual NodeId next_hop(const Graph& graph, NodeId at, const Packet& packet) = 0;
-  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual NodeId next_hop(const Graph& graph, NodeId at, const Packet& packet) = 0;  // upn-analyze-waive(hotpath-virtual: frozen public API; one call per packet placement, not per slot scan)
+  [[nodiscard]] virtual std::string name() const = 0;  // upn-analyze-waive(hotpath-virtual: cold diagnostics path)
 };
 
 enum class PortModel : std::uint8_t {
@@ -124,6 +131,10 @@ class SyncRouter {
 
   const Graph* graph_;
   PortModel port_model_;
+  // CSR view of *graph_, cached once at construction for the hot kernels.
+  const std::uint32_t* csr_offsets_ = nullptr;
+  const NodeId* csr_adjacency_ = nullptr;
+  std::uint32_t csr_slots_ = 0;  ///< 2 * num_edges(): number of directed-link slots
 };
 
 /// route_M(h) measurement: routes `instances` random h-relations and returns

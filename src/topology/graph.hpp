@@ -39,6 +39,16 @@ class Graph {
     return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
   }
 
+  /// Flat CSR row-offset array: size num_nodes()+1 (empty for the empty
+  /// graph); offsets()[v] .. offsets()[v+1] delimits v's slice of
+  /// adjacency().  Hot paths (the packet engine) cache the raw pointers
+  /// once instead of constructing a neighbors() span per query.
+  [[nodiscard]] std::span<const std::uint32_t> offsets() const noexcept { return offsets_; }
+
+  /// Flat concatenated adjacency array: size 2*num_edges(), ascending within
+  /// each node's offsets() slice.  Each index is one directed link slot.
+  [[nodiscard]] std::span<const NodeId> adjacency() const noexcept { return adjacency_; }
+
   /// True iff {u, v} is an edge.  O(log deg(u)).
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept;
 

@@ -7,8 +7,10 @@
 // .upns schedules).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,6 +22,8 @@
 #include "src/pebble/io.hpp"
 #include "src/routing/hh_problem.hpp"
 #include "src/routing/path_schedule.hpp"
+#include "src/routing/policies.hpp"
+#include "src/routing/router.hpp"
 #include "src/routing/schedule_io.hpp"
 #include "src/topology/builders.hpp"
 #include "src/topology/butterfly.hpp"
@@ -229,6 +233,145 @@ TEST(ArtifactRoundTrip, ScheduleWriteReadWriteIsByteIdentical) {
     std::ostringstream second;
     write_path_schedule(second, reread.schedule, reread.num_packets);
     EXPECT_EQ(first.str(), second.str());
+  }
+}
+
+// ---- Router step invariants (the data-oriented engine's contract) --------
+//
+// The transfer log is the engine's ground truth: these properties replay it
+// and check the per-step guarantees the port models advertise, plus that the
+// scalar summaries (max_queue, delivered_at) are faithful to the log.
+
+struct RoutedInstance {
+  Graph host;
+  RouteResult result;
+};
+
+RoutedInstance route_instance(std::uint64_t seed, PortModel model) {
+  Rng rng{seed};
+  Graph host = make_butterfly(3);
+  if (rng.chance(0.5)) {
+    for (;;) {
+      Graph g = make_random_regular(26, 4, rng);
+      if (is_connected(g)) {
+        host = std::move(g);
+        break;
+      }
+    }
+  }
+  const auto h = static_cast<std::uint32_t>(rng.between(1, 6));
+  const HhProblem problem = random_h_relation(host.num_nodes(), h, rng);
+  std::vector<Packet> packets;
+  for (const Demand& d : problem.demands()) {
+    Packet p;
+    p.src = d.src;
+    p.dst = d.dst;
+    p.via = d.dst;
+    packets.push_back(p);
+  }
+  GreedyPolicy policy{host};
+  SyncRouter router{host, model};
+  RouteResult result = router.route(std::move(packets), policy, /*record_transfers=*/true);
+  return RoutedInstance{std::move(host), std::move(result)};
+}
+
+// Groups the (step-sorted) transfer log into per-step slices and applies `fn`.
+template <typename Fn>
+void for_each_step(const RouteResult& result, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < result.transfers.size()) {
+    const std::uint32_t step = result.transfers[i].step;
+    const std::size_t begin = i;
+    while (i < result.transfers.size() && result.transfers[i].step == step) ++i;
+    fn(step, std::span<const Transfer>{result.transfers.data() + begin, i - begin});
+  }
+}
+
+TEST(RouterStepInvariants, SinglePortStepsFormMatchings) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const RoutedInstance instance = route_instance(seed, PortModel::kSinglePort);
+    for_each_step(instance.result, [&](std::uint32_t step, std::span<const Transfer> slice) {
+      std::vector<NodeId> touched;
+      for (const Transfer& tr : slice) {
+        touched.push_back(tr.from);
+        touched.push_back(tr.to);
+      }
+      std::sort(touched.begin(), touched.end());
+      ASSERT_EQ(std::adjacent_find(touched.begin(), touched.end()), touched.end())
+          << "node sends or receives twice in step " << step << " (seed " << seed << ")";
+    });
+  }
+}
+
+TEST(RouterStepInvariants, MultiPortUsesEachDirectedLinkAtMostOncePerStep) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const RoutedInstance instance = route_instance(seed, PortModel::kMultiPort);
+    for_each_step(instance.result, [&](std::uint32_t step, std::span<const Transfer> slice) {
+      std::vector<std::uint64_t> links;
+      for (const Transfer& tr : slice) {
+        links.push_back((static_cast<std::uint64_t>(tr.from) << 32) | tr.to);
+      }
+      std::sort(links.begin(), links.end());
+      ASSERT_EQ(std::adjacent_find(links.begin(), links.end()), links.end())
+          << "directed link used twice in step " << step << " (seed " << seed << ")";
+    });
+  }
+}
+
+TEST(RouterStepInvariants, MaxQueueIsTheTrueRunningPeak) {
+  for (const PortModel model : {PortModel::kMultiPort, PortModel::kSinglePort}) {
+    for (const std::uint64_t seed : {6u, 7u, 8u}) {
+      const RoutedInstance instance = route_instance(seed, model);
+      const RouteResult& result = instance.result;
+      // Replay buffer occupancy from the log: a packet occupies its source
+      // queue unless delivered on the spot, leaves `from` when it hops, and
+      // occupies `to` afterwards unless that hop delivered it.
+      std::vector<std::uint32_t> occupancy(instance.host.num_nodes(), 0);
+      for (const Packet& p : result.packets) {
+        if (p.delivered_at != 0) ++occupancy[p.src];
+      }
+      std::uint32_t peak = *std::max_element(occupancy.begin(), occupancy.end());
+      for_each_step(result, [&](std::uint32_t step, std::span<const Transfer> slice) {
+        for (const Transfer& tr : slice) {
+          ASSERT_GT(occupancy[tr.from], 0u);
+          --occupancy[tr.from];
+        }
+        for (const Transfer& tr : slice) {
+          if (result.packets[tr.packet].delivered_at !=
+              static_cast<std::int64_t>(step) + 1) {
+            ++occupancy[tr.to];
+          }
+        }
+        peak = std::max(peak, *std::max_element(occupancy.begin(), occupancy.end()));
+      });
+      ASSERT_EQ(result.max_queue, peak)
+          << "reported max_queue is not the replayed peak (seed " << seed << ")";
+      ASSERT_EQ(std::count_if(occupancy.begin(), occupancy.end(),
+                              [](std::uint32_t c) { return c != 0; }),
+                0)
+          << "replay left packets buffered after the last step";
+    }
+  }
+}
+
+TEST(RouterStepInvariants, DeliveredAtIsMonotoneWithTheTransferLog) {
+  for (const PortModel model : {PortModel::kMultiPort, PortModel::kSinglePort}) {
+    for (const std::uint64_t seed : {9u, 10u, 11u}) {
+      const RoutedInstance instance = route_instance(seed, model);
+      const RouteResult& result = instance.result;
+      // Per packet: hop steps strictly increase, and delivery happens exactly
+      // one step after the final hop (0 for packets born at their target).
+      std::vector<std::int64_t> last_hop(result.packets.size(), -1);
+      for (const Transfer& tr : result.transfers) {
+        ASSERT_GT(static_cast<std::int64_t>(tr.step), last_hop[tr.packet])
+            << "transfer log not strictly increasing for packet " << tr.packet;
+        last_hop[tr.packet] = tr.step;
+      }
+      for (std::size_t i = 0; i < result.packets.size(); ++i) {
+        ASSERT_EQ(result.packets[i].delivered_at, last_hop[i] + 1)
+            << "delivered_at disagrees with the last logged hop (packet " << i << ")";
+      }
+    }
   }
 }
 

@@ -1,0 +1,198 @@
+// Engine-vs-engine differential suite: the data-oriented SyncRouter
+// (src/routing/router.cpp) must be byte-identical to the preserved
+// pre-rewrite ReferenceRouter (tests/support/reference_router.cpp) on
+// identical inputs -- full RouteResult including the transfer log -- across
+// both port models, fault-free and under FaultPlans, on every host family
+// the paper's experiments exercise.  Results are compared as canonical
+// dump_route_result() strings so a failure names the first diverging field.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_plan.hpp"
+#include "src/routing/hh_problem.hpp"
+#include "src/routing/policies.hpp"
+#include "src/routing/router.hpp"
+#include "src/topology/butterfly.hpp"
+#include "src/topology/debruijn.hpp"
+#include "src/topology/hypercube.hpp"
+#include "src/topology/properties.hpp"
+#include "src/topology/random_regular.hpp"
+#include "src/util/rng.hpp"
+#include "tests/support/reference_router.hpp"
+
+namespace upn {
+namespace {
+
+using testing::ReferenceRouter;
+using testing::dump_route_result;
+
+std::vector<Graph> differential_hosts() {
+  std::vector<Graph> hosts;
+  hosts.push_back(make_butterfly(3));   // 32 nodes, the paper's host family
+  hosts.push_back(make_hypercube(4));   // 16 nodes
+  hosts.push_back(make_debruijn(5));    // 32 nodes, directed-degree 2 doubled
+  Rng rng{424242};
+  for (;;) {  // random regular hosts are connected w.h.p.; retry until one is
+    Graph g = make_random_regular(24, 4, rng);
+    if (is_connected(g)) {
+      hosts.push_back(std::move(g));
+      break;
+    }
+  }
+  return hosts;
+}
+
+std::vector<Packet> make_packets(const HhProblem& problem) {
+  std::vector<Packet> packets;
+  packets.reserve(problem.size());
+  for (const Demand& d : problem.demands()) {
+    Packet p;
+    p.src = d.src;
+    p.dst = d.dst;
+    p.via = d.dst;
+    p.payload = (static_cast<std::uint64_t>(d.src) << 32) | d.dst;
+    p.tag = d.src;
+    p.tag2 = d.dst;
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+// The matrix the tentpole promises: hosts x seeds {3} x widths {1,2,7} x
+// both port models, greedy and Valiant policies, fault-free.
+TEST(RouterDifferential, FaultFreeByteIdentity) {
+  for (const Graph& host : differential_hosts()) {
+    const std::uint32_t m = host.num_nodes();
+    for (const std::uint64_t seed : {11u, 22u, 33u}) {
+      for (const std::uint32_t h : {1u, 2u, 7u}) {
+        Rng rng{seed * 1000 + h};
+        const HhProblem problem = random_h_relation(m, h, rng);
+        const std::vector<Packet> packets = make_packets(problem);
+        for (const PortModel model : {PortModel::kMultiPort, PortModel::kSinglePort}) {
+          SCOPED_TRACE(host.name() + " seed=" + std::to_string(seed) +
+                       " h=" + std::to_string(h) +
+                       (model == PortModel::kMultiPort ? " multiport" : " singleport"));
+          {
+            GreedyPolicy fast_policy{host};
+            GreedyPolicy ref_policy{host};
+            SyncRouter fast{host, model};
+            ReferenceRouter ref{host, model};
+            const RouteResult a = fast.route(packets, fast_policy, /*record_transfers=*/true);
+            const RouteResult b = ref.route(packets, ref_policy, /*record_transfers=*/true);
+            ASSERT_EQ(dump_route_result(a), dump_route_result(b)) << "greedy";
+          }
+          {
+            ValiantPolicy fast_policy{host, seed ^ 0x5eedf00du};
+            ValiantPolicy ref_policy{host, seed ^ 0x5eedf00du};
+            SyncRouter fast{host, model};
+            ReferenceRouter ref{host, model};
+            const RouteResult a = fast.route(packets, fast_policy, /*record_transfers=*/true);
+            const RouteResult b = ref.route(packets, ref_policy, /*record_transfers=*/true);
+            ASSERT_EQ(dump_route_result(a), dump_route_result(b)) << "valiant";
+          }
+        }
+      }
+    }
+  }
+}
+
+// Fault-aware runs: permanent link/node faults plus transient drop windows,
+// with an external policy, and with the internal live-subgraph greedy
+// (policy == nullptr).  Retries, reroutes, losses, and dropped transfers
+// must all line up byte-for-byte.
+//
+// An external policy is fault-oblivious (its oracle sees the full graph), so
+// after a permanent link fault it can re-pick the same dead link every step:
+// a genuine livelock, and the semantically correct outcome both engines must
+// reach identically.  Each run therefore gets a small step budget and the
+// comparison accepts either identical RouteResults or identical thrown
+// livelock diagnostics -- the same contract the differential fuzzer checks.
+TEST(RouterDifferential, FaultedByteIdentity) {
+  constexpr std::uint32_t kMaxSteps = 512;
+  const auto run = [](auto& router, const std::vector<Packet>& packets,
+                      const FaultRouteOptions& options, RoutingPolicy* policy) {
+    try {
+      return dump_route_result(
+          router.route_with_faults(packets, options, policy, true, kMaxSteps));
+    } catch (const std::runtime_error& e) {
+      return std::string("<livelock> ") + e.what();
+    }
+  };
+  for (const Graph& host : differential_hosts()) {
+    const std::uint32_t m = host.num_nodes();
+    for (const std::uint64_t seed : {5u, 6u, 7u}) {
+      for (const std::uint32_t h : {1u, 2u, 7u}) {
+        Rng rng{seed * 77 + h};
+        const HhProblem problem = random_h_relation(m, h, rng);
+        const std::vector<Packet> packets = make_packets(problem);
+
+        FaultPlan plan = merge_plans(make_uniform_link_faults(host, 0.08, seed, /*step=*/2),
+                                     make_uniform_drops(host, 0.15, seed ^ 1u, 0, 24));
+        plan = merge_plans(plan, make_uniform_node_faults(host, 0.05, seed ^ 2u, /*step=*/5));
+        FaultRouteOptions options;
+        options.plan = &plan;
+        options.step_offset = static_cast<std::uint32_t>(seed % 3);
+        options.max_retries = 8;
+
+        for (const PortModel model : {PortModel::kMultiPort, PortModel::kSinglePort}) {
+          SCOPED_TRACE(host.name() + " seed=" + std::to_string(seed) +
+                       " h=" + std::to_string(h) +
+                       (model == PortModel::kMultiPort ? " multiport" : " singleport"));
+          {
+            GreedyPolicy fast_policy{host};
+            GreedyPolicy ref_policy{host};
+            SyncRouter fast{host, model};
+            ReferenceRouter ref{host, model};
+            ASSERT_EQ(run(fast, packets, options, &fast_policy),
+                      run(ref, packets, options, &ref_policy))
+                << "greedy policy";
+          }
+          {
+            SyncRouter fast{host, model};
+            ReferenceRouter ref{host, model};
+            ASSERT_EQ(run(fast, packets, options, nullptr),
+                      run(ref, packets, options, nullptr))
+                << "internal oracle";
+          }
+        }
+      }
+    }
+  }
+}
+
+// Both engines must give up identically: same exception type, same
+// diagnostic text, when the step limit cuts a run short.
+TEST(RouterDifferential, LivelockDiagnosticsMatch) {
+  const Graph host = make_butterfly(3);
+  Rng rng{99};
+  const HhProblem problem = random_h_relation(host.num_nodes(), 2, rng);
+  const std::vector<Packet> packets = make_packets(problem);
+  for (const PortModel model : {PortModel::kMultiPort, PortModel::kSinglePort}) {
+    GreedyPolicy fast_policy{host};
+    GreedyPolicy ref_policy{host};
+    SyncRouter fast{host, model};
+    ReferenceRouter ref{host, model};
+    std::string fast_what;
+    std::string ref_what;
+    try {
+      const RouteResult r = fast.route(packets, fast_policy, false, /*max_steps=*/2);
+      FAIL() << "fast engine finished a 2-step run that must hit the limit";
+    } catch (const std::runtime_error& e) {
+      fast_what = e.what();
+    }
+    try {
+      const RouteResult r = ref.route(packets, ref_policy, false, /*max_steps=*/2);
+      FAIL() << "reference engine finished a 2-step run that must hit the limit";
+    } catch (const std::runtime_error& e) {
+      ref_what = e.what();
+    }
+    ASSERT_FALSE(fast_what.empty());
+    ASSERT_EQ(fast_what, ref_what);
+  }
+}
+
+}  // namespace
+}  // namespace upn
