@@ -91,7 +91,14 @@ ScopedSpan::ScopedSpan(const char* name) noexcept : name_{name} {
 ScopedSpan::~ScopedSpan() {
   ThreadSpanState& state = thread_state();
   if (state.depth > 0) --state.depth;
-  if (timed_) record_event(name_, start_ns_, now_ns());
+  if (!timed_) return;
+  // Destructors are implicitly noexcept; appending to the trace buffer can
+  // allocate, and an OOM escaping here would terminate the process mid
+  // unwind.  Dropping the event is the only safe failure mode.
+  try {
+    record_event(name_, start_ns_, now_ns());
+  } catch (...) {
+  }
 }
 
 ScopedStep::ScopedStep(std::uint64_t step) noexcept {

@@ -25,7 +25,7 @@ std::string describe(const Op& op) {
 
 }  // namespace
 
-ValidationResult validate_protocol(const Protocol& protocol, const Graph& guest,
+ValidationResult validate_protocol(const Protocol& protocol, const Graph& guest,  // upn-analyze-waive(hotpath-unchecked-entry: this IS the validator; every input is legal and yields a verdict)
                                    const Graph& host) {
   UPN_OBS_SPAN("pebble.validator.replay");
   UPN_OBS_COUNT("pebble.validator.validations", 1);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/util/contracts.hpp"
+
 namespace upn {
 
 std::uint32_t bit_reverse(std::uint32_t value, std::uint32_t bits) noexcept {
@@ -19,6 +21,8 @@ std::uint32_t transpose_word(std::uint32_t value, std::uint32_t bits) noexcept {
 }
 
 HhProblem butterfly_bit_reversal(std::uint32_t dimension) {
+  UPN_REQUIRE(dimension >= 1 && dimension < 32,
+              "butterfly_bit_reversal: row index must fit a 32-bit word");
   const ButterflyLayout layout{dimension, false};
   HhProblem problem{layout.num_nodes()};
   for (std::uint32_t r = 0; r < layout.rows(); ++r) {
@@ -28,6 +32,8 @@ HhProblem butterfly_bit_reversal(std::uint32_t dimension) {
 }
 
 HhProblem butterfly_transpose(std::uint32_t dimension) {
+  UPN_REQUIRE(dimension >= 1 && dimension < 32,
+              "butterfly_transpose: row index must fit a 32-bit word");
   if (dimension % 2 != 0) {
     throw std::invalid_argument{"butterfly_transpose: dimension must be even"};
   }

@@ -28,13 +28,6 @@ double log2_binomial(double n, double k) noexcept {
   return log2_factorial(n) - log2_factorial(k) - log2_factorial(n - k);
 }
 
-double log2_pow(double a, double b) noexcept {
-  // a^0 = 1 exactly, for every a; the sentinel compare is intentional.
-  if (b == 0.0) return 0.0;  // upn-lint-allow(float-equality)
-  if (a <= 0.0) return -std::numeric_limits<double>::infinity();
-  return b * std::log2(a);
-}
-
 double log2_add(double a, double b) noexcept {
   if (a == -std::numeric_limits<double>::infinity()) return b;
   if (b == -std::numeric_limits<double>::infinity()) return a;

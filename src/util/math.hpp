@@ -18,9 +18,6 @@ namespace upn {
 /// log2 of the binomial coefficient C(n, k).  Returns -inf for k > n or k < 0.
 [[nodiscard]] double log2_binomial(double n, double k) noexcept;
 
-/// log2(a^b) = b*log2(a); defined as 0 when b == 0 even if a == 0.
-[[nodiscard]] double log2_pow(double a, double b) noexcept;
-
 /// log2(2^a + 2^b) computed without overflow.
 [[nodiscard]] double log2_add(double a, double b) noexcept;
 

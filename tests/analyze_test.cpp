@@ -609,6 +609,43 @@ TEST(AnalyzeHotpath, BaselineAbsorbsFindingsAndStaleEntriesFireTheRatchet) {
   }
 }
 
+TEST(AnalyzeInterproc, BaselineAbsorbsFindingsAndStaleEntriesFireTheRatchet) {
+  Input input;
+  input.files.push_back({"src/core/orphan.cpp",
+                         "namespace demo {\n"
+                         "int orphaned_scale(int value) {\n"
+                         "  return value * 3;\n"
+                         "}\n"
+                         "}  // namespace demo\n"});
+  input.jobs = 1;
+  const Report live = analyze(input);
+  std::vector<Finding> interproc_findings;
+  for (const Finding& f : live.findings) {
+    if (is_interproc_rule(f.rule)) interproc_findings.push_back(f);
+  }
+  ASSERT_TRUE(has_rule(interproc_findings, "dead-function")) << live.render_text();
+
+  // Keyed into the baseline, the finding moves to the baselined bucket.
+  input.interproc_text = render_interproc_baseline(interproc_findings);
+  input.interproc_path = "tools/analyze/interproc.baseline";
+  const Report absorbed = analyze(input);
+  EXPECT_FALSE(has_rule(absorbed.findings, "dead-function"));
+  EXPECT_TRUE(has_rule(absorbed.baselined, "dead-function"));
+  EXPECT_FALSE(has_rule(absorbed.findings, "baseline-stale-entry"));
+
+  // An entry that matches nothing must be deleted: the ratchet only shrinks.
+  input.interproc_text += "src/core/gone.cpp:dead-function:vanished\n";
+  const Report stale = analyze(input);
+  ASSERT_TRUE(has_rule(stale.findings, "baseline-stale-entry")) << stale.render_text();
+  for (const Finding& f : stale.findings) {
+    if (f.rule != "baseline-stale-entry") continue;
+    EXPECT_EQ(f.file, "tools/analyze/interproc.baseline");
+    EXPECT_EQ(f.line, 0u);
+    EXPECT_NE(f.message.find("src/core/gone.cpp:dead-function:vanished"),
+              std::string::npos);
+  }
+}
+
 TEST(AnalyzeHotpath, KeyUsesTheQuotedDetailAndBaselineRendersSortedUnique) {
   const Finding f{"src/hot/a.hpp", 12, "hotpath-container",
                   "'deque' (std::deque) used in hot-path module 'hot'"};
@@ -683,7 +720,10 @@ TEST(AnalyzeFixtures, BadTreeFiresEveryPassFamily) {
         "unused-include", "pragma-once", "par-shared-mutation", "par-shared-rng",
         "taint-unordered-order", "taint-timing", "taint-thread-id", "taint-address",
         "hotpath-container", "hotpath-alloc", "hotpath-virtual",
-        "hotpath-by-value-param", "baseline-stale-entry"}) {
+        "hotpath-by-value-param", "baseline-stale-entry", "lock-order-cycle",
+        "task-blocking-call", "task-blocking-io", "contract-violated-call",
+        "hotpath-unchecked-entry", "noexcept-may-throw", "dtor-may-throw",
+        "dead-function"}) {
     EXPECT_TRUE(has_rule(report.findings, rule)) << rule;
   }
 }

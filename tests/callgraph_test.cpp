@@ -1,0 +1,280 @@
+// Whole-program call-graph tests for upn_analyze: overload resolution by
+// arity, method resolution through typed receivers, ThreadPool task-body
+// edges, conservative open edges (virtual / indirect / ambiguous receiver),
+// the determinism contract for --dump-callgraph at --jobs {1, 2, 7}, and the
+// IR cache round-trip behind --ir-cache.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/analyze/callgraph.hpp"
+#include "tools/analyze/engine.hpp"
+#include "tools/analyze/ir.hpp"
+
+namespace upn::analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+CallGraph graph_of(const std::vector<std::pair<std::string, std::string>>& files) {
+  std::vector<UnitFunctions> per_unit;
+  per_unit.reserve(files.size());
+  for (const auto& [path, text] : files) {
+    per_unit.push_back(extract_functions(build_unit(path, text)));
+  }
+  return link_callgraph(per_unit);
+}
+
+std::size_t node_id(const CallGraph& g, const std::string& qualified,
+                    std::size_t arity) {
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    if (g.nodes[i].qualified == qualified && g.nodes[i].arity == arity) return i;
+  }
+  ADD_FAILURE() << "no node " << qualified << "/" << arity;
+  return static_cast<std::size_t>(-1);
+}
+
+bool has_edge(const CallGraph& g, std::size_t caller, std::size_t callee,
+              EdgeKind kind) {
+  return std::any_of(g.edges.begin(), g.edges.end(), [&](const CallEdge& e) {
+    return e.caller == caller && e.callee == callee && e.kind == kind;
+  });
+}
+
+bool has_open(const CallGraph& g, std::size_t caller, const std::string& name,
+              const std::string& reason) {
+  return std::any_of(g.opens.begin(), g.opens.end(), [&](const OpenEdge& e) {
+    return e.caller == caller && e.name == name && e.reason == reason;
+  });
+}
+
+// ---- resolution -----------------------------------------------------------
+
+TEST(Callgraph, OverloadsResolveByArity) {
+  const CallGraph g = graph_of({{"src/core/a.cpp",
+                                 "namespace demo {\n"
+                                 "int scale(int v) { return v * 2; }\n"
+                                 "int scale(int v, int w) { return v * w; }\n"
+                                 "int use() { return scale(1) + scale(2, 3); }\n"
+                                 "}  // namespace demo\n"}});
+  const std::size_t one = node_id(g, "scale", 1);
+  const std::size_t two = node_id(g, "scale", 2);
+  const std::size_t use = node_id(g, "use", 0);
+  EXPECT_TRUE(has_edge(g, use, one, EdgeKind::kDirect));
+  EXPECT_TRUE(has_edge(g, use, two, EdgeKind::kDirect));
+  // Arity narrowed each call to exactly one overload.
+  EXPECT_EQ(g.out_ids[use].size(), 2u);
+}
+
+TEST(Callgraph, DirectCallsLinkAcrossTranslationUnits) {
+  const CallGraph g = graph_of(
+      {{"src/core/def.cpp",
+        "namespace demo {\n"
+        "int helper(int v) { return v + 1; }\n"
+        "}  // namespace demo\n"},
+       {"src/core/use.cpp",
+        "namespace demo {\n"
+        "int caller(int v) { return helper(v); }\n"
+        "}  // namespace demo\n"}});
+  EXPECT_TRUE(has_edge(g, node_id(g, "caller", 1), node_id(g, "helper", 1),
+                       EdgeKind::kDirect));
+}
+
+TEST(Callgraph, MethodCallsResolveThroughTypedReceivers) {
+  const CallGraph g = graph_of({{"src/core/r.cpp",
+                                 "namespace demo {\n"
+                                 "struct Router {\n"
+                                 "  int route(int p) { return p; }\n"
+                                 "};\n"
+                                 "int drive(Router& router) { return router.route(4); }\n"
+                                 "}  // namespace demo\n"}});
+  EXPECT_TRUE(has_edge(g, node_id(g, "drive", 1), node_id(g, "Router::route", 1),
+                       EdgeKind::kMethod));
+  EXPECT_TRUE(g.opens.empty());
+}
+
+TEST(Callgraph, TaskBodiesBecomePseudoNodesWithTaskEdges) {
+  const CallGraph g = graph_of(
+      {{"src/core/t.cpp",
+        "namespace demo {\n"
+        "int work(int v) { return v; }\n"
+        "void fill(Pool& pool, std::vector<int>& out) {\n"
+        "  pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = work(1); });\n"
+        "}\n"
+        "}  // namespace demo\n"}});
+  const auto task = std::find_if(g.nodes.begin(), g.nodes.end(),
+                                 [](const FunctionNode& n) { return n.is_task_body; });
+  ASSERT_NE(task, g.nodes.end());
+  const std::size_t task_id = static_cast<std::size_t>(task - g.nodes.begin());
+  const std::size_t fill = node_id(g, "fill", 2);
+  EXPECT_EQ(task->task_parent, fill);
+  EXPECT_TRUE(has_edge(g, fill, task_id, EdgeKind::kTask));
+  // The body's own calls hang off the pseudo-node, not the parent.
+  EXPECT_TRUE(has_edge(g, task_id, node_id(g, "work", 1), EdgeKind::kDirect));
+  EXPECT_FALSE(has_edge(g, fill, node_id(g, "work", 1), EdgeKind::kDirect));
+}
+
+// ---- open-edge conservatism ----------------------------------------------
+
+TEST(Callgraph, VirtualCallsStayOpen) {
+  const CallGraph g = graph_of({{"src/core/v.cpp",
+                                 "namespace demo {\n"
+                                 "struct Policy {\n"
+                                 "  virtual int next(int at) = 0;\n"
+                                 "};\n"
+                                 "int step(Policy& policy) { return policy.next(1); }\n"
+                                 "}  // namespace demo\n"}});
+  const std::size_t step = node_id(g, "step", 1);
+  EXPECT_TRUE(has_open(g, step, "next", "virtual"));
+  EXPECT_TRUE(g.out_ids[step].empty());
+}
+
+TEST(Callgraph, CallsThroughLocalsStayOpenAsIndirect) {
+  const CallGraph g = graph_of({{"src/core/i.cpp",
+                                 "namespace demo {\n"
+                                 "int pick(int v) { return v; }\n"
+                                 "int apply(int v) {\n"
+                                 "  Handler fn = pick;\n"
+                                 "  return fn(v);\n"
+                                 "}\n"
+                                 "}  // namespace demo\n"}});
+  EXPECT_TRUE(has_open(g, node_id(g, "apply", 1), "fn", "indirect"));
+}
+
+TEST(Callgraph, UntypedReceiverWithSeveralCandidateClassesStaysOpen) {
+  const CallGraph g = graph_of({{"src/core/m.cpp",
+                                 "namespace demo {\n"
+                                 "struct Alpha {\n"
+                                 "  int get(int k) { return k; }\n"
+                                 "};\n"
+                                 "struct Beta {\n"
+                                 "  int get(int k) { return k + 1; }\n"
+                                 "};\n"
+                                 "int fetch(std::vector<Alpha>& items) { return items[0].get(2); }\n"
+                                 "}  // namespace demo\n"}});
+  EXPECT_TRUE(has_open(g, node_id(g, "fetch", 1), "get", "ambiguous-receiver"));
+}
+
+TEST(Callgraph, UntypedReceiverWithOneCandidateClassResolves) {
+  const CallGraph g = graph_of({{"src/core/s.cpp",
+                                 "namespace demo {\n"
+                                 "struct Only {\n"
+                                 "  int get(int k) { return k; }\n"
+                                 "};\n"
+                                 "int fetch(std::vector<Only>& items) { return items[0].get(2); }\n"
+                                 "}  // namespace demo\n"}});
+  EXPECT_TRUE(has_edge(g, node_id(g, "fetch", 1), node_id(g, "Only::get", 1),
+                       EdgeKind::kMethod));
+  EXPECT_TRUE(g.opens.empty());
+}
+
+// ---- dump determinism -----------------------------------------------------
+
+TEST(CallgraphDeterminism, DumpIsByteIdenticalAtJobs127) {
+  Report reports[3];
+  const unsigned jobs[] = {1, 2, 7};
+  for (int i = 0; i < 3; ++i) {
+    TreeOptions options;
+    options.root = UPN_ANALYZE_BAD_DIR;
+    options.paths = {"src"};
+    options.excludes.clear();
+    options.jobs = jobs[i];
+    Input input;
+    std::string error;
+    ASSERT_TRUE(collect_tree(options, input, error)) << error;
+    input.want_callgraph = true;
+    reports[i] = analyze(input);
+  }
+  ASSERT_FALSE(reports[0].callgraph_dump.empty());
+  EXPECT_EQ(reports[0].callgraph_dump.substr(0, 10), "callgraph:");
+  EXPECT_EQ(reports[0].callgraph_dump, reports[1].callgraph_dump);
+  EXPECT_EQ(reports[0].callgraph_dump, reports[2].callgraph_dump);
+}
+
+// ---- IR cache -------------------------------------------------------------
+
+TEST(IrCache, KeyIsStableAndSensitiveToPathAndContent) {
+  const std::string key = unit_cache_key("src/core/a.cpp", "int x;\n");
+  EXPECT_EQ(key.size(), 16u);
+  EXPECT_EQ(key.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(key, unit_cache_key("src/core/a.cpp", "int x;\n"));
+  EXPECT_NE(key, unit_cache_key("src/core/b.cpp", "int x;\n"));
+  EXPECT_NE(key, unit_cache_key("src/core/a.cpp", "int y;\n"));
+}
+
+TEST(IrCache, SerializedUnitsRoundTrip) {
+  const std::string path = "src/core/round.hpp";
+  const std::string content =
+      "#pragma once\n"
+      "#include \"src/util/math.hpp\"\n"
+      "namespace demo {\n"
+      "inline int twice(int v) { return v * 2; }  // doubles\n"
+      "}  // namespace demo\n";
+  const Unit unit = build_unit(path, content);
+  const std::string serialized = serialize_unit(unit);
+  Unit loaded;
+  ASSERT_TRUE(deserialize_unit(path, content, serialized, loaded));
+  EXPECT_EQ(loaded.path, unit.path);
+  EXPECT_EQ(loaded.raw, unit.raw);
+  EXPECT_EQ(loaded.code, unit.code);
+  EXPECT_EQ(loaded.module, unit.module);
+  EXPECT_EQ(loaded.is_header, unit.is_header);
+  ASSERT_EQ(loaded.tokens.size(), unit.tokens.size());
+  for (std::size_t i = 0; i < unit.tokens.size(); ++i) {
+    EXPECT_EQ(loaded.tokens[i].kind, unit.tokens[i].kind);
+    EXPECT_EQ(loaded.tokens[i].line, unit.tokens[i].line);
+    EXPECT_EQ(loaded.tokens[i].text, unit.tokens[i].text);
+  }
+  // Re-serializing the loaded unit proves nothing was lost in flight.
+  EXPECT_EQ(serialize_unit(loaded), serialized);
+}
+
+TEST(IrCache, DeserializeFailsClosedOnDamage) {
+  const std::string path = "src/core/d.cpp";
+  const std::string content = "int x = 1;\n";
+  const std::string good = serialize_unit(build_unit(path, content));
+  Unit out;
+  EXPECT_FALSE(deserialize_unit(path, content, "", out));
+  EXPECT_FALSE(deserialize_unit(path, content, "wrong magic\n", out));
+  // Truncation drops the trailing end marker.
+  EXPECT_FALSE(deserialize_unit(path, content, good.substr(0, good.size() / 2), out));
+  EXPECT_TRUE(deserialize_unit(path, content, good, out));
+}
+
+TEST(IrCache, EngineProducesIdenticalReportsWithAWarmCache) {
+  const fs::path dir = fs::path{::testing::TempDir()} / "upn_ir_cache_test";
+  fs::remove_all(dir);
+
+  auto run = [&](unsigned jobs) {
+    TreeOptions options;
+    options.root = UPN_ANALYZE_BAD_DIR;
+    options.paths = {"src"};
+    options.excludes.clear();
+    options.jobs = jobs;
+    options.ir_cache_dir = dir.string();
+    Input input;
+    std::string error;
+    EXPECT_TRUE(collect_tree(options, input, error)) << error;
+    return analyze(input);
+  };
+
+  const Report cold = run(2);
+  std::size_t cached_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".upnir") ++cached_files;
+  }
+  EXPECT_EQ(cached_files, cold.files);
+
+  const Report warm = run(2);
+  const Report warm7 = run(7);
+  EXPECT_EQ(cold.render_text(), warm.render_text());
+  EXPECT_EQ(cold.render_text(), warm7.render_text());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace upn::analyze

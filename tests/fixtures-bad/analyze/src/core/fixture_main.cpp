@@ -1,0 +1,17 @@
+namespace demo {
+
+int poke_everything() {
+  (void)sizeof(&sum_counts);
+  (void)sizeof(&run_flow);
+  (void)sizeof(&report_progress);
+  (void)sizeof(&export_totals);
+  (void)drain(std::vector<long>{});
+  lock_ab();
+  lock_ba();
+  return forty_two() + quiet_level() + clamp_add(1, 2) + hot_entry(3) +
+         fast_half(5) + plan_budget();
+}
+
+}  // namespace demo
+
+int main() { return demo::poke_everything(); }

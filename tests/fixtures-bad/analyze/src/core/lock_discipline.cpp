@@ -1,0 +1,32 @@
+namespace demo {
+
+std::mutex mu_a;
+std::mutex mu_b;
+int shared_a = 0;
+
+int locked_read() {
+  std::lock_guard<std::mutex> ga(mu_a);
+  return shared_a;
+}
+
+void lock_ab() {
+  std::lock_guard<std::mutex> ga(mu_a);
+  std::lock_guard<std::mutex> gb(mu_b);
+  shared_a += 1;
+}
+
+void lock_ba() {
+  std::lock_guard<std::mutex> gb(mu_b);
+  std::lock_guard<std::mutex> ga(mu_a);
+  shared_a += 2;
+}
+
+void report_progress(Pool& pool, std::vector<int>& out) {
+  pool.parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = locked_read();
+    std::ofstream log{"progress.txt"};
+    log << out[i];
+  });
+}
+
+}  // namespace demo

@@ -1,0 +1,21 @@
+namespace demo {
+
+inline int risky_half(int value) {
+  if (value < 0) throw std::invalid_argument{"negative"};
+  return value / 2;
+}
+
+int fast_half(int value) noexcept {
+  return risky_half(value);
+}
+
+void flush_or_throw(int fd) {
+  if (fd < 0) throw std::runtime_error{"bad fd"};
+}
+
+struct Flusher {
+  int fd = 0;
+  ~Flusher() { flush_or_throw(fd); }
+};
+
+}  // namespace demo

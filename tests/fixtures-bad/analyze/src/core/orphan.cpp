@@ -1,0 +1,7 @@
+namespace demo {
+
+int orphaned_scale(int value) {
+  return value * 3;
+}
+
+}  // namespace demo

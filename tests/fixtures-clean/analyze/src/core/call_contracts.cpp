@@ -1,0 +1,12 @@
+namespace demo {
+
+int scaled_budget(int budget) {
+  UPN_REQUIRE(budget >= 0);
+  return budget * 2;
+}
+
+int plan_budget() {
+  return scaled_budget(12) + scaled_budget(0);
+}
+
+}  // namespace demo

@@ -1,0 +1,27 @@
+namespace demo {
+
+std::mutex mu_a;
+std::mutex mu_b;
+int shared_a = 0;
+int shared_b = 0;
+
+void first_then_second() {
+  std::lock_guard<std::mutex> ga(mu_a);
+  std::lock_guard<std::mutex> gb(mu_b);
+  shared_a += 1;
+  shared_b += 1;
+}
+
+void also_first_then_second() {
+  std::lock_guard<std::mutex> ga(mu_a);
+  std::lock_guard<std::mutex> gb(mu_b);
+  shared_b += shared_a;
+}
+
+void update_both(Pool& pool, std::vector<int>& out) {
+  pool.parallel_for(out.size(), [&](std::size_t i) {
+    out[i] += 1;
+  });
+}
+
+}  // namespace demo

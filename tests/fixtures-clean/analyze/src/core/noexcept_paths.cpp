@@ -1,0 +1,18 @@
+namespace demo {
+
+inline int halved(int value) noexcept {
+  return value / 2;
+}
+
+int stable_sum(const std::vector<int>& values) noexcept {
+  int total = 0;
+  for (const int v : values) total += halved(v);
+  return total;
+}
+
+struct Closer {
+  int fd = -1;
+  ~Closer() { fd = -1; }
+};
+
+}  // namespace demo

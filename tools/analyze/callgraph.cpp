@@ -1,0 +1,1024 @@
+// Whole-program call-graph construction over the shared TU IR.  Two halves:
+//
+//   extract_functions  a per-unit scanner (a sibling of ir.cpp's DeclParser,
+//                      but keeping bodies): function definitions with their
+//                      scope-qualified names, parameter lists, noexcept and
+//                      ctor/dtor flags, UPN_REQUIRE comparison facts,
+//                      blocking operations with the held-lock set, may-throw
+//                      sources, raw call sites, and one pseudo-node per
+//                      lambda handed to ThreadPool::parallel_for/map;
+//   link_callgraph     an ordered merge plus name/arity/receiver-type
+//                      resolution into resolved edges and conservative open
+//                      edges (virtual, indirect, ambiguous receiver).
+//
+// Like the DeclParser this is NOT a C++ parser: it recognizes the shapes
+// this codebase uses and degrades by dropping a node or widening an edge to
+// "open" rather than inventing a wrong one.
+#include "tools/analyze/callgraph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/util/par.hpp"
+#include "tools/analyze/ir.hpp"
+
+namespace upn::analyze {
+namespace {
+
+/// Keywords that may directly precede '(' or an identifier without naming a
+/// callee or declaring a variable.
+bool control_keyword(const std::string& t) {
+  static const std::set<std::string> kw = {
+      "return", "else", "new", "delete", "case", "break", "continue", "goto",
+      "throw", "sizeof", "do", "operator", "co_return", "if", "while", "for",
+      "switch", "public", "private", "protected", "typename", "template",
+      "catch", "static_assert", "decltype", "alignof", "alignas", "noexcept",
+      "static_cast", "const_cast", "reinterpret_cast", "dynamic_cast"};
+  return kw.count(t) != 0;
+}
+
+/// Type qualifiers that precede the real type name in a declaration.
+bool qualifier_keyword(const std::string& t) {
+  static const std::set<std::string> kw = {
+      "const", "constexpr", "consteval", "constinit", "static", "inline",
+      "auto", "unsigned", "signed", "volatile", "register", "mutable",
+      "struct", "class", "enum", "union", "using", "namespace", "typedef",
+      "extern", "friend", "virtual", "explicit", "thread_local"};
+  return kw.count(t) != 0;
+}
+
+bool contract_macro(const std::string& t) {
+  return t == "UPN_REQUIRE" || t == "UPN_ENSURE" || t == "UPN_INVARIANT";
+}
+
+/// Container growth / allocation methods: may throw std::bad_alloc.
+bool allocating_method(const std::string& m) {
+  static const std::set<std::string> methods = {
+      "push_back", "emplace_back", "push_front", "emplace_front", "insert",
+      "emplace", "resize", "reserve", "assign", "append"};
+  return methods.count(m) != 0;
+}
+
+/// Blocking IO facilities (streams, C stdio, process spawns).
+bool io_name(const std::string& t) {
+  static const std::set<std::string> names = {
+      "ifstream", "ofstream", "fstream", "fopen", "popen", "fread", "fwrite",
+      "printf", "fprintf", "getline", "system", "cin", "cout"};
+  return names.count(t) != 0;
+}
+
+bool lock_type(const std::string& t) {
+  return t == "lock_guard" || t == "unique_lock" || t == "scoped_lock";
+}
+
+/// Token index just past a balanced group opened at `open` ('(' / '[' / '{');
+/// toks.size() when unbalanced.
+std::size_t skip_group(const std::vector<Token>& toks, std::size_t open) {
+  const std::string& o = toks[open].text;
+  const std::string c = o == "(" ? ")" : o == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t k = open; k < toks.size(); ++k) {
+    if (toks[k].text == o) ++depth;
+    if (toks[k].text == c && --depth == 0) return k + 1;
+  }
+  return toks.size();
+}
+
+/// Token index just past a `<...>` template-argument group at `open`.
+std::size_t skip_angles(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t k = open; k < toks.size(); ++k) {
+    if (toks[k].text == "<") ++depth;
+    if (toks[k].text == ">" && --depth == 0) return k + 1;
+  }
+  return toks.size();
+}
+
+struct ParLambda {
+  std::set<std::string> params;
+  std::size_t body_begin = 0;  ///< first token inside the body braces
+  std::size_t body_end = 0;    ///< the closing '}' token
+  std::size_t open = 0;        ///< the '[' token
+};
+
+/// Parses the lambda whose '[' sits at `open`; false when no body follows.
+bool parse_lambda(const std::vector<Token>& toks, std::size_t open, ParLambda& out) {
+  out.open = open;
+  const std::size_t captures_end = skip_group(toks, open);  // past ']'
+  if (captures_end >= toks.size()) return false;
+  std::size_t k = captures_end;
+  if (k < toks.size() && toks[k].text == "(") {
+    const std::size_t params_end = skip_group(toks, k);  // past ')'
+    std::string last_ident;
+    int depth = 0;
+    for (std::size_t p = k; p < params_end; ++p) {
+      const std::string& t = toks[p].text;
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      if (t == ")" || t == "]" || t == "}") --depth;
+      if (toks[p].kind == TokenKind::kIdent) last_ident = t;
+      if (depth == 1 && (t == "," || t == "=")) {
+        if (!last_ident.empty()) out.params.insert(last_ident);
+        last_ident.clear();
+        if (t == "=") {
+          while (p + 1 < params_end && toks[p + 1].text != "," && toks[p + 1].text != ")") ++p;
+        }
+      }
+    }
+    if (!last_ident.empty()) out.params.insert(last_ident);
+    k = params_end;
+  }
+  while (k < toks.size() && toks[k].text != "{" && toks[k].text != ";" &&
+         toks[k].text != ")") {
+    ++k;
+  }
+  if (k >= toks.size() || toks[k].text != "{") return false;
+  out.body_begin = k + 1;
+  out.body_end = skip_group(toks, k) - 1;  // index of the closing '}'
+  return out.body_end < toks.size();
+}
+
+/// The type name a declaration spells directly before `name_idx`:
+/// `Graph g` -> Graph, `Graph& g` / `Graph* g` -> Graph,
+/// `std::vector<int>& xs` -> vector.  "" when the shape is not a declaration.
+std::string declared_type_before(const std::vector<Token>& toks, std::size_t name_idx) {
+  if (name_idx == 0) return "";
+  std::size_t k = name_idx - 1;
+  while (k > 0 && (toks[k].text == "&" || toks[k].text == "*")) --k;
+  if (toks[k].text == ">") {
+    int depth = 0;
+    while (k > 0) {
+      if (toks[k].text == ">") ++depth;
+      if (toks[k].text == "<" && --depth == 0) break;
+      --k;
+    }
+    if (k == 0) return "";
+    --k;  // the token before '<'
+  }
+  if (toks[k].kind != TokenKind::kIdent || control_keyword(toks[k].text) ||
+      qualifier_keyword(toks[k].text)) {
+    return "";
+  }
+  return toks[k].text;
+}
+
+/// A task pseudo-node plus the tasks nested inside its own body.
+struct TaskSpawn {
+  FunctionNode node;
+  std::vector<TaskSpawn> children;
+};
+
+struct Scanner {
+  const Unit& unit;
+  UnitFunctions out;
+  std::set<std::string> virtuals;
+  std::size_t i = 0;
+
+  [[nodiscard]] const std::vector<Token>& toks() const { return unit.tokens; }
+  [[nodiscard]] const std::string& tok(std::size_t k) const { return unit.tokens[k].text; }
+
+  // ---- head parsing ---------------------------------------------------------
+
+  /// The function-name index in a statement head [begin, end): the first
+  /// identifier directly followed by '(' outside parens and template angles,
+  /// with at least one preceding token.  Destructors (`~Name(`) are
+  /// recognized; npos when the head is not a function.
+  [[nodiscard]] std::size_t head_function(std::size_t begin, std::size_t end,
+                                          bool& is_dtor) const {
+    std::size_t b = begin;
+    while (b < end && tok(b) == "template") b = skip_angles(toks(), b + 1);
+    int paren = 0;
+    int angle = 0;
+    for (std::size_t k = b; k < end; ++k) {
+      const std::string& t = tok(k);
+      if (t == "(") ++paren;
+      if (t == ")" && paren > 0) --paren;
+      if (paren > 0) continue;
+      if (t == "<" && k > b && (toks()[k - 1].kind == TokenKind::kIdent || tok(k - 1) == ">")) {
+        ++angle;
+        continue;
+      }
+      if (t == ">" && angle > 0) {
+        --angle;
+        continue;
+      }
+      if (angle > 0) continue;
+      if (toks()[k].kind == TokenKind::kIdent && k + 1 < end && tok(k + 1) == "(" &&
+          k > begin && !control_keyword(t)) {
+        is_dtor = tok(k - 1) == "~";
+        return k;
+      }
+    }
+    return std::string::npos;
+  }
+
+  /// Records virtual method names declared (with or without a body) in a
+  /// statement head.
+  void note_virtuals(std::size_t begin, std::size_t end) {
+    bool saw_virtual = false;
+    for (std::size_t k = begin; k < end; ++k) {
+      if (tok(k) == "virtual") saw_virtual = true;
+    }
+    if (!saw_virtual) return;
+    bool is_dtor = false;
+    const std::size_t fn = head_function(begin, end, is_dtor);
+    if (fn != std::string::npos && !is_dtor) virtuals.insert(tok(fn));
+  }
+
+  /// Parses the parameter list group starting at `open` ('('): ordered names
+  /// plus a name -> declared-type map.
+  void parse_params(std::size_t open, std::size_t close,
+                    std::vector<std::string>& names,
+                    std::map<std::string, std::string>& types) const {
+    std::size_t seg_begin = open + 1;
+    int depth = 0;
+    int angle = 0;
+    for (std::size_t k = open; k < close; ++k) {
+      const std::string& t = tok(k);
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      if (t == ")" || t == "]" || t == "}") --depth;
+      if (t == "<" && k > open && (toks()[k - 1].kind == TokenKind::kIdent || tok(k - 1) == ">")) ++angle;
+      if (t == ">" && angle > 0) --angle;
+      const bool seg_end = (depth == 1 && angle == 0 && t == ",") || (depth == 0 && t == ")");
+      if (!seg_end) continue;
+      // The parameter name: the last identifier before a default '=' (or the
+      // segment end).  A segment with fewer than two tokens is unnamed.
+      std::size_t stop = k;
+      int sub_angle = 0;
+      for (std::size_t p = seg_begin; p < k; ++p) {
+        if (tok(p) == "<" && p > seg_begin &&
+            (toks()[p - 1].kind == TokenKind::kIdent || tok(p - 1) == ">")) {
+          ++sub_angle;
+        } else if (tok(p) == ">" && sub_angle > 0) {
+          --sub_angle;
+        } else if (tok(p) == "=" && sub_angle == 0) {
+          stop = p;
+          break;
+        }
+      }
+      if (stop > seg_begin + 1 && toks()[stop - 1].kind == TokenKind::kIdent &&
+          !control_keyword(tok(stop - 1))) {
+        const std::string name = tok(stop - 1);
+        names.push_back(name);
+        const std::string type = declared_type_before(toks(), stop - 1);
+        if (!type.empty()) types.emplace(name, type);
+      } else if (stop > seg_begin) {
+        names.emplace_back();  // unnamed parameter still counts toward arity
+      }
+      seg_begin = k + 1;
+    }
+  }
+
+  // ---- body scanning --------------------------------------------------------
+
+  /// Declaration-position identifiers in [b, e): name -> declared type.
+  void collect_locals(std::size_t b, std::size_t e,
+                      std::map<std::string, std::string>& locals) const {
+    for (std::size_t j = b + 1; j < e; ++j) {
+      if (toks()[j].kind != TokenKind::kIdent || control_keyword(tok(j)) ||
+          qualifier_keyword(tok(j))) {
+        continue;
+      }
+      const std::string type = declared_type_before(toks(), j);
+      if (!type.empty()) locals.emplace(tok(j), type);
+    }
+  }
+
+  /// Scope-qualifies a mutex/lock name that is not body-local.
+  [[nodiscard]] std::string qualify_lock(const std::string& name, const FunctionNode& node,
+                                         const std::map<std::string, std::string>& locals) const {
+    if (locals.count(name) != 0) return name;
+    bool is_param = false;
+    for (const std::string& p : node.params) is_param = is_param || p == name;
+    if (is_param || node.class_name.empty()) return name;
+    return node.class_name + "::" + name;
+  }
+
+  [[nodiscard]] static std::vector<std::string> held_names(
+      const std::vector<std::pair<std::string, int>>& held) {
+    std::vector<std::string> names;
+    names.reserve(held.size());
+    for (const auto& [name, depth] : held) names.push_back(name);
+    return names;
+  }
+
+  /// Parses one UPN_REQUIRE argument list into comparison facts over
+  /// `node.params` (conjuncts split at top-level '&&').
+  void parse_require_facts(FunctionNode& node, std::size_t open, std::size_t line) const {
+    const std::size_t close = skip_group(toks(), open);  // past ')'
+    std::size_t seg_begin = open + 1;
+    int depth = 0;
+    for (std::size_t k = open; k < close; ++k) {
+      const std::string& t = tok(k);
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      if (t == ")" || t == "]" || t == "}") --depth;
+      const bool conj = depth == 1 && t == "&" && k + 1 < close && tok(k + 1) == "&";
+      const bool last = depth == 0 && t == ")";
+      if (!conj && !last) continue;
+      parse_one_fact(node, seg_begin, k, line);
+      if (conj) ++k;
+      seg_begin = k + 1;
+    }
+  }
+
+  void parse_one_fact(FunctionNode& node, std::size_t b, std::size_t e,
+                      std::size_t line) const {
+    // Accepted shapes: `name OP [-]literal` and `[-]literal OP name`.
+    std::vector<std::size_t> parts;
+    for (std::size_t k = b; k < e; ++k) parts.push_back(k);
+    if (parts.size() < 3 || parts.size() > 5) return;
+
+    auto param_index = [&](const std::string& name) -> std::size_t {
+      for (std::size_t p = 0; p < node.params.size(); ++p) {
+        if (node.params[p] == name) return p;
+      }
+      return std::string::npos;
+    };
+    auto read_op = [&](std::size_t at, std::size_t& next) -> std::string {
+      const std::string& a = tok(at);
+      const std::string b2 = at + 1 < e ? tok(at + 1) : "";
+      if ((a == ">" || a == "<") && b2 == "=") {
+        next = at + 2;
+        return a + "=";
+      }
+      if (a == ">" || a == "<") {
+        next = at + 1;
+        return a;
+      }
+      if ((a == "=" || a == "!") && b2 == "=") {
+        next = at + 2;
+        return a == "=" ? "==" : "!=";
+      }
+      return "";
+    };
+    auto read_literal = [&](std::size_t at, std::size_t& next, long long& value) {
+      bool neg = false;
+      if (at < e && tok(at) == "-") {
+        neg = true;
+        ++at;
+      }
+      if (at >= e || toks()[at].kind != TokenKind::kNumber) return false;
+      const std::string& text = tok(at);
+      for (const char c : text) {
+        if (c < '0' || c > '9') return false;  // integers only
+      }
+      value = 0;
+      for (const char c : text) value = value * 10 + (c - '0');
+      if (neg) value = -value;
+      next = at + 1;
+      return true;
+    };
+    auto flip = [](const std::string& op) -> std::string {
+      if (op == ">") return "<";
+      if (op == "<") return ">";
+      if (op == ">=") return "<=";
+      if (op == "<=") return ">=";
+      return op;  // == / != are symmetric
+    };
+    auto text_of = [&]() {
+      // Punct tokens are single chars; re-fuse two-char comparison operators
+      // so the rendered precondition reads `x >= 0`, not `x > = 0`.
+      std::string text;
+      for (std::size_t k = b; k < e; ++k) {
+        const std::string& piece = tok(k);
+        const bool fuse = piece == "=" && !text.empty() &&
+                          (text.back() == '>' || text.back() == '<' ||
+                           text.back() == '=' || text.back() == '!');
+        if (!text.empty() && !fuse) text += " ";
+        text += piece;
+      }
+      return text;
+    };
+
+    std::size_t next = 0;
+    long long value = 0;
+    if (toks()[b].kind == TokenKind::kIdent) {
+      const std::size_t param = param_index(tok(b));
+      if (param == std::string::npos) return;
+      const std::string op = read_op(b + 1, next);
+      if (op.empty() || !read_literal(next, next, value) || next != e) return;
+      node.preconditions.push_back(RequireFact{param, op, value, line, text_of()});
+      return;
+    }
+    if (read_literal(b, next, value)) {
+      const std::string op = read_op(next, next);
+      if (op.empty() || next + 1 != e || toks()[next].kind != TokenKind::kIdent) return;
+      const std::size_t param = param_index(tok(next));
+      if (param == std::string::npos) return;
+      node.preconditions.push_back(RequireFact{param, flip(op), value, line, text_of()});
+    }
+  }
+
+  /// Walks a body range [b, e), filling `node` and spawning task
+  /// pseudo-nodes.  `outer_locals` carries the enclosing function's
+  /// declarations into task bodies.
+  void scan_body(FunctionNode& node, std::size_t b, std::size_t e,
+                 const std::map<std::string, std::string>& outer_locals,
+                 std::vector<TaskSpawn>& tasks) {
+    std::map<std::string, std::string> locals = outer_locals;
+    collect_locals(b, e, locals);
+    for (const std::string& p : node.params) {
+      if (!p.empty() && locals.count(p) == 0) locals.emplace(p, "");
+    }
+
+    // `try { ... } catch (...)` bodies: a catch-all absorbs every exception,
+    // so throw sources inside are invisible to callers and calls inside do
+    // not propagate may-throw.  Typed catch clauses do NOT count -- proving
+    // they cover every throw site is beyond this scanner.
+    std::vector<std::pair<std::size_t, std::size_t>> guarded;
+    for (std::size_t j = b; j < e; ++j) {
+      if (toks()[j].kind != TokenKind::kIdent || tok(j) != "try") continue;
+      if (j + 1 >= e || tok(j + 1) != "{") continue;
+      const std::size_t try_end = skip_group(toks(), j + 1);  // past '}'
+      bool catch_all = false;
+      std::size_t k = try_end;
+      while (k < e && tok(k) == "catch" && k + 1 < e && tok(k + 1) == "(") {
+        const std::size_t close = skip_group(toks(), k + 1);  // past ')'
+        std::size_t dots = 0;
+        bool other = false;
+        for (std::size_t p = k + 2; p + 1 < close; ++p) {
+          if (tok(p) == ".") {
+            ++dots;
+          } else {
+            other = true;
+          }
+        }
+        if (dots == 3 && !other) catch_all = true;
+        k = close;
+        if (k < e && tok(k) == "{") k = skip_group(toks(), k);
+      }
+      if (catch_all) guarded.emplace_back(j + 2, try_end - 1);
+    }
+    auto in_guarded = [&](std::size_t j) {
+      for (const auto& range : guarded) {
+        if (j >= range.first && j < range.second) return true;
+      }
+      return false;
+    };
+
+    int depth = 0;
+    std::vector<std::pair<std::string, int>> held;  // (lock name, depth)
+    std::vector<std::pair<std::size_t, std::size_t>> skip;  // task body ranges
+
+    auto is_local = [&](const std::string& name) { return locals.count(name) != 0; };
+
+    for (std::size_t j = b; j < e; ++j) {
+      for (const auto& range : skip) {
+        if (j == range.first) j = range.second;  // jump to the closing '}'
+      }
+      const Token& t = toks()[j];
+      if (t.text == "{") {
+        ++depth;
+        continue;
+      }
+      if (t.text == "}") {
+        while (!held.empty() && held.back().second >= depth) held.pop_back();
+        --depth;
+        continue;
+      }
+      if (t.text == ";") {
+        ++node.statements;
+        continue;
+      }
+      if (t.kind != TokenKind::kIdent) continue;
+      const std::string& name = t.text;
+
+      if (contract_macro(name)) {
+        node.has_contract = true;
+        if (!in_guarded(j)) node.throw_sources.push_back(ThrowSource{name, t.line});
+        if (name == "UPN_REQUIRE" && j + 1 < e && tok(j + 1) == "(") {
+          parse_require_facts(node, j + 1, t.line);
+        }
+        continue;
+      }
+      if (name == "throw") {
+        if (!in_guarded(j)) node.throw_sources.push_back(ThrowSource{"throw", t.line});
+        continue;
+      }
+      if (name == "new" && (j == 0 || tok(j - 1) != "operator")) {
+        if (!in_guarded(j)) node.throw_sources.push_back(ThrowSource{"new", t.line});
+        continue;
+      }
+      if ((name == "make_unique" || name == "make_shared") && j + 1 < e &&
+          (tok(j + 1) == "<" || tok(j + 1) == "(")) {
+        if (!in_guarded(j)) node.throw_sources.push_back(ThrowSource{name, t.line});
+        continue;
+      }
+
+      // Guard-object lock acquisition: lock_guard<..> name(mutex, ...).
+      if (lock_type(name)) {
+        std::size_t k = j + 1;
+        if (k < e && tok(k) == "<") k = skip_angles(toks(), k);
+        if (k < e && toks()[k].kind == TokenKind::kIdent) ++k;  // the guard variable
+        if (k < e && (tok(k) == "(" || tok(k) == "{")) {
+          const std::size_t close = skip_group(toks(), k);
+          const bool all_args = name == "scoped_lock";
+          std::size_t seg_begin = k + 1;
+          int gd = 0;
+          for (std::size_t p = k; p < close && p < e + 1; ++p) {
+            const std::string& pt = tok(p);
+            if (pt == "(" || pt == "[" || pt == "{") ++gd;
+            if (pt == ")" || pt == "]" || pt == "}") --gd;
+            const bool seg_end = (gd == 1 && pt == ",") || gd == 0;
+            if (!seg_end) continue;
+            std::string lock_name;
+            for (std::size_t q = seg_begin; q < p; ++q) {
+              if (toks()[q].kind == TokenKind::kIdent) lock_name = tok(q);
+            }
+            if (!lock_name.empty()) {
+              const std::string qualified = qualify_lock(lock_name, node, locals);
+              node.blocking.push_back(
+                  BlockingOp{BlockKind::kLock, qualified, t.line, held_names(held)});
+              held.emplace_back(qualified, depth);
+            }
+            seg_begin = p + 1;
+            if (!all_args) break;
+          }
+        }
+        continue;
+      }
+
+      const std::string prev = j > 0 ? tok(j - 1) : "";
+      const bool after_member = prev == "." || prev == "->";
+
+      // Manual .lock() / condition-variable .wait().
+      if (after_member && j + 1 < e && tok(j + 1) == "(" && (name == "lock" || name == "wait")) {
+        const std::string receiver =
+            j >= 2 && toks()[j - 2].kind == TokenKind::kIdent ? tok(j - 2) : name;
+        const std::string qualified = qualify_lock(receiver, node, locals);
+        node.blocking.push_back(BlockingOp{name == "lock" ? BlockKind::kLock : BlockKind::kWait,
+                                           qualified, t.line, held_names(held)});
+        continue;
+      }
+      if (io_name(name)) {
+        node.blocking.push_back(BlockingOp{BlockKind::kIo, name, t.line, held_names(held)});
+        continue;
+      }
+      if (after_member && j + 1 < e && tok(j + 1) == "(" && allocating_method(name) &&
+          !in_guarded(j)) {
+        node.throw_sources.push_back(ThrowSource{name, t.line});
+        // fall through: the call itself is still recorded below
+      }
+
+      // ThreadPool task spawn: pool.parallel_for/parallel_map(count, [..](..){..}).
+      if ((name == "parallel_for" || name == "parallel_map") && prev == ".") {
+        std::size_t call = j + 1;
+        if (call < e && tok(call) == "<") call = skip_angles(toks(), call);
+        if (call >= e || tok(call) != "(") continue;
+        const std::size_t call_end = skip_group(toks(), call);
+        std::size_t lam = call + 1;
+        while (lam < call_end && tok(lam) != "[") ++lam;
+        ParLambda lambda;
+        if (lam >= call_end || !parse_lambda(toks(), lam, lambda)) continue;
+
+        TaskSpawn spawn;
+        FunctionNode& task = spawn.node;
+        task.file = node.file;
+        task.module = node.module;
+        task.line = toks()[lam].line;
+        task.name = "task@" + std::to_string(task.line);
+        task.class_name = node.class_name;
+        task.qualified = node.qualified + "/" + task.name;
+        task.is_public = false;
+        task.is_task_body = true;
+        task.params.assign(lambda.params.begin(), lambda.params.end());
+        task.arity = task.params.size();
+        scan_body(task, lambda.body_begin, lambda.body_end, locals, spawn.children);
+        tasks.push_back(std::move(spawn));
+        skip.emplace_back(lambda.body_begin, lambda.body_end);
+        continue;
+      }
+
+      // Generic call site: ident '(' not preceded by a declaring type name.
+      if (j + 1 >= e || tok(j + 1) != "(") continue;
+      if (control_keyword(name) || name == "operator") continue;
+      const Token* prev_tok = j > 0 ? &toks()[j - 1] : nullptr;
+      if (prev_tok != nullptr && prev_tok->kind == TokenKind::kIdent &&
+          !control_keyword(prev_tok->text) && !qualifier_keyword(prev_tok->text)) {
+        // `Type name(args)`: a declaration; the constructor call is recorded
+        // against the TYPE so ctor edges still exist.
+        RawCall ctor;
+        ctor.name = prev_tok->text;
+        ctor.line = prev_tok->line;
+        read_args(j + 1, ctor);
+        ctor.held_locks = held_names(held);
+        ctor.guarded = in_guarded(j);
+        node.calls.push_back(std::move(ctor));
+        continue;
+      }
+
+      RawCall call;
+      call.name = name;
+      call.line = t.line;
+      call.is_method = after_member;
+      call.name_is_local = is_local(name);
+      call.guarded = in_guarded(j);
+      if (after_member && j >= 2 && toks()[j - 2].kind == TokenKind::kIdent) {
+        const std::string& receiver = tok(j - 2);
+        if (receiver == "this") {
+          call.receiver_type = node.class_name;
+        } else {
+          const auto it = locals.find(receiver);
+          if (it != locals.end()) call.receiver_type = it->second;
+        }
+      } else if (prev == "::" && j >= 2 && toks()[j - 2].kind == TokenKind::kIdent) {
+        call.is_method = true;
+        call.via_scope = true;
+        call.receiver_type = tok(j - 2);
+      }
+      read_args(j + 1, call);
+      call.held_locks = held_names(held);
+      node.calls.push_back(std::move(call));
+    }
+  }
+
+  /// Argument count and per-argument integer literals for the group at
+  /// `open` ('(').
+  void read_args(std::size_t open, RawCall& call) const {
+    const std::size_t close = skip_group(toks(), open) - 1;  // the ')'
+    if (close <= open + 1) return;                           // zero arguments
+    std::size_t seg_begin = open + 1;
+    int depth = 0;
+    for (std::size_t k = open; k <= close; ++k) {
+      const std::string& t = tok(k);
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      if (t == ")" || t == "]" || t == "}") --depth;
+      const bool seg_end = (depth == 1 && t == ",") || (depth == 0 && k == close);
+      if (!seg_end) continue;
+      ++call.args;
+      std::string literal;
+      const std::size_t len = k - seg_begin;
+      if (len == 1 && toks()[seg_begin].kind == TokenKind::kNumber) {
+        literal = tok(seg_begin);
+      } else if (len == 2 && tok(seg_begin) == "-" &&
+                 toks()[seg_begin + 1].kind == TokenKind::kNumber) {
+        literal = "-" + tok(seg_begin + 1);
+      }
+      call.arg_literals.push_back(std::move(literal));
+      seg_begin = k + 1;
+    }
+  }
+
+  // ---- scope walking --------------------------------------------------------
+
+  [[nodiscard]] bool body_has_waiver(std::size_t first_line, std::size_t last_line) const {
+    for (std::size_t l = first_line; l <= last_line && l <= unit.raw.size(); ++l) {
+      if (l >= 1 && unit.raw[l - 1].find("upn-contract-waive(") != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void push_with_tasks(FunctionNode node, std::vector<TaskSpawn> tasks) {
+    const std::size_t idx = out.nodes.size();
+    out.nodes.push_back(std::move(node));
+    for (TaskSpawn& spawn : tasks) {
+      spawn.node.task_parent = idx;
+      push_with_tasks(std::move(spawn.node), std::move(spawn.children));
+    }
+  }
+
+  void add_function(std::size_t name_idx, bool is_dtor, std::size_t head_begin,
+                    std::size_t head_end, const std::string& scope_class, bool is_public) {
+    FunctionNode node;
+    node.file = unit.path;
+    node.module = unit.module;
+    node.line = toks()[name_idx].line;
+    node.name = tok(name_idx);
+    node.class_name = scope_class;
+    if (name_idx >= 2 && tok(name_idx - 1 - (is_dtor ? 1 : 0)) == "::") {
+      // Out-of-line member definition: `ret Class::name(...)`.
+      const std::size_t cls = name_idx - 2 - (is_dtor ? 1 : 0);
+      if (toks()[cls].kind == TokenKind::kIdent) node.class_name = tok(cls);
+    }
+    if (is_dtor) {
+      node.is_dtor = true;
+      if (node.class_name.empty()) node.class_name = node.name;
+      node.name = "~" + node.name;
+      node.is_noexcept = true;  // destructors default to noexcept
+    }
+    if (!node.class_name.empty() && node.name == node.class_name) node.is_ctor = true;
+    node.qualified =
+        node.class_name.empty() ? node.name : node.class_name + "::" + node.name;
+    node.is_public = is_public;
+
+    const std::size_t params_open = name_idx + 1;  // the '('
+    const std::size_t params_end = skip_group(toks(), params_open);  // past ')'
+    std::map<std::string, std::string> param_types;
+    parse_params(params_open, params_end, node.params, param_types);
+    node.arity = node.params.size();
+
+    // `noexcept` between the parameter list and the body; `noexcept(false)`
+    // does not count, any other operand conservatively does.
+    for (std::size_t k = params_end; k < head_end; ++k) {
+      if (tok(k) != "noexcept") continue;
+      node.is_noexcept = true;
+      if (k + 1 < head_end && tok(k + 1) == "(") {
+        const std::size_t close = skip_group(toks(), k + 1);
+        if (close - (k + 1) == 3 && tok(k + 2) == "false") node.is_noexcept = false;
+      }
+    }
+    for (std::size_t k = head_begin; k < head_end; ++k) {
+      if (tok(k) == "virtual" && !is_dtor) virtuals.insert(node.name);
+    }
+
+    // The body: i currently sits at its '{'.
+    const std::size_t body_begin = i + 1;
+    const std::size_t body_end = skip_group(toks(), i) - 1;  // the closing '}'
+    std::map<std::string, std::string> locals = param_types;
+    std::vector<TaskSpawn> tasks;
+    scan_body(node, body_begin, body_end, locals, tasks);
+    const std::size_t last_line =
+        body_end < toks().size() ? toks()[body_end].line : node.line;
+    node.has_waiver = body_has_waiver(node.line, last_line);
+    push_with_tasks(std::move(node), std::move(tasks));
+    i = body_end + 1;
+  }
+
+  /// Parses one brace scope (namespace, class, or the whole file).
+  void parse_scope(const std::string& class_name, bool in_class, bool public_default) {
+    bool is_public = public_default;
+    std::size_t stmt_begin = i;
+    int paren = 0;
+    while (i < toks().size()) {
+      const std::string& t = tok(i);
+      if (t == "(") ++paren;
+      if (t == ")" && paren > 0) --paren;
+      if (paren > 0) {
+        ++i;
+        continue;
+      }
+      if (in_class && stmt_begin == i &&
+          (t == "public" || t == "private" || t == "protected") && i + 1 < toks().size() &&
+          tok(i + 1) == ":") {
+        is_public = t == "public";
+        i += 2;
+        stmt_begin = i;
+        continue;
+      }
+      if (t == ";") {
+        note_virtuals(stmt_begin, i);
+        ++i;
+        stmt_begin = i;
+        continue;
+      }
+      if (t == "}") {
+        ++i;
+        return;
+      }
+      if (t != "{") {
+        ++i;
+        continue;
+      }
+      const std::size_t head_begin = stmt_begin;
+      const std::size_t head_end = i;
+      auto head_has = [&](const char* kw) {
+        for (std::size_t k = head_begin; k < head_end; ++k) {
+          if (tok(k) == kw) return true;
+        }
+        return false;
+      };
+      if (head_has("namespace")) {
+        ++i;
+        parse_scope("", false, true);
+        stmt_begin = i;
+        continue;
+      }
+      if (head_has("enum")) {
+        i = skip_group(toks(), i);
+        stmt_begin = i;
+        continue;
+      }
+      if (head_has("class") || head_has("struct") || head_has("union")) {
+        std::size_t n = head_begin;
+        while (n < head_end && !(tok(n) == "class" || tok(n) == "struct" || tok(n) == "union")) {
+          ++n;
+        }
+        const bool struct_like = tok(n) != "class";
+        ++n;
+        std::string name;
+        if (n < head_end && toks()[n].kind == TokenKind::kIdent) name = tok(n);
+        ++i;
+        parse_scope(name, true, struct_like);
+        stmt_begin = i;
+        continue;
+      }
+      bool is_dtor = false;
+      const std::size_t fn = head_function(head_begin, head_end, is_dtor);
+      if (fn != std::string::npos) {
+        note_virtuals(head_begin, head_end);
+        add_function(fn, is_dtor, head_begin, head_end, class_name, is_public);
+        stmt_begin = i;
+        continue;
+      }
+      // Brace initializer / array literal / ...: skip and let ';' finish it.
+      i = skip_group(toks(), i);
+      stmt_begin = i;
+    }
+  }
+
+  [[nodiscard]] UnitFunctions run() {
+    parse_scope("", false, true);
+    out.virtual_names.assign(virtuals.begin(), virtuals.end());
+    return std::move(out);
+  }
+};
+
+}  // namespace
+
+UnitFunctions extract_functions(const Unit& unit) {
+  Scanner scanner{unit, {}, {}, 0};
+  return scanner.run();
+}
+
+namespace {
+
+/// Candidate filters used by the resolver: exact arity wins when any
+/// candidate matches it; same module then same file break remaining ties.
+std::vector<std::size_t> prefer(const std::vector<FunctionNode>& nodes,
+                                std::vector<std::size_t> cands, const FunctionNode& caller,
+                                std::size_t args) {
+  auto narrow = [&](auto keep) {
+    std::vector<std::size_t> subset;
+    for (const std::size_t id : cands) {
+      if (keep(nodes[id])) subset.push_back(id);
+    }
+    if (!subset.empty()) cands = std::move(subset);
+  };
+  narrow([&](const FunctionNode& n) { return n.arity == args; });
+  if (cands.size() > 1) {
+    narrow([&](const FunctionNode& n) { return n.module == caller.module; });
+  }
+  if (cands.size() > 1) {
+    narrow([&](const FunctionNode& n) { return n.file == caller.file; });
+  }
+  return cands;
+}
+
+}  // namespace
+
+CallGraph link_callgraph(const std::vector<UnitFunctions>& per_unit) {
+  CallGraph g;
+  std::set<std::string> virtuals;
+  for (const UnitFunctions& uf : per_unit) {
+    const std::size_t base = g.nodes.size();
+    for (const FunctionNode& node : uf.nodes) {
+      g.nodes.push_back(node);
+      if (g.nodes.back().task_parent != FunctionNode::kNoParent) {
+        g.nodes.back().task_parent += base;
+      }
+    }
+    virtuals.insert(uf.virtual_names.begin(), uf.virtual_names.end());
+  }
+
+  std::map<std::string, std::vector<std::size_t>> free_by_name;
+  std::map<std::pair<std::string, std::string>, std::vector<std::size_t>> class_method;
+  std::map<std::string, std::vector<std::size_t>> method_by_name;
+  for (std::size_t id = 0; id < g.nodes.size(); ++id) {
+    const FunctionNode& n = g.nodes[id];
+    if (n.is_task_body) continue;
+    if (n.class_name.empty()) {
+      free_by_name[n.name].push_back(id);
+    } else {
+      class_method[{n.class_name, n.name}].push_back(id);
+      method_by_name[n.name].push_back(id);
+    }
+  }
+
+  for (std::size_t caller = 0; caller < g.nodes.size(); ++caller) {
+    const FunctionNode& node = g.nodes[caller];
+    if (node.task_parent != FunctionNode::kNoParent) {
+      g.edges.push_back(CallEdge{node.task_parent, caller, node.line, EdgeKind::kTask,
+                                 static_cast<std::size_t>(-1)});
+    }
+    for (std::size_t ci = 0; ci < node.calls.size(); ++ci) {
+      const RawCall& call = node.calls[ci];
+      if (call.name == "parallel_for" || call.name == "parallel_map") continue;
+
+      auto open = [&](const char* reason) {
+        g.opens.push_back(OpenEdge{caller, call.name, call.line, reason});
+      };
+      auto link = [&](const std::vector<std::size_t>& cands, EdgeKind kind) {
+        for (const std::size_t callee : cands) {
+          g.edges.push_back(CallEdge{caller, callee, call.line, kind, ci});
+        }
+      };
+
+      if (call.is_method) {
+        if (virtuals.count(call.name) != 0) {
+          open("virtual");
+          continue;
+        }
+        if (!call.receiver_type.empty()) {
+          const auto it = class_method.find({call.receiver_type, call.name});
+          if (it != class_method.end()) {
+            link(prefer(g.nodes, it->second, node, call.args), EdgeKind::kMethod);
+            continue;
+          }
+          if (!call.via_scope) continue;  // typed receiver, foreign class: external
+          // `X::name(...)` where X is a namespace: fall through to free lookup.
+        } else {
+          // Untyped receiver (member field, call chain): resolve only when
+          // exactly one class defines the method.
+          const auto it = method_by_name.find(call.name);
+          if (it == method_by_name.end()) continue;  // external (std:: etc.)
+          std::vector<std::size_t> cands = prefer(g.nodes, it->second, node, call.args);
+          std::set<std::string> classes;
+          for (const std::size_t id : cands) classes.insert(g.nodes[id].class_name);
+          if (classes.size() == 1) {
+            link(cands, EdgeKind::kMethod);
+          } else {
+            open("ambiguous-receiver");
+          }
+          continue;
+        }
+      }
+
+      if (call.name_is_local) {
+        open("indirect");  // function pointer / functor through a local
+        continue;
+      }
+      if (!node.class_name.empty()) {
+        const auto it = class_method.find({node.class_name, call.name});
+        if (it != class_method.end()) {
+          link(prefer(g.nodes, it->second, node, call.args), EdgeKind::kMethod);
+          continue;
+        }
+      }
+      const auto it = free_by_name.find(call.name);
+      if (it != free_by_name.end()) {
+        link(prefer(g.nodes, it->second, node, call.args),
+             call.is_method ? EdgeKind::kMethod : EdgeKind::kDirect);
+        continue;
+      }
+      if (virtuals.count(call.name) != 0) open("virtual");
+      // Anything else is external (std::, macros, C library): no edge.
+    }
+  }
+
+  std::sort(g.edges.begin(), g.edges.end(), [](const CallEdge& a, const CallEdge& b) {
+    return std::tie(a.caller, a.line, a.callee, a.call_index) <
+           std::tie(b.caller, b.line, b.callee, b.call_index);
+  });
+  std::sort(g.opens.begin(), g.opens.end(), [](const OpenEdge& a, const OpenEdge& b) {
+    return std::tie(a.caller, a.line, a.name, a.reason) <
+           std::tie(b.caller, b.line, b.name, b.reason);
+  });
+
+  g.out_ids.assign(g.nodes.size(), {});
+  g.in_ids.assign(g.nodes.size(), {});
+  for (const CallEdge& e : g.edges) {
+    g.out_ids[e.caller].push_back(e.callee);
+    g.in_ids[e.callee].push_back(e.caller);
+  }
+  auto dedupe = [](std::vector<std::vector<std::size_t>>& adj) {
+    for (std::vector<std::size_t>& ids : adj) {
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    }
+  };
+  dedupe(g.out_ids);
+  dedupe(g.in_ids);
+  return g;
+}
+
+CallGraph build_callgraph(const std::vector<Unit>& units, ThreadPool& pool) {
+  const std::vector<UnitFunctions> per_unit = pool.parallel_map<UnitFunctions>(
+      units.size(), [&](std::size_t i) { return extract_functions(units[i]); });
+  return link_callgraph(per_unit);
+}
+
+std::string dump_callgraph(const CallGraph& graph) {
+  std::string out = "callgraph: " + std::to_string(graph.nodes.size()) + " functions, " +
+                    std::to_string(graph.edges.size()) + " edges, " +
+                    std::to_string(graph.opens.size()) + " open\n";
+  for (std::size_t id = 0; id < graph.nodes.size(); ++id) {
+    const FunctionNode& n = graph.nodes[id];
+    out += "fn " + std::to_string(id) + " " + n.file + ":" + std::to_string(n.line) + " " +
+           n.qualified + "/" + std::to_string(n.arity);
+    if (n.is_public) out += " public";
+    if (n.is_noexcept) out += " noexcept";
+    if (n.is_ctor) out += " ctor";
+    if (n.is_dtor) out += " dtor";
+    if (n.is_task_body) out += " task";
+    if (n.has_contract) out += " contract";
+    if (!n.module.empty()) out += " module=" + n.module;
+    out += "\n";
+  }
+  for (const CallEdge& e : graph.edges) {
+    const char* kind = e.kind == EdgeKind::kDirect ? "direct"
+                       : e.kind == EdgeKind::kMethod ? "method"
+                                                     : "task";
+    out += "edge " + std::to_string(e.caller) + " -> " + std::to_string(e.callee) +
+           " kind=" + kind + " line=" + std::to_string(e.line) + "\n";
+  }
+  for (const OpenEdge& e : graph.opens) {
+    out += "open " + std::to_string(e.caller) + " -> '" + e.name + "' reason=" + e.reason +
+           " line=" + std::to_string(e.line) + "\n";
+  }
+  return out;
+}
+
+}  // namespace upn::analyze

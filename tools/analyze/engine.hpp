@@ -25,6 +25,10 @@ struct Input {
   std::string baseline_text;      ///< contract baseline; "" means empty
   std::string hotpath_text;       ///< hotpath baseline; "" means empty
   std::string hotpath_path;       ///< reported path for stale-entry findings
+  std::string interproc_text;     ///< interproc baseline; "" means empty
+  std::string interproc_path;     ///< reported path for stale-entry findings
+  std::string ir_cache_dir;       ///< "" disables the IR cache (--ir-cache)
+  bool want_callgraph = false;    ///< fill Report::callgraph_dump
   unsigned jobs = 0;              ///< 0 picks ThreadPool::default_threads()
 };
 
@@ -32,6 +36,9 @@ struct Report {
   std::vector<Finding> findings;   ///< actionable, sorted
   std::vector<Finding> baselined;  ///< matched the contract baseline, sorted
   std::size_t files = 0;
+  /// The `--dump-callgraph` text (tools/analyze/callgraph.hpp); filled only
+  /// when Input::want_callgraph is set.
+  std::string callgraph_dump;
 
   /// The text report: one line per finding plus a trailing summary line.
   [[nodiscard]] std::string render_text() const;
@@ -56,6 +63,8 @@ struct TreeOptions {
   std::string layers_file;    ///< "" -> root/docs/ARCHITECTURE.layers when present
   std::string baseline_file;  ///< "" -> root/tools/analyze/contracts.baseline when present
   std::string hotpath_file;   ///< "" -> root/tools/analyze/hotpath.baseline when present
+  std::string interproc_file; ///< "" -> root/tools/analyze/interproc.baseline when present
+  std::string ir_cache_dir;   ///< "" disables the IR cache
   std::vector<std::string> excludes = {"fixtures-bad", "fixtures-clean", "build"};
   unsigned jobs = 0;
 };

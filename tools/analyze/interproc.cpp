@@ -1,0 +1,490 @@
+// Interprocedural pass families 8-11 over the whole-program call graph
+// (tools/analyze/callgraph.hpp).  All four are pure (graph + units in,
+// findings out); the engine owns ordering and the interproc ratchet
+// (tools/analyze/interproc.baseline, keyed like the hotpath baseline).
+//
+//   (8)  lock order / task blocking -- per-function acquired-lock summaries
+//        propagated over resolved edges; a cycle in the observed
+//        held-before relation is a potential deadlock, and any blocking
+//        operation (lock acquisition, condition-variable wait, IO)
+//        reachable from a ThreadPool task body stalls a pool worker.
+//   (9)  contract propagation -- callee UPN_REQUIRE facts evaluated against
+//        integer-literal arguments at every resolved call site, plus public
+//        uncontracted entry points into hotpath-declared modules.
+//   (10) exception safety -- may-throw summaries (throw, contract macros in
+//        their default throw mode, allocations) propagated through
+//        non-noexcept callees; flagged inside noexcept functions and
+//        defaulted-noexcept destructors.  Task bodies are exempt: the pool's
+//        parallel_for/parallel_map rethrow protocol catches and forwards
+//        their exceptions, and that forwarding is modeled by propagating
+//        may-throw across the task edge to the spawning function.
+//   (11) dead functions -- free src/ functions whose name is never
+//        referenced outside their own declarations.  Liveness is by name
+//        reference (calls, address-taken uses, using-declarations all
+//        count), so recursion alone does not keep a function alive but any
+//        overload being used keeps the whole name alive -- conservative in
+//        the direction that matters.
+//
+// Findings are restricted to src/ modules (module_of(file) non-empty): the
+// pool's own tests deliberately lock inside tasks, and fixtures/benches are
+// not production surfaces.  util and obs are additionally exempt as
+// task-blocking SITES (util/par is the pool, obs counters lock by design).
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/callgraph.hpp"
+#include "tools/analyze/passes.hpp"
+
+namespace upn::analyze {
+namespace {
+
+/// Path -> unit, for suppression lookups at finding lines.
+std::map<std::string, const Unit*> unit_index(const std::vector<Unit>& units) {
+  std::map<std::string, const Unit*> index;
+  for (const Unit& unit : units) index.emplace(unit.path, &unit);
+  return index;
+}
+
+bool line_suppressed(const std::map<std::string, const Unit*>& units,
+                     const std::string& file, std::size_t line, const std::string& rule) {
+  const auto it = units.find(file);
+  if (it == units.end()) return false;
+  const std::vector<std::string>& raw = it->second->raw;
+  if (line == 0 || line > raw.size()) return false;
+  return suppressed(raw[line - 1], rule);
+}
+
+/// Node ids reachable from `start` over resolved edges (including `start`).
+std::vector<std::size_t> reachable_from(const CallGraph& graph, std::size_t start) {
+  std::vector<std::size_t> order{start};
+  std::set<std::size_t> seen{start};
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (const std::size_t next : graph.out_ids[order[head]]) {
+      if (seen.insert(next).second) order.push_back(next);
+    }
+  }
+  return order;
+}
+
+/// Transitive lock-acquisition summaries: node id -> sorted lock names the
+/// function (or anything it calls through resolved edges) may acquire.
+std::vector<std::vector<std::string>> transitive_acquires(const CallGraph& graph) {
+  std::vector<std::set<std::string>> acq(graph.nodes.size());
+  for (std::size_t id = 0; id < graph.nodes.size(); ++id) {
+    for (const BlockingOp& op : graph.nodes[id].blocking) {
+      if (op.kind == BlockKind::kLock) acq[id].insert(op.what);
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const CallEdge& e : graph.edges) {
+      for (const std::string& lock : acq[e.callee]) {
+        if (acq[e.caller].insert(lock).second) changed = true;
+      }
+    }
+  }
+  std::vector<std::vector<std::string>> out(acq.size());
+  for (std::size_t id = 0; id < acq.size(); ++id) {
+    out[id].assign(acq[id].begin(), acq[id].end());
+  }
+  return out;
+}
+
+/// One witness cycle in the held-before lock relation as
+/// "a -> b -> ... -> a", or "" when acyclic.  Deterministic: sorted order.
+std::string lock_cycle(const std::map<std::string, std::set<std::string>>& after) {
+  std::map<std::string, int> state;  // 0 new, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  std::string witness;
+  // NOLINTNEXTLINE(misc-no-recursion): depth is bounded by the lock count.
+  auto dfs = [&](auto&& self, const std::string& node) -> bool {
+    state[node] = 1;
+    stack.push_back(node);
+    const auto it = after.find(node);
+    if (it != after.end()) {
+      for (const std::string& next : it->second) {
+        const int s = state.count(next) != 0 ? state.at(next) : 0;
+        if (s == 1) {
+          witness = next;
+          const auto from = std::find(stack.begin(), stack.end(), next);
+          for (auto w = from; w != stack.end(); ++w) {
+            if (w != from) witness += " -> " + *w;
+          }
+          witness += " -> " + next;
+          return true;
+        }
+        if (s == 0 && self(self, next)) return true;
+      }
+    }
+    stack.pop_back();
+    state[node] = 2;
+    return false;
+  };
+  for (const auto& [node, next] : after) {
+    (void)next;
+    if ((state.count(node) == 0 || state.at(node) == 0) && dfs(dfs, node)) return witness;
+  }
+  return "";
+}
+
+/// Modules whose blocking operations are sanctioned even under a task body:
+/// util owns the pool itself, obs counters serialize by design.
+bool blocking_site_exempt(const std::string& module) {
+  return module == "util" || module.compare(0, 4, "util") == 0 || module == "obs";
+}
+
+}  // namespace
+
+std::vector<Finding> run_lock_order_pass(const CallGraph& graph,
+                                         const std::vector<Unit>& units) {
+  std::vector<Finding> out;
+  const std::map<std::string, const Unit*> index = unit_index(units);
+  const std::vector<std::vector<std::string>> acquires = transitive_acquires(graph);
+
+  // ---- lock-order-cycle: the observed held-before relation must be acyclic.
+  // An edge A -> B means "B is acquired while A is held", observed either
+  // directly (a lock op with a non-empty held set) or through a call whose
+  // callee transitively acquires B.
+  std::map<std::string, std::set<std::string>> after;
+  std::map<std::pair<std::string, std::string>, std::pair<std::string, std::size_t>> where;
+  auto note = [&](const std::string& held, const std::string& next, const std::string& file,
+                  std::size_t line) {
+    if (held == next) return;
+    after[held].insert(next);
+    auto& site = where[{held, next}];
+    if (site.first.empty() || std::tie(file, line) < std::tie(site.first, site.second)) {
+      site = {file, line};
+    }
+  };
+  for (std::size_t id = 0; id < graph.nodes.size(); ++id) {
+    const FunctionNode& node = graph.nodes[id];
+    if (node.module.empty()) continue;  // src/ only
+    for (const BlockingOp& op : node.blocking) {
+      if (op.kind != BlockKind::kLock) continue;
+      for (const std::string& held : op.held) note(held, op.what, node.file, op.line);
+    }
+  }
+  for (const CallEdge& e : graph.edges) {
+    const FunctionNode& caller = graph.nodes[e.caller];
+    if (caller.module.empty()) continue;
+    if (e.call_index >= caller.calls.size()) continue;  // task edges carry no site
+    const RawCall& call = caller.calls[e.call_index];
+    for (const std::string& held : call.held_locks) {
+      for (const std::string& acquired : acquires[e.callee]) {
+        note(held, acquired, caller.file, call.line);
+      }
+    }
+  }
+  const std::string cycle = lock_cycle(after);
+  if (!cycle.empty()) {
+    // Report once, at the smallest (file, line) witness site among the
+    // cycle's edges, so the finding is stable under unrelated edits.
+    std::vector<std::string> locks;
+    std::string token;
+    for (const char c : cycle) {
+      if (c == ' ' || c == '-' || c == '>') {
+        if (!token.empty()) locks.push_back(token);
+        token.clear();
+      } else {
+        token += c;
+      }
+    }
+    if (!token.empty()) locks.push_back(token);
+    std::pair<std::string, std::size_t> site;
+    for (std::size_t k = 0; k + 1 < locks.size(); ++k) {
+      const auto it = where.find({locks[k], locks[k + 1]});
+      if (it == where.end()) continue;
+      if (site.first.empty() || it->second < site) site = it->second;
+    }
+    if (!site.first.empty() &&
+        !line_suppressed(index, site.first, site.second, "lock-order-cycle")) {
+      out.push_back(Finding{site.first, site.second, "lock-order-cycle",
+                            "locks are acquired in inconsistent order: '" + cycle +
+                                "'; pick one global order or merge the critical sections"});
+    }
+  }
+
+  // ---- task-blocking-call / task-blocking-io: blocking operations reachable
+  // from a ThreadPool task body stall a pool worker (and with one worker per
+  // hardware thread, possibly the whole pool).
+  for (std::size_t id = 0; id < graph.nodes.size(); ++id) {
+    const FunctionNode& task = graph.nodes[id];
+    if (!task.is_task_body || task.module.empty()) continue;
+    std::set<std::pair<std::string, std::string>> reported;  // (rule, what)
+    for (const std::size_t reached : reachable_from(graph, id)) {
+      const FunctionNode& site = graph.nodes[reached];
+      if (blocking_site_exempt(site.module)) continue;
+      for (const BlockingOp& op : site.blocking) {
+        const std::string rule =
+            op.kind == BlockKind::kIo ? "task-blocking-io" : "task-blocking-call";
+        if (!reported.insert({rule, op.what}).second) continue;
+        if (line_suppressed(index, task.file, task.line, rule)) continue;
+        const char* verb = op.kind == BlockKind::kLock   ? "acquires lock"
+                           : op.kind == BlockKind::kWait ? "waits on"
+                                                         : "performs IO via";
+        std::string message =
+            std::string("parallel task body ") + verb + " '" + op.what + "'";
+        if (reached != id) message += " through '" + site.qualified + "'";
+        message += "; pool workers must not block (restructure or move the work off-task)";
+        out.push_back(Finding{task.file, task.line, rule, std::move(message)});
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end(), finding_less);
+  return out;
+}
+
+std::vector<Finding> run_contract_propagation_pass(const CallGraph& graph,
+                                                   const std::vector<Unit>& units,
+                                                   const LayerSpec& spec) {
+  std::vector<Finding> out;
+  const std::map<std::string, const Unit*> index = unit_index(units);
+
+  // ---- contract-violated-call: integer-literal arguments checked against
+  // the callee's UPN_REQUIRE comparison facts.
+  for (const CallEdge& e : graph.edges) {
+    const FunctionNode& caller = graph.nodes[e.caller];
+    const FunctionNode& callee = graph.nodes[e.callee];
+    if (caller.module.empty() || callee.preconditions.empty()) continue;
+    if (e.call_index >= caller.calls.size()) continue;
+    const RawCall& call = caller.calls[e.call_index];
+    if (call.args != callee.arity) continue;  // only exact-arity matches are checkable
+    for (const RequireFact& fact : callee.preconditions) {
+      if (fact.param >= call.arg_literals.size()) continue;
+      const std::string& literal = call.arg_literals[fact.param];
+      if (literal.empty()) continue;
+      long long value = 0;
+      bool neg = false;
+      bool ok = !literal.empty();
+      for (std::size_t k = 0; k < literal.size(); ++k) {
+        const char c = literal[k];
+        if (k == 0 && c == '-') {
+          neg = true;
+        } else if (c >= '0' && c <= '9') {
+          value = value * 10 + (c - '0');
+        } else {
+          ok = false;
+        }
+      }
+      if (!ok) continue;
+      if (neg) value = -value;
+      bool holds = true;
+      if (fact.op == ">=") holds = value >= fact.rhs;
+      if (fact.op == ">") holds = value > fact.rhs;
+      if (fact.op == "<=") holds = value <= fact.rhs;
+      if (fact.op == "<") holds = value < fact.rhs;
+      if (fact.op == "==") holds = value == fact.rhs;
+      if (fact.op == "!=") holds = value != fact.rhs;
+      if (holds) continue;
+      if (line_suppressed(index, caller.file, call.line, "contract-violated-call")) continue;
+      out.push_back(Finding{
+          caller.file, call.line, "contract-violated-call",
+          "call to '" + callee.qualified + "' passes " + literal + " for parameter '" +
+              callee.params[fact.param] + "', which violates its precondition `" +
+              fact.text + "` (" + callee.file + ":" + std::to_string(fact.line) + ")"});
+    }
+  }
+
+  // ---- hotpath-unchecked-entry: public functions in hotpath-declared
+  // modules that other modules call without any precondition between them
+  // and the caller's data.
+  for (std::size_t id = 0; id < graph.nodes.size(); ++id) {
+    const FunctionNode& node = graph.nodes[id];
+    if (spec.hotpaths.count(node.module) == 0) continue;
+    if (!node.is_public || node.is_ctor || node.is_dtor || node.is_task_body) continue;
+    if (node.arity == 0 || node.has_contract || node.has_waiver) continue;
+    if (node.statements < 2) continue;  // trivial accessors, same bar as coverage
+    bool external_caller = false;
+    for (const std::size_t caller : graph.in_ids[id]) {
+      if (graph.nodes[caller].module != node.module) external_caller = true;
+    }
+    if (!external_caller) continue;
+    if (line_suppressed(index, node.file, node.line, "hotpath-unchecked-entry")) continue;
+    out.push_back(Finding{
+        node.file, node.line, "hotpath-unchecked-entry",
+        "'" + node.qualified + "' is a public entry into hotpath module '" + node.module +
+            "' called from outside it, but validates none of its " +
+            std::to_string(node.arity) +
+            " parameter(s); add UPN_REQUIRE or upn-contract-waive(reason)"});
+  }
+
+  std::sort(out.begin(), out.end(), finding_less);
+  return out;
+}
+
+std::vector<Finding> run_exception_safety_pass(const CallGraph& graph,
+                                               const std::vector<Unit>& units) {
+  std::vector<Finding> out;
+  const std::map<std::string, const Unit*> index = unit_index(units);
+
+  // May-throw fixpoint.  noexcept callees do not propagate (an escaping
+  // exception terminates inside them -- and they get their own finding);
+  // task edges DO propagate, modeling the pool's rethrow protocol.
+  std::vector<char> may_throw(graph.nodes.size(), 0);
+  for (std::size_t id = 0; id < graph.nodes.size(); ++id) {
+    may_throw[id] = graph.nodes[id].throw_sources.empty() ? 0 : 1;
+  }
+  auto call_guarded = [&](const CallEdge& e) {
+    const FunctionNode& caller = graph.nodes[e.caller];
+    return e.call_index < caller.calls.size() && caller.calls[e.call_index].guarded;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const CallEdge& e : graph.edges) {
+      if (may_throw[e.caller] != 0 || may_throw[e.callee] == 0) continue;
+      if (graph.nodes[e.callee].is_noexcept || call_guarded(e)) continue;
+      may_throw[e.caller] = 1;
+      changed = true;
+    }
+  }
+
+  // The deterministic witness for a flagged node: its own smallest-line
+  // throw source, else the first (by edge order) may-throwing callee.
+  auto witness = [&](std::size_t id) -> std::string {
+    const FunctionNode& node = graph.nodes[id];
+    const ThrowSource* best = nullptr;
+    for (const ThrowSource& src : node.throw_sources) {
+      if (best == nullptr || src.line < best->line) best = &src;
+    }
+    if (best != nullptr) {
+      return "`" + best->what + "` at line " + std::to_string(best->line);
+    }
+    for (const CallEdge& e : graph.edges) {
+      if (e.caller != id) continue;
+      if (may_throw[e.callee] != 0 && !graph.nodes[e.callee].is_noexcept &&
+          !call_guarded(e)) {
+        return "the call to '" + graph.nodes[e.callee].qualified + "' at line " +
+               std::to_string(e.line);
+      }
+    }
+    return "a reachable throw";
+  };
+
+  for (std::size_t id = 0; id < graph.nodes.size(); ++id) {
+    const FunctionNode& node = graph.nodes[id];
+    if (node.module.empty() || may_throw[id] == 0) continue;
+    if (node.is_task_body) continue;  // covered by the pool's rethrow protocol
+    if (!node.is_noexcept) continue;  // throwing is part of the signature
+    const std::string rule = node.is_dtor ? "dtor-may-throw" : "noexcept-may-throw";
+    if (line_suppressed(index, node.file, node.line, rule)) continue;
+    if (node.is_dtor) {
+      out.push_back(Finding{
+          node.file, node.line, rule,
+          "destructor '" + node.qualified + "' can throw via " + witness(id) +
+              "; destructors are implicitly noexcept, so this terminates the process"});
+    } else {
+      out.push_back(Finding{node.file, node.line, rule,
+                            "'" + node.qualified + "' is declared noexcept but can throw via " +
+                                witness(id) + "; drop noexcept or make the path non-throwing"});
+    }
+  }
+
+  std::sort(out.begin(), out.end(), finding_less);
+  return out;
+}
+
+std::vector<Finding> run_dead_function_pass(const CallGraph& graph,
+                                            const std::vector<Unit>& units) {
+  std::vector<Finding> out;
+  const std::map<std::string, const Unit*> index = unit_index(units);
+
+  // Candidates: free functions defined under src/.  Methods are reachable
+  // through objects in ways name matching over-approximates badly, and main
+  // plus task bodies are roots by construction.
+  std::map<std::string, std::vector<std::size_t>> candidates;
+  for (std::size_t id = 0; id < graph.nodes.size(); ++id) {
+    const FunctionNode& node = graph.nodes[id];
+    if (node.module.empty() || !node.class_name.empty()) continue;
+    if (node.is_task_body || node.name == "main") continue;
+    candidates[node.name].push_back(id);
+  }
+  if (candidates.empty()) return out;
+
+  // Liveness by name reference across the WHOLE analyzed set (CLI, tests,
+  // bench, examples are the roots): a name is alive iff it occurs more often
+  // than its own definitions and header prototypes account for.  Any
+  // reference counts -- calls, address-taken uses, using-declarations -- so
+  // the pass errs toward alive, never toward flagging live code (recursion
+  // is the documented exception: a self-call keeps a function alive).  Only
+  // HEADER prototypes count as self-references: the declaration index can
+  // misclassify expression statements in .cpp files (e.g. a call inside an
+  // immediately-invoked lambda initializer) as declarations, and counting
+  // those would hide real uses.
+  std::map<std::string, std::size_t> mentions;
+  std::map<std::string, std::size_t> prototypes;
+  for (const Unit& unit : units) {
+    for (const Token& t : unit.tokens) {
+      if (t.kind != TokenKind::kIdent) continue;
+      const auto it = mentions.find(t.text);
+      if (it != mentions.end()) {
+        ++it->second;
+      } else if (candidates.count(t.text) != 0) {
+        mentions.emplace(t.text, 1);
+      }
+    }
+    if (!unit.is_header) continue;
+    for (const Declaration& d : unit.decls) {
+      if (d.kind == DeclKind::kFunction && !d.has_body && candidates.count(d.name) != 0) {
+        ++prototypes[d.name];
+      }
+    }
+  }
+
+  for (const auto& [name, ids] : candidates) {
+    const std::size_t seen = mentions.count(name) != 0 ? mentions.at(name) : 0;
+    const std::size_t protos = prototypes.count(name) != 0 ? prototypes.at(name) : 0;
+    if (seen > ids.size() + protos) continue;  // referenced somewhere
+    std::set<std::pair<std::string, std::size_t>> sites;
+    for (const std::size_t id : ids) {
+      const FunctionNode& node = graph.nodes[id];
+      sites.insert({node.file, node.line});
+    }
+    std::map<std::string, std::size_t> first_per_file;
+    for (const auto& [file, line] : sites) {
+      if (first_per_file.count(file) == 0) first_per_file.emplace(file, line);
+    }
+    for (const auto& [file, line] : first_per_file) {
+      if (line_suppressed(index, file, line, "dead-function")) continue;
+      out.push_back(Finding{file, line, "dead-function",
+                            "free function '" + name +
+                                "' is never referenced outside its own declarations "
+                                "anywhere in the analyzed tree; delete it"});
+    }
+  }
+
+  std::sort(out.begin(), out.end(), finding_less);
+  return out;
+}
+
+bool is_interproc_rule(const std::string& rule) {
+  static const std::set<std::string> rules = {
+      "contract-violated-call", "dead-function",   "dtor-may-throw",
+      "hotpath-unchecked-entry", "lock-order-cycle", "noexcept-may-throw",
+      "task-blocking-call",      "task-blocking-io"};
+  return rules.count(rule) != 0;
+}
+
+std::string interproc_key(const Finding& finding) { return hotpath_key(finding); }
+
+std::string render_interproc_baseline(const std::vector<Finding>& findings) {
+  std::set<std::string> keys;
+  for (const Finding& f : findings) {
+    if (is_interproc_rule(f.rule)) keys.insert(interproc_key(f));
+  }
+  std::string out =
+      "# upn_analyze interprocedural baseline (shrink-only ratchet).\n"
+      "# One `file:rule:detail` key per tolerated finding from pass families\n"
+      "# 8-11 (lock order, contract propagation, exception safety, dead code).\n"
+      "# Keys are line-independent; regenerate with --write-baseline, but only\n"
+      "# ever commit deletions.\n";
+  for (const std::string& key : keys) out += key + "\n";
+  return out;
+}
+
+}  // namespace upn::analyze

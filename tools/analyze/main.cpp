@@ -11,6 +11,13 @@
 //     --baseline FILE   contract baseline (default ROOT/tools/analyze/contracts.baseline)
 //     --hotpath-baseline FILE
 //                       hot-path baseline (default ROOT/tools/analyze/hotpath.baseline)
+//     --interproc-baseline FILE
+//                       interprocedural baseline (default
+//                       ROOT/tools/analyze/interproc.baseline)
+//     --ir-cache DIR    cache parsed TU IR in DIR, keyed by content hash, so
+//                       back-to-back runs (the CI --diff gate + full run)
+//                       parse each unchanged file once
+//     --dump-callgraph  print the whole-program call graph before the report
 //     --sarif FILE      also write a SARIF 2.1.0 report to FILE
 //     --jobs N          analysis thread count (default: UPN_THREADS, else 1)
 //     --exclude SUBSTR  skip paths containing SUBSTR (repeatable; defaults
@@ -19,7 +26,7 @@
 //                       GIT_REF` lists (the fast PR gate; analysis itself
 //                       still runs over every PATH so cross-file passes see
 //                       the whole tree)
-//     --write-baseline  rewrite both baselines at the current debt level
+//     --write-baseline  rewrite all three baselines at the current debt level
 //
 // Exit codes: 0 clean, 1 findings, 2 usage / IO error.  The text report and
 // the SARIF document are byte-identical at every --jobs value.
@@ -39,8 +46,9 @@ namespace {
 
 int usage() {
   std::cerr << "usage: upn_analyze [--root DIR] [--layers FILE] [--baseline FILE]\n"
-               "                   [--hotpath-baseline FILE] [--sarif FILE] [--jobs N]\n"
-               "                   [--exclude SUBSTR]... [--diff GIT_REF]\n"
+               "                   [--hotpath-baseline FILE] [--interproc-baseline FILE]\n"
+               "                   [--ir-cache DIR] [--dump-callgraph] [--sarif FILE]\n"
+               "                   [--jobs N] [--exclude SUBSTR]... [--diff GIT_REF]\n"
                "                   [--write-baseline] PATH...\n";
   return 2;
 }
@@ -80,6 +88,7 @@ int main(int argc, char** argv) {
   std::string sarif_path;
   std::string diff_ref;
   bool write_baseline = false;
+  bool dump_callgraph = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -101,6 +110,16 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage();
       options.hotpath_file = v;
+    } else if (arg == "--interproc-baseline") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.interproc_file = v;
+    } else if (arg == "--ir-cache") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.ir_cache_dir = v;
+    } else if (arg == "--dump-callgraph") {
+      dump_callgraph = true;
     } else if (arg == "--sarif") {
       const char* v = value();
       if (v == nullptr) return usage();
@@ -135,6 +154,7 @@ int main(int argc, char** argv) {
     std::cerr << "upn_analyze: " << error << "\n";
     return 2;
   }
+  input.want_callgraph = dump_callgraph;
 
   upn::analyze::Report report = upn::analyze::analyze(input);
 
@@ -143,32 +163,43 @@ int main(int argc, char** argv) {
     // the old baselines covered it.
     std::vector<upn::analyze::Finding> uncontracted;
     std::vector<upn::analyze::Finding> hotpath_debt;
+    std::vector<upn::analyze::Finding> interproc_debt;
     for (const std::vector<upn::analyze::Finding>* bucket :
          {&report.baselined, &report.findings}) {
       for (const upn::analyze::Finding& f : *bucket) {
         if (f.rule == "contract-coverage") uncontracted.push_back(f);
-        if (f.rule.compare(0, 8, "hotpath-") == 0) hotpath_debt.push_back(f);
+        if (upn::analyze::is_interproc_rule(f.rule)) {
+          interproc_debt.push_back(f);
+        } else if (f.rule.compare(0, 8, "hotpath-") == 0) {
+          hotpath_debt.push_back(f);
+        }
       }
     }
     std::sort(uncontracted.begin(), uncontracted.end(), upn::analyze::finding_less);
     std::sort(hotpath_debt.begin(), hotpath_debt.end(), upn::analyze::finding_less);
+    std::sort(interproc_debt.begin(), interproc_debt.end(), upn::analyze::finding_less);
     const std::string contracts_path =
         options.baseline_file.empty() ? options.root + "/tools/analyze/contracts.baseline"
                                       : options.baseline_file;
     const std::string hotpath_path =
         options.hotpath_file.empty() ? options.root + "/tools/analyze/hotpath.baseline"
                                      : options.hotpath_file;
+    const std::string interproc_path =
+        options.interproc_file.empty() ? options.root + "/tools/analyze/interproc.baseline"
+                                       : options.interproc_file;
     std::ofstream contracts_out{contracts_path, std::ios::binary};
     std::ofstream hotpath_out{hotpath_path, std::ios::binary};
-    if (!contracts_out || !hotpath_out) {
+    std::ofstream interproc_out{interproc_path, std::ios::binary};
+    if (!contracts_out || !hotpath_out || !interproc_out) {
       std::cerr << "upn_analyze: cannot write baseline " << contracts_path << " / "
-                << hotpath_path << "\n";
+                << hotpath_path << " / " << interproc_path << "\n";
       return 2;
     }
     contracts_out << upn::analyze::render_baseline(uncontracted);
     hotpath_out << upn::analyze::render_hotpath_baseline(hotpath_debt);
+    interproc_out << upn::analyze::render_interproc_baseline(interproc_debt);
     std::cerr << "upn_analyze: baselines rewritten: " << contracts_path << ", "
-              << hotpath_path << "\n";
+              << hotpath_path << ", " << interproc_path << "\n";
   }
 
   if (!diff_ref.empty()) {
@@ -191,6 +222,7 @@ int main(int argc, char** argv) {
     out << upn::analyze::write_sarif(report.findings);
   }
 
+  if (dump_callgraph) std::cout << report.callgraph_dump;
   std::cout << report.render_text();
   return report.findings.empty() ? 0 : 1;
 }

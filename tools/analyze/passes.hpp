@@ -47,6 +47,8 @@
 
 namespace upn::analyze {
 
+struct CallGraph;  // tools/analyze/callgraph.hpp
+
 struct Finding {
   std::string file;
   std::size_t line = 0;  ///< 1-based; 0 when file-scoped
@@ -160,6 +162,57 @@ struct LayerSpec {
 /// header).  Engine-side, entries that match no current finding are reported
 /// as `baseline-stale-entry` so the file cannot rot.
 [[nodiscard]] std::string render_hotpath_baseline(const std::vector<Finding>& findings);
+
+// ---- interprocedural (pass families 8-11, over the call graph) ------------
+
+/// (8) Lock order and task blocking:
+///   lock-order-cycle    the observed held-before relation over mutexes --
+///                       direct nested acquisitions plus lock summaries
+///                       propagated over resolved call edges -- contains a
+///                       cycle (reported once, at the smallest witness site)
+///   task-blocking-call  a lock acquisition or condition-variable wait
+///                       reachable from a ThreadPool task body
+///   task-blocking-io    file/stream IO reachable from a task body
+/// Findings are limited to src/ modules; util and obs are exempt as blocking
+/// sites (the pool itself and the obs counters serialize by design).
+[[nodiscard]] std::vector<Finding> run_lock_order_pass(const CallGraph& graph,
+                                                       const std::vector<Unit>& units);
+
+/// (9) Contract propagation:
+///   contract-violated-call   an integer-literal argument provably violates
+///                            the callee's UPN_REQUIRE comparison facts
+///   hotpath-unchecked-entry  a public, multi-statement, uncontracted
+///                            function in a hotpath-declared module with a
+///                            resolved caller in another module
+[[nodiscard]] std::vector<Finding> run_contract_propagation_pass(
+    const CallGraph& graph, const std::vector<Unit>& units, const LayerSpec& spec);
+
+/// (10) Exception safety: may-throw summaries (throw, contract macros in
+/// their default throw mode, allocations) propagated through non-noexcept
+/// callees and across task edges (the pool rethrows task exceptions):
+///   noexcept-may-throw  a noexcept function with a reachable throw
+///   dtor-may-throw      a (defaulted-noexcept) destructor that can throw
+[[nodiscard]] std::vector<Finding> run_exception_safety_pass(const CallGraph& graph,
+                                                             const std::vector<Unit>& units);
+
+/// (11) Dead functions: free src/ functions whose name is never referenced
+/// outside their own declarations anywhere in the analyzed tree (CLI, test,
+/// bench, and example roots included):
+///   dead-function
+[[nodiscard]] std::vector<Finding> run_dead_function_pass(const CallGraph& graph,
+                                                          const std::vector<Unit>& units);
+
+/// True for the eight rules ratcheted by tools/analyze/interproc.baseline.
+[[nodiscard]] bool is_interproc_rule(const std::string& rule);
+
+/// The ratchet key of an interprocedural finding: "file:rule:detail", the
+/// detail being the first quoted token of the message (same mechanism as the
+/// hotpath baseline, so keys survive line drift).
+[[nodiscard]] std::string interproc_key(const Finding& finding);
+
+/// Renders the shrink-only interproc baseline from the interproc-rule subset
+/// of `findings`.
+[[nodiscard]] std::string render_interproc_baseline(const std::vector<Finding>& findings);
 
 // ---- include hygiene ------------------------------------------------------
 
